@@ -1,0 +1,28 @@
+// Ablation — branch-divergence avoidance (§VI-C): the Karnaugh-reduced
+// branch-free Eqn 9 decision vs the divergent four-way Eqn 8 check, which
+// masks half the wave on the simulated GPU.
+#include "bench/ablation_util.hpp"
+
+namespace {
+
+using namespace phonebit;
+
+void BM_BranchFreeEqn9(benchmark::State& state) {
+  static const auto fx = bench::ConvFixture::make(26, 128, 128);
+  core::EngineOptions opts;
+  opts.branch_free_binarize = true;
+  bench::run_ablation(state, fx, opts);
+}
+BENCHMARK(BM_BranchFreeEqn9)->Unit(benchmark::kMillisecond);
+
+void BM_DivergentEqn8(benchmark::State& state) {
+  static const auto fx = bench::ConvFixture::make(26, 128, 128);
+  core::EngineOptions opts;
+  opts.branch_free_binarize = false;
+  bench::run_ablation(state, fx, opts);
+}
+BENCHMARK(BM_DivergentEqn8)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,28 @@
+// Ablation — layer integration (§V-B): fused conv+BN+binarize in one kernel
+// vs the three-kernel pre-integration pipeline with materialized
+// intermediates. Fusion must cut both kernel launches and modeled time.
+#include "bench/ablation_util.hpp"
+
+namespace {
+
+using namespace phonebit;
+
+void BM_Fused(benchmark::State& state) {
+  static const auto fx = bench::ConvFixture::make(26, 128, 128);
+  core::EngineOptions opts;
+  opts.fuse_bn_binarize = true;
+  bench::run_ablation(state, fx, opts);
+}
+BENCHMARK(BM_Fused)->Unit(benchmark::kMillisecond);
+
+void BM_Unfused(benchmark::State& state) {
+  static const auto fx = bench::ConvFixture::make(26, 128, 128);
+  core::EngineOptions opts;
+  opts.fuse_bn_binarize = false;  // conv -> BN -> binarize -> pack
+  bench::run_ablation(state, fx, opts);
+}
+BENCHMARK(BM_Unfused)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

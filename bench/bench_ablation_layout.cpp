@@ -1,0 +1,28 @@
+// Ablation — data layout (§V-A.1): NHWC (channel-innermost, coalescible
+// packed rows) vs the Caffe/Torch NCHW default, which pays the uncoalesced
+// gather penalty in the memory model.
+#include "bench/ablation_util.hpp"
+
+namespace {
+
+using namespace phonebit;
+
+void BM_LayoutNHWC(benchmark::State& state) {
+  static const auto fx = bench::ConvFixture::make(52, 64, 64);
+  core::EngineOptions opts;
+  opts.layout = Layout::kNHWC;
+  bench::run_ablation(state, fx, opts);
+}
+BENCHMARK(BM_LayoutNHWC)->Unit(benchmark::kMillisecond);
+
+void BM_LayoutNCHW(benchmark::State& state) {
+  static const auto fx = bench::ConvFixture::make(52, 64, 64);
+  core::EngineOptions opts;
+  opts.layout = Layout::kNCHW;
+  bench::run_ablation(state, fx, opts);
+}
+BENCHMARK(BM_LayoutNCHW)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,39 @@
+// Ablation — bit-packing granularity (§V-A.2): the same 256-channel binary
+// conv processed with 8-bit .. 1024-bit vectors. Wider packing must be
+// monotonically faster in modeled device time, saturating at the top (the
+// ulong16 limit the paper uses).
+#include "bench/ablation_util.hpp"
+
+namespace {
+
+using namespace phonebit;
+
+void BM_PackWidth(benchmark::State& state) {
+  static const auto fx = bench::ConvFixture::make(26, 256, 256);
+  core::EngineOptions opts;
+  opts.auto_pack_width = false;
+  opts.fixed_pack_width =
+      static_cast<bitpack::PackWidth>(state.range(0));
+  bench::run_ablation(state, fx, opts);
+}
+BENCHMARK(BM_PackWidth)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Arg(64)
+    ->Arg(128)
+    ->Arg(256)
+    ->Arg(512)
+    ->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_AutoPackSelection(benchmark::State& state) {
+  static const auto fx = bench::ConvFixture::make(26, 256, 256);
+  core::EngineOptions opts;  // auto selection (the paper's strategy)
+  bench::run_ablation(state, fx, opts);
+}
+BENCHMARK(BM_AutoPackSelection)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,28 @@
+// Ablation — vectorized load/store (§VI-A.1): 128-bit bulk loads vs scalar
+// accesses, which waste most of each memory transaction and add per-access
+// instruction overhead.
+#include "bench/ablation_util.hpp"
+
+namespace {
+
+using namespace phonebit;
+
+void BM_VectorizedLoads(benchmark::State& state) {
+  static const auto fx = bench::ConvFixture::make(26, 256, 256);
+  core::EngineOptions opts;
+  opts.vectorized_loads = true;
+  bench::run_ablation(state, fx, opts);
+}
+BENCHMARK(BM_VectorizedLoads)->Unit(benchmark::kMillisecond);
+
+void BM_ScalarLoads(benchmark::State& state) {
+  static const auto fx = bench::ConvFixture::make(26, 256, 256);
+  core::EngineOptions opts;
+  opts.vectorized_loads = false;
+  bench::run_ablation(state, fx, opts);
+}
+BENCHMARK(BM_ScalarLoads)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

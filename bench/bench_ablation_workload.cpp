@@ -1,0 +1,46 @@
+// Ablation — workload optimization (§VI-B, Fig. 4): one work item computing
+// 8 filters and packing their byte in private memory, vs a separate packing
+// kernel. Also sweeps the channel threshold behaviour: above 256 input
+// channels the engine falls back to separate packing on its own.
+#include "bench/ablation_util.hpp"
+
+namespace {
+
+using namespace phonebit;
+
+void BM_IntegratedPacking(benchmark::State& state) {
+  static const auto fx = bench::ConvFixture::make(26, 128, 128);
+  core::EngineOptions opts;
+  opts.integrate_packing = true;
+  bench::run_ablation(state, fx, opts);
+}
+BENCHMARK(BM_IntegratedPacking)->Unit(benchmark::kMillisecond);
+
+void BM_SeparatePacking(benchmark::State& state) {
+  static const auto fx = bench::ConvFixture::make(26, 128, 128);
+  core::EngineOptions opts;
+  opts.integrate_packing = false;
+  bench::run_ablation(state, fx, opts);
+}
+BENCHMARK(BM_SeparatePacking)->Unit(benchmark::kMillisecond);
+
+// Channel sweep across the 256-channel private-memory threshold: the engine
+// integrates below, separates above (both correct; the launch count in the
+// modeled time reflects the switch).
+void BM_ChannelThreshold(benchmark::State& state) {
+  const auto fx = bench::ConvFixture::make(
+      13, state.range(0), 128);
+  core::EngineOptions opts;  // default threshold 256
+  bench::run_ablation(state, fx, opts);
+}
+BENCHMARK(BM_ChannelThreshold)
+    ->Arg(64)
+    ->Arg(128)
+    ->Arg(256)
+    ->Arg(320)
+    ->Arg(512)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,82 @@
+// Kernel micro-benchmarks — real host throughput of the primitive binary
+// operations (xor+popcount spans at every granularity, packing, bit-plane
+// splitting). These measure the actual C++ kernels google-benchmark style;
+// the table benches measure the modeled phone numbers.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "bitpack/binary_ops.hpp"
+#include "bitpack/pack.hpp"
+#include "common/rng.hpp"
+#include "datasets/synthetic.hpp"
+
+namespace {
+
+using namespace phonebit;
+
+std::vector<std::uint64_t> random_words(std::int64_t n) {
+  Rng rng(5);
+  std::vector<std::uint64_t> v(static_cast<std::size_t>(n));
+  for (auto& w : v) w = rng();
+  return v;
+}
+
+void BM_XorPopcount(benchmark::State& state) {
+  const std::int64_t nwords = 4096;
+  const auto a = random_words(nwords);
+  const auto b = random_words(nwords);
+  const auto pw = static_cast<bitpack::PackWidth>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        bitpack::xor_popcount(a.data(), b.data(), nwords, pw));
+  }
+  state.SetBytesProcessed(state.iterations() * nwords * 8 * 2);
+}
+BENCHMARK(BM_XorPopcount)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Arg(64)
+    ->Arg(128)
+    ->Arg(256)
+    ->Arg(512)
+    ->Arg(1024);
+
+void BM_BinaryDot(benchmark::State& state) {
+  const std::int64_t len = state.range(0);
+  const std::int64_t nwords = ceil_div(len, 64);
+  const auto a = random_words(nwords);
+  const auto b = random_words(nwords);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        bitpack::binary_dot(a.data(), b.data(), nwords, len));
+  }
+  state.SetItemsProcessed(state.iterations() * len);
+}
+BENCHMARK(BM_BinaryDot)->Arg(256)->Arg(1024)->Arg(9216)->Arg(25088);
+
+void BM_PackSigns(benchmark::State& state) {
+  Rng rng(6);
+  FloatTensor t(Shape{1, 32, 32, state.range(0)}, Layout::kNHWC);
+  t.fill_random(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bitpack::pack_signs(t));
+  }
+  state.SetItemsProcessed(state.iterations() * t.elems());
+}
+BENCHMARK(BM_PackSigns)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_BitPlaneSplit(benchmark::State& state) {
+  const U8Tensor img = datasets::random_image(
+      Shape{1, state.range(0), state.range(0), 3}, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bitpack::split_bit_planes(img));
+  }
+  state.SetItemsProcessed(state.iterations() * img.elems());
+}
+BENCHMARK(BM_BitPlaneSplit)->Arg(32)->Arg(128)->Arg(416);
+
+}  // namespace
+
+BENCHMARK_MAIN();

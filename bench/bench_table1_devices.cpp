@@ -1,0 +1,50 @@
+// Table I — mobile device configurations. Prints the paper's table from the
+// simulated device profiles (the substitution substrate of DESIGN.md §2) and
+// micro-benchmarks the simulated dispatch path with google-benchmark.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "oclsim/runtime.hpp"
+
+namespace {
+
+using namespace phonebit::oclsim;
+
+void print_table1() {
+  std::printf("\n=== Table I: MOBILE DEVICES ===\n");
+  std::printf("%-10s %-16s %-8s %-12s %-16s %-12s\n", "Device", "SOC",
+              "Memory", "OS", "OpenCL Version", "ALUs in GPU");
+  for (const auto& p :
+       {DeviceProfile::snapdragon820(), DeviceProfile::snapdragon855()}) {
+    std::printf("%-10s %-16s %lldGB     %-12s %-16s %d\n",
+                p.device_name.c_str(), p.soc_name.c_str(),
+                static_cast<long long>(p.ram_mb / 1024), p.os_version.c_str(),
+                p.opencl_version.c_str(), p.total_alus());
+  }
+  std::printf("(paper Table I: Xiaomi 5 / SD820 / 3GB / Android 7.0 / 2.0 / "
+              "256;  Xiaomi 9 / SD855 / 8GB / Android 9.0 / 2.0 / 384)\n\n");
+}
+
+void BM_KernelDispatch(benchmark::State& state) {
+  Device dev(DeviceProfile::snapdragon855());
+  CommandQueue q(dev, ExecUnit::kGpu);
+  KernelCost cost;
+  cost.scalar_ops = 1e3;
+  for (auto _ : state) {
+    q.enqueue("noop", NDRange{static_cast<std::int64_t>(state.range(0)), 1, 1},
+              cost, [](const WorkItem&) {});
+    q.reset_events();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_KernelDispatch)->Arg(1)->Arg(1024)->Arg(65536);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table1();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

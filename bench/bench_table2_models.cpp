@@ -1,0 +1,92 @@
+// Table II — model size (MB) and precision (%), full precision vs BNN.
+//
+// Sizes are exact, computed from the real architectures and the PhoneBit
+// format's accounting. The precision columns cannot be reproduced without
+// CIFAR10/VOC training runs; the paper's numbers are printed as reference
+// and the accuracy-gap *shape* is reproduced by the from-scratch trainer on
+// the synthetic pattern task (see DESIGN.md §2 and examples/accuracy_gap).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/phonebit.hpp"
+#include "datasets/synthetic.hpp"
+#include "models/zoo.hpp"
+#include "train/trainer.hpp"
+
+namespace {
+
+using namespace phonebit;
+
+struct PaperRow {
+  const char* name;
+  double full_mb, bnn_mb, full_acc, bnn_acc;
+};
+
+constexpr PaperRow kPaper[] = {
+    {"AlexNet", 249.5, 16.3, 89.0, 87.2},
+    {"YOLOv2 Tiny", 63.4, 2.4, 57.1, 51.7},
+    {"VGG16", 553.4, 32.1, 92.5, 87.8},
+};
+
+void print_table2() {
+  std::printf("\n=== Table II: MODEL SIZE (MB) AND PRECISION ===\n");
+  std::printf("%-14s | %12s %12s | %12s %12s\n", "Model", "full (ours)",
+              "BNN (ours)", "full (paper)", "BNN (paper)");
+
+  const core::NetworkSpec specs_float[] = {
+      models::alexnet({0, false}), models::yolov2_tiny({0, false}),
+      models::vgg16({0, false})};
+  const core::NetworkSpec specs_bnn[] = {models::alexnet({0, true}),
+                                         models::yolov2_tiny({0, true}),
+                                         models::vgg16({0, true})};
+  for (int i = 0; i < 3; ++i) {
+    const double full_mb =
+        static_cast<double>(specs_float[i].float_param_bytes()) / 1e6;
+    const auto model = core::FloatModel::random(specs_bnn[i], 1);
+    const auto net = core::convert_to_phonebit(model);
+    const double bnn_mb = static_cast<double>(net->param_bytes()) / 1e6;
+    std::printf("%-14s | %10.1fMB %10.2fMB | %10.1fMB %10.1fMB\n",
+                kPaper[i].name, full_mb, bnn_mb, kPaper[i].full_mb,
+                kPaper[i].bnn_mb);
+  }
+  std::printf(
+      "(AlexNet BNN deviates from the paper's 16.3MB: its binarization\n"
+      " convention for the fc layers is unspecified — see EXPERIMENTS.md)\n");
+
+  std::printf("\naccuracy-gap shape (synthetic pattern task, from-scratch "
+              "trainer):\n");
+  // 10 classes / 250 samples: hard enough that binarization costs points.
+  const auto train_set = datasets::PatternDataset::make(250, 10, 10, 123);
+  const auto test_set = datasets::PatternDataset::make(200, 10, 10, 456);
+  train::TrainConfig cfg;
+  cfg.epochs = 25;
+  const auto fp = train::train_mlp(train_set, test_set, cfg);
+  cfg.binarize = true;
+  const auto bin = train::train_mlp(train_set, test_set, cfg);
+  std::printf("  full precision: %5.1f%%   binarized: %5.1f%%   gap: %.1f "
+              "points\n",
+              100.0 * fp.test_accuracy, 100.0 * bin.test_accuracy,
+              100.0 * (fp.test_accuracy - bin.test_accuracy));
+  std::printf("  (paper gaps: AlexNet 1.8, YOLOv2-Tiny 5.4, VGG16 4.7 "
+              "points)\n\n");
+}
+
+void BM_ConvertYolo(benchmark::State& state) {
+  const auto model =
+      core::FloatModel::random(models::yolov2_tiny({2, true}), 2);
+  for (auto _ : state) {
+    auto net = core::convert_to_phonebit(model);
+    benchmark::DoNotOptimize(net);
+  }
+}
+BENCHMARK(BM_ConvertYolo)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table2();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,59 @@
+// PhoneBit benches — shared table-printing and run helpers.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "baselines/framework.hpp"
+#include "core/phonebit.hpp"
+#include "datasets/synthetic.hpp"
+#include "models/zoo.hpp"
+#include "oclsim/runtime.hpp"
+
+namespace phonebit::bench {
+
+/// PHONEBIT_BENCH_FAST=1 shrinks networks for quick smoke runs; the default
+/// is the paper's full-size networks.
+inline int bench_shrink() {
+  const char* env = std::getenv("PHONEBIT_BENCH_FAST");
+  return (env != nullptr && env[0] == '1') ? 3 : 0;
+}
+
+/// Result of one framework cell in Table III: a time or a failure marker.
+struct Cell {
+  double ms = 0.0;
+  std::string marker;  // "OOM" / "CRASH" when the gate fired
+
+  std::string str() const {
+    if (!marker.empty()) return marker;
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.1f", ms);
+    return buf;
+  }
+};
+
+/// Runs a baseline framework, mapping the simulated failure modes to the
+/// paper's table markers.
+inline Cell run_baseline(const baselines::FloatFramework& fw,
+                         oclsim::Device& device, const core::FloatModel& model,
+                         const U8Tensor& image) {
+  try {
+    return Cell{fw.run(device, model, image).modeled_ms, ""};
+  } catch (const OutOfMemoryError&) {
+    return Cell{0.0, "OOM"};
+  } catch (const UnsupportedOperationError&) {
+    return Cell{0.0, "CRASH"};
+  }
+}
+
+/// Runs the PhoneBit engine on a converted model; returns modeled ms and the
+/// engine (for event inspection).
+inline Cell run_phonebit(core::Engine& engine, core::Network& net,
+                         const U8Tensor& image) {
+  auto ctx = engine.context();
+  net.forward_float(ctx, image);
+  return Cell{net.last_modeled_ms(), ""};
+}
+
+}  // namespace phonebit::bench

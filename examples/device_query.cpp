@@ -1,0 +1,59 @@
+// device_query — prints the simulated SoC roster (the paper's Table I) and
+// a roofline snapshot of each device, clinfo-style.
+//
+// Build & run:  ./build/examples/device_query
+#include <cstdio>
+
+#include "oclsim/cost_model.hpp"
+#include "oclsim/device_profile.hpp"
+
+int main() {
+  using namespace phonebit::oclsim;
+
+  std::printf("simulated mobile devices (paper Table I)\n");
+  std::printf(
+      "%-10s %-16s %-12s %-8s %-12s %-8s %-12s\n", "Device", "SoC", "GPU",
+      "Memory", "OS", "OpenCL", "ALUs in GPU");
+  for (const auto& p :
+       {DeviceProfile::snapdragon820(), DeviceProfile::snapdragon855()}) {
+    std::printf("%-10s %-16s %-12s %-2lldGB    %-12s %-8s %d (%d CU x %d)\n",
+                p.device_name.c_str(), p.soc_name.c_str(), p.gpu_name.c_str(),
+                static_cast<long long>(p.ram_mb / 1024), p.os_version.c_str(),
+                p.opencl_version.c_str(), p.total_alus(), p.compute_units,
+                p.alus_per_cu);
+  }
+
+  std::printf("\nroofline snapshot (1 GMAC fp32 conv vs binary equivalent)\n");
+  for (const auto& p :
+       {DeviceProfile::snapdragon820(), DeviceProfile::snapdragon855()}) {
+    KernelCost fp;
+    fp.scalar_ops = 1e9;
+    fp.bytes_read = 2e8;
+    fp.alu_efficiency = 0.3;
+
+    KernelCost bin;
+    bin.bitop_bits = 2e9;  // xor+popcount lanes for the same 1 GMAC
+    bin.pack_width_bits = 1024;
+    bin.bytes_read = 2e8 / 32;
+    bin.alu_efficiency = 0.3;
+
+    std::printf(
+        "  %-16s  fp32: %7.2f ms   binary(1024-bit packed): %6.2f ms   "
+        "ratio %.0fx\n",
+        p.soc_name.c_str(), modeled_ms(fp, p, ExecUnit::kGpu),
+        modeled_ms(bin, p, ExecUnit::kGpu),
+        modeled_ms(fp, p, ExecUnit::kGpu) / modeled_ms(bin, p, ExecUnit::kGpu));
+  }
+
+  std::printf("\npacking-granularity ladder on Snapdragon 855 (1 Gbit xor+popcount)\n");
+  const auto p = DeviceProfile::snapdragon855();
+  for (const int w : {8, 16, 32, 64, 128, 256, 512, 1024}) {
+    KernelCost c;
+    c.bitop_bits = 1e9;
+    c.pack_width_bits = w;
+    c.alu_efficiency = 0.3;
+    std::printf("  %4d-bit vectors: %7.3f ms\n", w,
+                modeled_ms(c, p, ExecUnit::kGpu));
+  }
+  return 0;
+}

@@ -1,0 +1,30 @@
+// PhoneBit — float-domain BNN reference forward pass (the test oracle).
+//
+// Computes exactly what the packed PhoneBit engine should compute, but in
+// plain float arithmetic over explicit ±1 tensors: sign-binarized weights,
+// -1 padding for binary convs (the packed engine's zero words), the integer
+// pixel domain for the first layer, folded-BN thresholds and the Eqn 8
+// decision. Every activation is recorded so tests can compare layer by
+// layer, not just end to end.
+#pragma once
+
+#include <vector>
+
+#include "core/float_model.hpp"
+#include "tensor/tensor.hpp"
+
+namespace phonebit::baselines {
+
+struct BnnReferenceResult {
+  /// Final full-precision output (last layer).
+  FloatTensor output;
+  /// Post-layer activations, parallel to the model's layer list; binary
+  /// layers store ±1 floats.
+  std::vector<FloatTensor> activations;
+};
+
+/// Runs `model` in the binarized float domain on `image`.
+BnnReferenceResult bnn_reference_forward(const core::FloatModel& model,
+                                         const U8Tensor& image);
+
+}  // namespace phonebit::baselines

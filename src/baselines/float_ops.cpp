@@ -1,0 +1,153 @@
+#include "baselines/float_ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace phonebit::baselines {
+
+FloatTensor conv2d_ref(const FloatTensor& in, const FloatTensor& weights,
+                       const std::vector<float>& bias,
+                       const ConvGeometry& geom, float pad_value) {
+  const Shape& is = in.shape();
+  const Shape& ws = weights.shape();
+  PB_CHECK(ws.c == is.c, "conv2d_ref: channel mismatch " << ws.c << " vs "
+                                                         << is.c);
+  PB_CHECK(bias.empty() || static_cast<std::int64_t>(bias.size()) == ws.n,
+           "conv2d_ref: bias size mismatch");
+  const std::int64_t oh = geom.out_h(is.h);
+  const std::int64_t ow = geom.out_w(is.w);
+  FloatTensor out(Shape{is.n, oh, ow, ws.n}, in.layout());
+  for (std::int64_t n = 0; n < is.n; ++n)
+    for (std::int64_t oy = 0; oy < oh; ++oy)
+      for (std::int64_t ox = 0; ox < ow; ++ox)
+        for (std::int64_t co = 0; co < ws.n; ++co) {
+          float acc = bias.empty() ? 0.0f : bias[static_cast<std::size_t>(co)];
+          for (std::int64_t ky = 0; ky < geom.kernel_h; ++ky) {
+            const std::int64_t iy = oy * geom.stride_h - geom.pad_h + ky;
+            for (std::int64_t kx = 0; kx < geom.kernel_w; ++kx) {
+              const std::int64_t ix = ox * geom.stride_w - geom.pad_w + kx;
+              const bool inside =
+                  iy >= 0 && iy < is.h && ix >= 0 && ix < is.w;
+              for (std::int64_t c = 0; c < is.c; ++c) {
+                const float v = inside ? in(n, iy, ix, c) : pad_value;
+                acc += v * weights(co, ky, kx, c);
+              }
+            }
+          }
+          out(n, oy, ox, co) = acc;
+        }
+  return out;
+}
+
+FloatTensor maxpool_ref(const FloatTensor& in, const core::PoolGeometry& geom,
+                        float lowest) {
+  const Shape& is = in.shape();
+  const std::int64_t oh = geom.out_dim(is.h);
+  const std::int64_t ow = geom.out_dim(is.w);
+  FloatTensor out(Shape{is.n, oh, ow, is.c}, in.layout());
+  for (std::int64_t n = 0; n < is.n; ++n)
+    for (std::int64_t oy = 0; oy < oh; ++oy)
+      for (std::int64_t ox = 0; ox < ow; ++ox)
+        for (std::int64_t c = 0; c < is.c; ++c) {
+          float best = lowest;
+          for (std::int64_t ky = 0; ky < geom.size; ++ky) {
+            const std::int64_t iy = oy * geom.stride - geom.lead_pad() + ky;
+            if (iy < 0 || iy >= is.h) continue;
+            for (std::int64_t kx = 0; kx < geom.size; ++kx) {
+              const std::int64_t ix = ox * geom.stride - geom.lead_pad() + kx;
+              if (ix < 0 || ix >= is.w) continue;
+              best = std::max(best, in(n, iy, ix, c));
+            }
+          }
+          out(n, oy, ox, c) = best;
+        }
+  return out;
+}
+
+FloatTensor dense_ref(const FloatTensor& in, const FloatTensor& weights,
+                      const std::vector<float>& bias) {
+  const Shape& is = in.shape();
+  const Shape& ws = weights.shape();
+  const std::int64_t features = is.h * is.w * is.c;
+  PB_CHECK(ws.c == features, "dense_ref: feature mismatch " << ws.c << " vs "
+                                                            << features);
+  FloatTensor out(Shape{is.n, 1, 1, ws.n}, Layout::kNHWC);
+  for (std::int64_t n = 0; n < is.n; ++n)
+    for (std::int64_t u = 0; u < ws.n; ++u) {
+      float acc = bias.empty() ? 0.0f : bias[static_cast<std::size_t>(u)];
+      std::int64_t f = 0;
+      for (std::int64_t h = 0; h < is.h; ++h)
+        for (std::int64_t w = 0; w < is.w; ++w)
+          for (std::int64_t c = 0; c < is.c; ++c, ++f)
+            acc += in(n, h, w, c) * weights(u, 0, 0, f);
+      out(n, 0, 0, u) = acc;
+    }
+  return out;
+}
+
+FloatTensor batch_norm_ref(const FloatTensor& in,
+                           const std::vector<core::BatchNormParams>& bn) {
+  const Shape& is = in.shape();
+  PB_CHECK(static_cast<std::int64_t>(bn.size()) == is.c,
+           "batch_norm_ref: channel mismatch");
+  FloatTensor out(is, in.layout());
+  for (std::int64_t n = 0; n < is.n; ++n)
+    for (std::int64_t h = 0; h < is.h; ++h)
+      for (std::int64_t w = 0; w < is.w; ++w)
+        for (std::int64_t c = 0; c < is.c; ++c) {
+          const auto& p = bn[static_cast<std::size_t>(c)];
+          out(n, h, w, c) = p.gamma * (in(n, h, w, c) - p.mu) / p.sigma +
+                            p.beta;
+        }
+  return out;
+}
+
+FloatTensor activate_ref(const FloatTensor& in, core::Activation act) {
+  if (act == core::Activation::kNone) return in;
+  FloatTensor out(in.shape(), in.layout());
+  const float alpha = act == core::Activation::kLeakyRelu ? 0.1f : 0.0f;
+  const Shape& is = in.shape();
+  for (std::int64_t n = 0; n < is.n; ++n)
+    for (std::int64_t h = 0; h < is.h; ++h)
+      for (std::int64_t w = 0; w < is.w; ++w)
+        for (std::int64_t c = 0; c < is.c; ++c) {
+          const float v = in(n, h, w, c);
+          out(n, h, w, c) = v >= 0.0f ? v : alpha * v;
+        }
+  return out;
+}
+
+FloatTensor lrn_ref(const FloatTensor& in) {
+  constexpr std::int64_t kRadius = 2;  // n = 5
+  constexpr float kK = 2.0f, kAlpha = 1e-4f, kBeta = 0.75f;
+  const Shape& is = in.shape();
+  FloatTensor out(is, in.layout());
+  for (std::int64_t n = 0; n < is.n; ++n)
+    for (std::int64_t h = 0; h < is.h; ++h)
+      for (std::int64_t w = 0; w < is.w; ++w)
+        for (std::int64_t c = 0; c < is.c; ++c) {
+          float sq = 0.0f;
+          const std::int64_t lo = std::max<std::int64_t>(0, c - kRadius);
+          const std::int64_t hi = std::min<std::int64_t>(is.c - 1, c + kRadius);
+          for (std::int64_t j = lo; j <= hi; ++j) {
+            const float v = in(n, h, w, j);
+            sq += v * v;
+          }
+          out(n, h, w, c) =
+              in(n, h, w, c) / std::pow(kK + kAlpha / 5.0f * sq, kBeta);
+        }
+  return out;
+}
+
+FloatTensor u8_to_float(const U8Tensor& in) {
+  FloatTensor out(in.shape(), in.layout());
+  const Shape& is = in.shape();
+  for (std::int64_t n = 0; n < is.n; ++n)
+    for (std::int64_t h = 0; h < is.h; ++h)
+      for (std::int64_t w = 0; w < is.w; ++w)
+        for (std::int64_t c = 0; c < is.c; ++c)
+          out(n, h, w, c) = static_cast<float>(in(n, h, w, c));
+  return out;
+}
+
+}  // namespace phonebit::baselines

@@ -1,0 +1,49 @@
+// PhoneBit — reference full-precision operators.
+//
+// Plain, obviously-correct implementations of every layer the benchmark
+// networks use. They serve two roles: (1) the compute bodies of the
+// CNNdroid-like and TFLite-like baseline engines, and (2) the ground truth
+// the test suite checks the binary engine against.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/bn_fold.hpp"
+#include "core/float_model.hpp"
+#include "core/pooling.hpp"
+#include "tensor/tensor.hpp"
+
+namespace phonebit::baselines {
+
+/// Direct convolution with zero padding (pad_value overridable: the binary
+/// reference pads with -1, the ±1 domain's representation of "nothing").
+FloatTensor conv2d_ref(const FloatTensor& in, const FloatTensor& weights,
+                       const std::vector<float>& bias,
+                       const ConvGeometry& geom, float pad_value = 0.0f);
+
+/// Max pooling; `lowest` is the identity element used for padded taps.
+FloatTensor maxpool_ref(const FloatTensor& in, const core::PoolGeometry& geom,
+                        float lowest = -3.4e38f);
+
+/// Fully connected: weights (units,1,1,features); input flattened in
+/// canonical NHWC order regardless of the tensor's memory layout.
+FloatTensor dense_ref(const FloatTensor& in, const FloatTensor& weights,
+                      const std::vector<float>& bias);
+
+/// Per-channel batch normalization (Eqn 4; sigma = std).
+FloatTensor batch_norm_ref(const FloatTensor& in,
+                           const std::vector<core::BatchNormParams>& bn);
+
+/// ReLU / leaky-ReLU (alpha = 0.1, the darknet constant).
+FloatTensor activate_ref(const FloatTensor& in, core::Activation act);
+
+/// AlexNet cross-channel local response normalization
+/// (n=5, k=2, alpha=1e-4, beta=0.75).
+FloatTensor lrn_ref(const FloatTensor& in);
+
+/// uint8 image -> float tensor in the 0..255 pixel domain (matching the
+/// integer domain the bit-plane first layer computes in).
+FloatTensor u8_to_float(const U8Tensor& in);
+
+}  // namespace phonebit::baselines

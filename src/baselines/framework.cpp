@@ -1,0 +1,400 @@
+#include "baselines/framework.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "baselines/float_ops.hpp"
+#include "common/fixed_point.hpp"
+
+namespace phonebit::baselines {
+
+using core::Activation;
+using core::ConvLayerSpec;
+using core::DenseLayerSpec;
+using core::FloatModel;
+using core::PoolLayerSpec;
+using oclsim::ExecUnit;
+using oclsim::KernelCost;
+using oclsim::NDRange;
+using oclsim::WorkItem;
+
+namespace {
+
+double cpu_eff(const FrameworkTraits& t, const oclsim::DeviceProfile& p) {
+  if (!t.java_style) return t.cpu_alu_eff;
+  // Single-threaded scalar runtime: undo the cores * lanes in the peak.
+  return t.cpu_alu_eff /
+         (static_cast<double>(p.cpu_cores) * p.cpu_simd_fp32_lanes);
+}
+
+double unit_eff(const FrameworkTraits& t, const oclsim::DeviceProfile& p) {
+  return t.unit == ExecUnit::kGpu ? t.gpu_alu_eff : cpu_eff(t, p);
+}
+
+/// Bytes a tensor of `elems` elements moves under this framework's
+/// precision.
+double tensor_bytes(const FrameworkTraits& t, double elems) {
+  return elems * (t.quantized_int8 ? 1.0 : 4.0);
+}
+
+struct RunState {
+  oclsim::CommandQueue queue;
+  const FrameworkTraits& traits;
+  double eff;
+  RunState(oclsim::Device& dev, const FrameworkTraits& t)
+      : queue(dev, t.unit), traits(t),
+        eff(unit_eff(t, dev.profile())) {}
+};
+
+KernelCost base_cost(const RunState& st) {
+  KernelCost c;
+  c.coalescing = st.traits.coalescing;
+  c.alu_efficiency = st.eff;
+  c.overlap_mem = st.traits.overlap_mem;
+  c.int8_ops = st.traits.quantized_int8;
+  return c;
+}
+
+/// Parallel direct convolution (+ fused bias/activation when the framework
+/// fuses them). Weights stay float even on the int8 path — the quantization
+/// arithmetic is modeled in the cost and checked separately by the
+/// quantization tests, keeping this executor a single source of numerics.
+FloatTensor conv_forward(RunState& st, const FloatTensor& in,
+                         const ConvLayerSpec& spec,
+                         const core::ConvWeights& w) {
+  const Shape& is = in.shape();
+  const std::int64_t oh = spec.geom.out_h(is.h);
+  const std::int64_t ow = spec.geom.out_w(is.w);
+  FloatTensor out(Shape{is.n, oh, ow, spec.c_out}, in.layout());
+
+  const double outputs = static_cast<double>(is.n) * oh * ow * spec.c_out;
+  const double macs =
+      outputs * static_cast<double>(spec.geom.kernel_h * spec.geom.kernel_w *
+                                    is.c);
+  KernelCost cost = base_cost(st);
+  cost.scalar_ops = macs * (st.traits.quantized_int8 ? 0.25 : 1.0);
+  cost.bytes_read = tensor_bytes(st.traits, static_cast<double>(is.elems())) +
+                    tensor_bytes(st.traits,
+                                 static_cast<double>(w.w.shape().elems()));
+  cost.bytes_written = tensor_bytes(st.traits, outputs);
+  if (st.traits.fuse_bias_act) cost.scalar_ops += outputs * 2.0;
+
+  const bool fuse = st.traits.fuse_bias_act;
+  const Activation act = spec.act;
+  st.queue.enqueue(
+      spec.name + ".conv", NDRange{ow, oh, is.n * spec.c_out}, cost,
+      [&, oh, ow, fuse, act](const WorkItem& it) {
+        const std::int64_t n = it.z / spec.c_out;
+        const std::int64_t co = it.z % spec.c_out;
+        float acc = 0.0f;
+        for (std::int64_t ky = 0; ky < spec.geom.kernel_h; ++ky) {
+          const std::int64_t iy = it.y * spec.geom.stride_h - spec.geom.pad_h + ky;
+          if (iy < 0 || iy >= is.h) continue;
+          for (std::int64_t kx = 0; kx < spec.geom.kernel_w; ++kx) {
+            const std::int64_t ix =
+                it.x * spec.geom.stride_w - spec.geom.pad_w + kx;
+            if (ix < 0 || ix >= is.w) continue;
+            for (std::int64_t c = 0; c < is.c; ++c) {
+              acc += in(n, iy, ix, c) * w.w(co, ky, kx, c);
+            }
+          }
+        }
+        if (fuse) {
+          acc += w.bias.empty() ? 0.0f : w.bias[static_cast<std::size_t>(co)];
+        }
+        out(n, it.y, it.x, co) = acc;
+      });
+
+  if (!fuse && !w.bias.empty()) {
+    // CNNdroid-style separate bias kernel.
+    KernelCost bcost = base_cost(st);
+    bcost.scalar_ops = outputs;
+    bcost.bytes_read = tensor_bytes(st.traits, outputs);
+    bcost.bytes_written = tensor_bytes(st.traits, outputs);
+    st.queue.enqueue(spec.name + ".bias", NDRange{ow, oh, is.n * spec.c_out},
+                     bcost, [&](const WorkItem& it) {
+                       const std::int64_t n = it.z / spec.c_out;
+                       const std::int64_t co = it.z % spec.c_out;
+                       out(n, it.y, it.x, co) +=
+                           w.bias[static_cast<std::size_t>(co)];
+                     });
+  }
+  return out;
+}
+
+FloatTensor pointwise(RunState& st, const std::string& name,
+                      const FloatTensor& in, double ops_per_elem,
+                      const std::function<float(std::int64_t c, float)>& fn) {
+  const Shape& is = in.shape();
+  FloatTensor out(is, in.layout());
+  KernelCost cost = base_cost(st);
+  cost.scalar_ops = static_cast<double>(is.elems()) * ops_per_elem;
+  cost.bytes_read = tensor_bytes(st.traits, static_cast<double>(is.elems()));
+  cost.bytes_written = cost.bytes_read;
+  st.queue.enqueue(name, NDRange{is.w, is.h, is.n}, cost,
+                   [&](const WorkItem& it) {
+                     for (std::int64_t c = 0; c < is.c; ++c) {
+                       out(it.z, it.y, it.x, c) =
+                           fn(c, in(it.z, it.y, it.x, c));
+                     }
+                   });
+  return out;
+}
+
+}  // namespace
+
+FrameworkResult FloatFramework::run(oclsim::Device& device,
+                                    const FloatModel& model,
+                                    const U8Tensor& image) const {
+  const auto& spec = model.spec;
+  PB_CHECK(model.weights.size() == spec.layers.size(),
+           name_ << ": malformed model");
+
+  // --- gate 1: app memory budget (weights held `weight_copies` times) ---
+  if (traits_.app_budget_mb > 0) {
+    const double weight_bytes =
+        static_cast<double>(spec.float_param_bytes()) * traits_.weight_copies;
+    if (weight_bytes > static_cast<double>(traits_.app_budget_mb) * 1024 *
+                           1024) {
+      throw OutOfMemoryError(
+          name_ + ": model weights (x" + std::to_string(traits_.weight_copies) +
+          " resident copies) exceed the app memory budget");
+    }
+  }
+
+  // --- gates 2/3: GPU delegate op support and buffer limits ---
+  if (traits_.reject_lrn || traits_.max_buffer_bytes > 0) {
+    for (std::size_t i = 0; i < spec.layers.size(); ++i) {
+      if (const auto* c = std::get_if<ConvLayerSpec>(&spec.layers[i])) {
+        if (traits_.reject_lrn && c->lrn_after) {
+          throw UnsupportedOperationError(
+              name_ + ": graph contains LRN, unsupported by the GPU delegate");
+        }
+      }
+      if (traits_.max_buffer_bytes > 0) {
+        std::int64_t bytes = 0;
+        if (const auto* w = std::get_if<core::ConvWeights>(&model.weights[i])) {
+          bytes = w->w.bytes();
+        } else if (const auto* w =
+                       std::get_if<core::DenseWeights>(&model.weights[i])) {
+          bytes = w->w.bytes();
+        }
+        if (bytes > traits_.max_buffer_bytes) {
+          throw UnsupportedOperationError(
+              name_ + ": tensor buffer exceeds the delegate allocation limit");
+        }
+      }
+    }
+  }
+
+  RunState st(device, traits_);
+
+  // Input image -> float in the framework's layout, 0..255 pixel domain.
+  FloatTensor x = u8_to_float(image);
+  if (traits_.layout != Layout::kNHWC) x = x.to_layout(traits_.layout);
+
+  FrameworkResult result;
+  for (std::size_t i = 0; i < spec.layers.size(); ++i) {
+    const std::size_t events_before = st.queue.events().size();
+    const auto& layer = spec.layers[i];
+    std::string lname;
+
+    if (const auto* c = std::get_if<ConvLayerSpec>(&layer)) {
+      lname = c->name;
+      const auto* w = std::get_if<core::ConvWeights>(&model.weights[i]);
+      PB_CHECK(w != nullptr, c->name << ": missing weights");
+      x = conv_forward(st, x, *c, *w);
+      if (c->batch_norm && !w->bn.empty()) {
+        const auto& bn = w->bn;
+        x = pointwise(st, c->name + ".bn", x, 4.0,
+                      [&bn](std::int64_t ch, float v) {
+                        const auto& p = bn[static_cast<std::size_t>(ch)];
+                        return p.gamma * (v - p.mu) / p.sigma + p.beta;
+                      });
+      }
+      if (c->act != Activation::kNone) {
+        const float alpha = c->act == Activation::kLeakyRelu ? 0.1f : 0.0f;
+        x = pointwise(st, c->name + ".act", x, 1.0,
+                      [alpha](std::int64_t, float v) {
+                        return v >= 0.0f ? v : alpha * v;
+                      });
+      }
+      if (c->lrn_after) {
+        // LRN stays a reference kernel (AlexNet only, cheap).
+        KernelCost cost = base_cost(st);
+        cost.scalar_ops = static_cast<double>(x.elems()) * 12.0;
+        cost.bytes_read = tensor_bytes(traits_, static_cast<double>(x.elems()));
+        cost.bytes_written = cost.bytes_read;
+        FloatTensor y;
+        st.queue.enqueue_chunked(c->name + ".lrn", NDRange{1, 1, 1}, cost,
+                                 [&](std::int64_t, std::int64_t) {
+                                   y = lrn_ref(x);
+                                 });
+        x = std::move(y);
+      }
+    } else if (const auto* p = std::get_if<PoolLayerSpec>(&layer)) {
+      lname = p->name;
+      const Shape& is = x.shape();
+      const std::int64_t oh = p->geom.out_dim(is.h);
+      const std::int64_t ow = p->geom.out_dim(is.w);
+      FloatTensor out(Shape{is.n, oh, ow, is.c}, x.layout());
+      KernelCost cost = base_cost(st);
+      const double owc = static_cast<double>(is.n) * oh * ow * is.c;
+      cost.scalar_ops = owc * static_cast<double>(p->geom.size * p->geom.size);
+      cost.bytes_read = tensor_bytes(traits_, static_cast<double>(is.elems()));
+      cost.bytes_written = tensor_bytes(traits_, owc);
+      const core::PoolGeometry g = p->geom;
+      st.queue.enqueue(p->name + ".maxpool", NDRange{ow, oh, is.n}, cost,
+                       [&, g](const WorkItem& it) {
+                         for (std::int64_t c = 0; c < is.c; ++c) {
+                           float best = -3.4e38f;
+                           for (std::int64_t ky = 0; ky < g.size; ++ky) {
+                             const std::int64_t iy =
+                                 it.y * g.stride - g.lead_pad() + ky;
+                             if (iy < 0 || iy >= is.h) continue;
+                             for (std::int64_t kx = 0; kx < g.size; ++kx) {
+                               const std::int64_t ix =
+                                   it.x * g.stride - g.lead_pad() + kx;
+                               if (ix < 0 || ix >= is.w) continue;
+                               best = std::max(best, x(it.z, iy, ix, c));
+                             }
+                           }
+                           out(it.z, it.y, it.x, c) = best;
+                         }
+                       });
+      x = std::move(out);
+    } else if (const auto* d = std::get_if<DenseLayerSpec>(&layer)) {
+      lname = d->name;
+      const auto* w = std::get_if<core::DenseWeights>(&model.weights[i]);
+      PB_CHECK(w != nullptr, d->name << ": missing weights");
+      // Canonical NHWC flatten so all engines agree on feature order.
+      const FloatTensor flat_src = x.to_layout(Layout::kNHWC);
+      const Shape& is = flat_src.shape();
+      const std::int64_t features = is.h * is.w * is.c;
+      PB_CHECK(features == d->in_features, d->name << ": feature mismatch");
+      FloatTensor out(Shape{is.n, 1, 1, d->out_features}, Layout::kNHWC);
+      KernelCost cost = base_cost(st);
+      const double macs =
+          static_cast<double>(is.n) * d->out_features * features;
+      cost.scalar_ops = macs * (traits_.quantized_int8 ? 0.25 : 1.0);
+      cost.bytes_read =
+          tensor_bytes(traits_, static_cast<double>(is.elems())) +
+          tensor_bytes(traits_, static_cast<double>(w->w.shape().elems()));
+      cost.bytes_written =
+          tensor_bytes(traits_, static_cast<double>(is.n) * d->out_features);
+      st.queue.enqueue(
+          d->name + ".dense", NDRange{d->out_features, is.n, 1}, cost,
+          [&, features](const WorkItem& it) {
+            const float* px = &flat_src(it.y, 0, 0, 0);
+            const float* wt = &w->w(it.x, 0, 0, 0);
+            float acc =
+                w->bias.empty() ? 0.0f : w->bias[static_cast<std::size_t>(it.x)];
+            for (std::int64_t f = 0; f < features; ++f) acc += px[f] * wt[f];
+            out(it.y, 0, 0, it.x) = acc;
+          });
+      if (d->batch_norm && !w->bn.empty()) {
+        const auto& bn = w->bn;
+        x = std::move(out);
+        x = pointwise(st, d->name + ".bn", x, 4.0,
+                      [&bn](std::int64_t ch, float v) {
+                        const auto& p = bn[static_cast<std::size_t>(ch)];
+                        return p.gamma * (v - p.mu) / p.sigma + p.beta;
+                      });
+      } else {
+        x = std::move(out);
+      }
+      if (d->act != Activation::kNone) {
+        const float alpha = d->act == Activation::kLeakyRelu ? 0.1f : 0.0f;
+        x = pointwise(st, d->name + ".act", x, 1.0,
+                      [alpha](std::int64_t, float v) {
+                        return v >= 0.0f ? v : alpha * v;
+                      });
+      }
+    }
+
+    core::LayerReport r;
+    r.name = lname;
+    for (std::size_t e = events_before; e < st.queue.events().size(); ++e) {
+      const auto& ev = st.queue.events()[e];
+      r.modeled_ms += ev.modeled_ms;
+      r.host_ms += ev.host_ms;
+      r.launches += ev.cost.launches;
+      r.cost += ev.cost;
+    }
+    r.cost.launches = r.launches;
+    result.layers.push_back(std::move(r));
+  }
+
+  result.modeled_ms = st.queue.total_modeled_ms();
+  result.host_ms = st.queue.total_host_ms();
+  result.output = x.to_layout(Layout::kNHWC);
+  return result;
+}
+
+// --- framework roster (calibration notes in EXPERIMENTS.md) -----------------
+
+FloatFramework FloatFramework::cnndroid_cpu() {
+  FrameworkTraits t;
+  t.unit = ExecUnit::kCpu;
+  t.layout = Layout::kNCHW;
+  t.cpu_alu_eff = 0.07;   // Java loop, single thread, no SIMD
+  t.java_style = true;
+  t.fuse_bias_act = false;
+  t.overlap_mem = false;
+  t.coalescing = 0.35;
+  t.app_budget_mb = 1024;
+  t.weight_copies = 2.0;  // Java-heap copy + RenderScript allocation
+  return FloatFramework("CNNdroid-CPU", t);
+}
+
+FloatFramework FloatFramework::cnndroid_gpu() {
+  FrameworkTraits t;
+  t.unit = ExecUnit::kGpu;
+  t.layout = Layout::kNCHW;
+  t.gpu_alu_eff = 0.02;   // RenderScript occupancy on Adreno
+  t.fuse_bias_act = false;
+  t.overlap_mem = false;
+  t.coalescing = 0.25;
+  t.app_budget_mb = 1024;
+  t.weight_copies = 2.0;
+  return FloatFramework("CNNdroid-GPU", t);
+}
+
+FloatFramework FloatFramework::tflite_cpu() {
+  FrameworkTraits t;
+  t.unit = ExecUnit::kCpu;
+  t.layout = Layout::kNHWC;
+  t.cpu_alu_eff = 0.16;   // NEON float kernels (2019-era TFLite)
+  t.fuse_bias_act = true;
+  t.overlap_mem = true;
+  t.coalescing = 0.6;
+  return FloatFramework("TFLite-CPU", t);
+}
+
+FloatFramework FloatFramework::tflite_gpu() {
+  FrameworkTraits t;
+  t.unit = ExecUnit::kGpu;
+  t.layout = Layout::kNHWC;
+  t.gpu_alu_eff = 0.036;  // GL compute delegate
+  t.fuse_bias_act = true;
+  t.overlap_mem = true;
+  t.coalescing = 0.7;
+  t.reject_lrn = true;
+  t.max_buffer_bytes = 256ll * 1024 * 1024;
+  return FloatFramework("TFLite-GPU", t);
+}
+
+FloatFramework FloatFramework::tflite_quant() {
+  FrameworkTraits t;
+  t.unit = ExecUnit::kCpu;
+  t.layout = Layout::kNHWC;
+  t.cpu_alu_eff = 0.14;   // int8 NEON kernels
+  t.quantized_int8 = true;
+  t.fuse_bias_act = true;
+  t.overlap_mem = true;
+  t.coalescing = 0.6;
+  return FloatFramework("TFLite-Quant", t);
+}
+
+}  // namespace phonebit::baselines

@@ -1,0 +1,96 @@
+// PhoneBit — baseline mobile-framework engines (Table III comparators).
+//
+// One parameterized full-precision executor plays the role of CNNdroid and
+// TensorFlow Lite. Each framework is a FrameworkTraits bundle: where it
+// runs (CPU/GPU), its data layout, its measured efficiency envelope, and its
+// *mechanical* failure gates — an app memory budget (CNNdroid's duplicated
+// Java + RenderScript weight allocations) and the GPU delegate's
+// unsupported-op / max-buffer limits (TFLite). The paper's OOM and CRASH
+// rows fall out of the gates, not out of model-name special cases.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/float_model.hpp"
+#include "core/layer.hpp"
+#include "oclsim/runtime.hpp"
+#include "tensor/tensor.hpp"
+
+namespace phonebit::baselines {
+
+/// Behaviour envelope of one framework configuration.
+struct FrameworkTraits {
+  oclsim::ExecUnit unit = oclsim::ExecUnit::kCpu;
+  Layout layout = Layout::kNHWC;
+
+  /// GPU-path fraction of peak ALU throughput (measured envelope; see
+  /// EXPERIMENTS.md calibration notes).
+  double gpu_alu_eff = 0.3;
+  /// CPU-path fraction of peak (all cores, NEON). For single-threaded
+  /// scalar runtimes (CNNdroid's Java loops) set java_style = true and the
+  /// efficiency is divided by cores * SIMD lanes at run time.
+  double cpu_alu_eff = 0.3;
+  bool java_style = false;
+
+  /// int8 inference (TFLite quantized): MACs cost 0.25 fp32-equivalent ops
+  /// and tensors move as 1 byte/element.
+  bool quantized_int8 = false;
+
+  /// Bias/activation fused into the conv kernel (TFLite) or issued as
+  /// separate kernels (CNNdroid): extra launches + intermediate traffic.
+  bool fuse_bias_act = true;
+
+  /// Memory/compute overlap (latency hiding).
+  bool overlap_mem = true;
+
+  /// Effective-bandwidth fraction (layout + access pattern).
+  double coalescing = 0.6;
+
+  /// App memory budget in MB (0 = unlimited). Weights count
+  /// `weight_copies` times (Java heap + RenderScript allocation).
+  std::int64_t app_budget_mb = 0;
+  double weight_copies = 1.0;
+
+  /// GPU-delegate gates (TFLite): ops outside the supported set and
+  /// single buffers above the allocation limit abort graph preparation.
+  bool reject_lrn = false;
+  std::int64_t max_buffer_bytes = 0;  // 0 = unlimited
+};
+
+/// Outcome of one inference.
+struct FrameworkResult {
+  FloatTensor output;
+  double modeled_ms = 0.0;  ///< device-time model total
+  double host_ms = 0.0;     ///< wall time of the real host execution
+  std::vector<core::LayerReport> layers;
+};
+
+/// A baseline deep-learning framework (CNNdroid / TFLite flavor).
+class FloatFramework {
+ public:
+  FloatFramework(std::string name, FrameworkTraits traits)
+      : name_(std::move(name)), traits_(traits) {}
+
+  const std::string& name() const noexcept { return name_; }
+  const FrameworkTraits& traits() const noexcept { return traits_; }
+
+  /// Runs the full-precision model on the simulated device. Throws
+  /// OutOfMemoryError / UnsupportedOperationError per the traits' gates.
+  FrameworkResult run(oclsim::Device& device, const core::FloatModel& model,
+                      const U8Tensor& image) const;
+
+  // --- the Table III framework roster ---
+  static FloatFramework cnndroid_cpu();
+  static FloatFramework cnndroid_gpu();
+  static FloatFramework tflite_cpu();
+  static FloatFramework tflite_gpu();
+  static FloatFramework tflite_quant();
+
+ private:
+  std::string name_;
+  FrameworkTraits traits_;
+};
+
+}  // namespace phonebit::baselines

@@ -1,0 +1,42 @@
+// PhoneBit — real int8 quantized inference arithmetic.
+//
+// The TFLite-like executor models quantized cost analytically; this module
+// implements the actual affine-uint8 / symmetric-int8 arithmetic so the
+// test suite can verify the quantization-error claim behind the Table III
+// "Quant" column (close-to-float outputs at 4x the arithmetic density).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/fixed_point.hpp"
+#include "tensor/shape.hpp"
+#include "tensor/tensor.hpp"
+
+namespace phonebit::baselines {
+
+/// Per-tensor affine quantization of activations to uint8.
+struct QuantizedTensor {
+  U8Tensor values;
+  QuantParams params;
+
+  static QuantizedTensor from_float(const FloatTensor& t);
+  FloatTensor to_float() const;
+};
+
+/// Per-output-channel symmetric int8 weight quantization.
+struct QuantizedFilter {
+  Tensor<std::int8_t> values;          ///< (C_out, KH, KW, C_in)
+  std::vector<float> scales;           ///< per output channel
+
+  static QuantizedFilter from_float(const FloatTensor& w);
+};
+
+/// int8 convolution with int32 accumulation, dequantized float output
+/// (zero-point-corrected; bias added in float).
+FloatTensor quantized_conv2d(const QuantizedTensor& in,
+                             const QuantizedFilter& w,
+                             const std::vector<float>& bias,
+                             const ConvGeometry& geom);
+
+}  // namespace phonebit::baselines

@@ -1,0 +1,147 @@
+#include "bitpack/binary_ops.hpp"
+
+#include <cstring>
+
+#include "common/error.hpp"
+#include "simd/vec.hpp"
+
+namespace phonebit::bitpack {
+namespace {
+
+// Narrow-granularity kernels view the 64-bit words as byte/short/int lanes;
+// wide-granularity kernels process ulongN vectors with a scalar tail.
+
+template <typename Lane>
+std::int64_t xor_popcount_narrow(const std::uint64_t* a,
+                                 const std::uint64_t* b,
+                                 std::int64_t nwords) {
+  const auto* pa = reinterpret_cast<const Lane*>(a);
+  const auto* pb = reinterpret_cast<const Lane*>(b);
+  const std::int64_t n = nwords * static_cast<std::int64_t>(8 / sizeof(Lane));
+  std::int64_t total = 0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    total += popcount(static_cast<Lane>(pa[i] ^ pb[i]));
+  }
+  return total;
+}
+
+template <typename Lane>
+std::int64_t and_popcount_narrow(const std::uint64_t* a,
+                                 const std::uint64_t* b,
+                                 std::int64_t nwords) {
+  const auto* pa = reinterpret_cast<const Lane*>(a);
+  const auto* pb = reinterpret_cast<const Lane*>(b);
+  const std::int64_t n = nwords * static_cast<std::int64_t>(8 / sizeof(Lane));
+  std::int64_t total = 0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    total += popcount(static_cast<Lane>(pa[i] & pb[i]));
+  }
+  return total;
+}
+
+template <int Lanes>
+std::int64_t xor_popcount_wide(const std::uint64_t* a, const std::uint64_t* b,
+                               std::int64_t nwords) {
+  using V = simd::vec<std::uint64_t, Lanes>;
+  std::int64_t total = 0;
+  std::int64_t i = 0;
+  for (; i + Lanes <= nwords; i += Lanes) {
+    const V va = simd::vload<std::uint64_t, Lanes>(0, a + i);
+    const V vb = simd::vload<std::uint64_t, Lanes>(0, b + i);
+    total += simd::popcount_total(va ^ vb);
+  }
+  for (; i < nwords; ++i) total += popcount(a[i] ^ b[i]);
+  return total;
+}
+
+template <int Lanes>
+std::int64_t and_popcount_wide(const std::uint64_t* a, const std::uint64_t* b,
+                               std::int64_t nwords) {
+  using V = simd::vec<std::uint64_t, Lanes>;
+  std::int64_t total = 0;
+  std::int64_t i = 0;
+  for (; i + Lanes <= nwords; i += Lanes) {
+    const V va = simd::vload<std::uint64_t, Lanes>(0, a + i);
+    const V vb = simd::vload<std::uint64_t, Lanes>(0, b + i);
+    total += simd::popcount_total(va & vb);
+  }
+  for (; i < nwords; ++i) total += popcount(a[i] & b[i]);
+  return total;
+}
+
+}  // namespace
+
+PackWidth select_pack_width(std::int64_t channels) noexcept {
+  // Widest granularity whose span still fits the packed channel run of one
+  // pixel; below 64 channels narrow kernels avoid wasted lanes.
+  if (channels >= 1024) return PackWidth::k1024;
+  if (channels >= 512) return PackWidth::k512;
+  if (channels >= 256) return PackWidth::k256;
+  if (channels >= 128) return PackWidth::k128;
+  if (channels >= 64) return PackWidth::k64;
+  if (channels >= 32) return PackWidth::k32;
+  if (channels >= 16) return PackWidth::k16;
+  return PackWidth::k8;
+}
+
+std::int64_t xor_popcount(const std::uint64_t* a, const std::uint64_t* b,
+                          std::int64_t nwords, PackWidth w) {
+  PB_CHECK(nwords >= 0, "negative word count");
+  switch (w) {
+    case PackWidth::k8:
+      return xor_popcount_narrow<std::uint8_t>(a, b, nwords);
+    case PackWidth::k16:
+      return xor_popcount_narrow<std::uint16_t>(a, b, nwords);
+    case PackWidth::k32:
+      return xor_popcount_narrow<std::uint32_t>(a, b, nwords);
+    case PackWidth::k64: {
+      std::int64_t total = 0;
+      for (std::int64_t i = 0; i < nwords; ++i) total += popcount(a[i] ^ b[i]);
+      return total;
+    }
+    case PackWidth::k128:
+      return xor_popcount_wide<2>(a, b, nwords);
+    case PackWidth::k256:
+      return xor_popcount_wide<4>(a, b, nwords);
+    case PackWidth::k512:
+      return xor_popcount_wide<8>(a, b, nwords);
+    case PackWidth::k1024:
+      return xor_popcount_wide<16>(a, b, nwords);
+  }
+  throw InvalidArgument("unknown pack width");
+}
+
+std::int64_t and_popcount(const std::uint64_t* a, const std::uint64_t* b,
+                          std::int64_t nwords, PackWidth w) {
+  PB_CHECK(nwords >= 0, "negative word count");
+  switch (w) {
+    case PackWidth::k8:
+      return and_popcount_narrow<std::uint8_t>(a, b, nwords);
+    case PackWidth::k16:
+      return and_popcount_narrow<std::uint16_t>(a, b, nwords);
+    case PackWidth::k32:
+      return and_popcount_narrow<std::uint32_t>(a, b, nwords);
+    case PackWidth::k64: {
+      std::int64_t total = 0;
+      for (std::int64_t i = 0; i < nwords; ++i) total += popcount(a[i] & b[i]);
+      return total;
+    }
+    case PackWidth::k128:
+      return and_popcount_wide<2>(a, b, nwords);
+    case PackWidth::k256:
+      return and_popcount_wide<4>(a, b, nwords);
+    case PackWidth::k512:
+      return and_popcount_wide<8>(a, b, nwords);
+    case PackWidth::k1024:
+      return and_popcount_wide<16>(a, b, nwords);
+  }
+  throw InvalidArgument("unknown pack width");
+}
+
+std::int64_t popcount_words(const std::uint64_t* a, std::int64_t nwords) {
+  std::int64_t total = 0;
+  for (std::int64_t i = 0; i < nwords; ++i) total += popcount(a[i]);
+  return total;
+}
+
+}  // namespace phonebit::bitpack

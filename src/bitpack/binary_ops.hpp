@@ -1,0 +1,67 @@
+// PhoneBit — binary dot-product primitives (Eqn 1 of the paper).
+//
+// The inner loops of every binary convolution/dense kernel reduce to
+// "xor two packed spans and popcount", executed at a chosen vectorization
+// granularity: the paper packs with OpenCL vector types from uchar (8-bit)
+// up to ulong16 (1024-bit) and selects the kernel by channel count (§V-A.2).
+// The memory format is always 64-bit words; PackWidth selects how wide the
+// *processing* vectors are, which is what the granularity ablation measures.
+#pragma once
+
+#include <cstdint>
+
+#include "bitpack/packed_tensor.hpp"
+
+namespace phonebit::bitpack {
+
+/// Vectorization granularity for bit-wise kernels, in bits.
+enum class PackWidth : int {
+  k8 = 8,      ///< uchar
+  k16 = 16,    ///< ushort
+  k32 = 32,    ///< uint
+  k64 = 64,    ///< ulong
+  k128 = 128,  ///< ulong2
+  k256 = 256,  ///< ulong4
+  k512 = 512,  ///< ulong8
+  k1024 = 1024 ///< ulong16 — the paper's widest granularity
+};
+
+/// Width in bits as an int.
+constexpr int bits(PackWidth w) noexcept { return static_cast<int>(w); }
+
+/// The paper selects "the optimal bit packing strategy and computing kernel
+/// according to channel dimensions": the widest vector that does not
+/// overshoot one pixel's packed channel span.
+PackWidth select_pack_width(std::int64_t channels) noexcept;
+
+/// popcount(xor(a, b)) over `nwords` 64-bit words, processed at granularity
+/// `w`. With the ±1 encoding this counts sign mismatches, so the Eqn-1 dot
+/// is `len - 2 * xor_popcount(...)`.
+std::int64_t xor_popcount(const std::uint64_t* a, const std::uint64_t* b,
+                          std::int64_t nwords, PackWidth w);
+
+/// popcount(and(a, b)) over `nwords` words at granularity `w`; used by the
+/// 0/1 bit-plane first layer (Eqn 2).
+std::int64_t and_popcount(const std::uint64_t* a, const std::uint64_t* b,
+                          std::int64_t nwords, PackWidth w);
+
+/// popcount(a) over `nwords` words.
+std::int64_t popcount_words(const std::uint64_t* a, std::int64_t nwords);
+
+/// Eqn 1: dot of two ±1 vectors of true length `len` stored in packed spans
+/// (padding bits zero in both operands).
+inline std::int64_t binary_dot(const std::uint64_t* a, const std::uint64_t* b,
+                               std::int64_t nwords, std::int64_t len,
+                               PackWidth w = PackWidth::k64) {
+  return len - 2 * xor_popcount(a, b, nwords, w);
+}
+
+/// Dot of a 0/1 bit-plane `p` against ±1 weights `wbits`:
+/// sum_i p_i * w_i = 2*popcount(p & w) - popcount(p).
+inline std::int64_t plane_dot(const std::uint64_t* p,
+                              const std::uint64_t* wbits, std::int64_t nwords,
+                              PackWidth w = PackWidth::k64) {
+  return 2 * and_popcount(p, wbits, nwords, w) - popcount_words(p, nwords);
+}
+
+}  // namespace phonebit::bitpack

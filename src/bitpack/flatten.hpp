@@ -1,0 +1,29 @@
+// PhoneBit — flattening packed feature maps for dense layers.
+#pragma once
+
+#include "bitpack/packed_tensor.hpp"
+
+namespace phonebit::bitpack {
+
+/// Flattens (N,H,W,C) packed bits into (N,1,1,H*W*C). When C is a multiple
+/// of 64 the packed words are already the flattened bit vector (NHWC with
+/// channels innermost), so this is a straight copy; otherwise bits are
+/// re-packed to close the per-pixel padding gaps.
+inline PackedTensor flatten_packed(const PackedTensor& in) {
+  const Shape& s = in.shape();
+  PackedTensor out(Shape{s.n, 1, 1, s.h * s.w * s.c});
+  if (s.c % kWordBits == 0) {
+    std::copy(in.data(), in.data() + in.total_words(), out.data());
+    return out;
+  }
+  for (std::int64_t n = 0; n < s.n; ++n) {
+    std::int64_t bit = 0;
+    for (std::int64_t h = 0; h < s.h; ++h)
+      for (std::int64_t w = 0; w < s.w; ++w)
+        for (std::int64_t c = 0; c < s.c; ++c, ++bit)
+          if (in.get(n, h, w, c)) out.set(n, 0, 0, bit, true);
+  }
+  return out;
+}
+
+}  // namespace phonebit::bitpack

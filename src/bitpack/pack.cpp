@@ -1,0 +1,63 @@
+#include "bitpack/pack.hpp"
+
+#include "common/error.hpp"
+
+namespace phonebit::bitpack {
+
+PackedTensor pack_signs(const FloatTensor& t) {
+  PB_CHECK(t.layout() == Layout::kNHWC,
+           "pack_signs requires NHWC input (got " << to_string(t.layout())
+                                                  << "); convert first");
+  const Shape& s = t.shape();
+  PackedTensor out(s);
+  for (std::int64_t n = 0; n < s.n; ++n)
+    for (std::int64_t h = 0; h < s.h; ++h)
+      for (std::int64_t w = 0; w < s.w; ++w) {
+        std::uint64_t* words = out.pixel(n, h, w);
+        for (std::int64_t c = 0; c < s.c; ++c) {
+          if (t(n, h, w, c) >= 0.0f) {
+            words[c / kWordBits] |= (std::uint64_t{1} << (c % kWordBits));
+          }
+        }
+      }
+  return out;
+}
+
+FloatTensor unpack_signs(const PackedTensor& p) {
+  const Shape& s = p.shape();
+  FloatTensor out(s, Layout::kNHWC);
+  for (std::int64_t n = 0; n < s.n; ++n)
+    for (std::int64_t h = 0; h < s.h; ++h)
+      for (std::int64_t w = 0; w < s.w; ++w)
+        for (std::int64_t c = 0; c < s.c; ++c)
+          out(n, h, w, c) = p.get(n, h, w, c) ? 1.0f : -1.0f;
+  return out;
+}
+
+std::array<PackedTensor, 8> split_bit_planes(const U8Tensor& image) {
+  PB_CHECK(image.layout() == Layout::kNHWC,
+           "split_bit_planes requires NHWC input");
+  const Shape& s = image.shape();
+  std::array<PackedTensor, 8> planes{
+      PackedTensor(s), PackedTensor(s), PackedTensor(s), PackedTensor(s),
+      PackedTensor(s), PackedTensor(s), PackedTensor(s), PackedTensor(s)};
+  for (std::int64_t n = 0; n < s.n; ++n)
+    for (std::int64_t h = 0; h < s.h; ++h)
+      for (std::int64_t w = 0; w < s.w; ++w) {
+        for (std::int64_t c = 0; c < s.c; ++c) {
+          const std::uint8_t px = image(n, h, w, c);
+          for (int k = 0; k < 8; ++k) {
+            if ((px >> k) & 1) {
+              planes[static_cast<std::size_t>(k)].set(n, h, w, c, true);
+            }
+          }
+        }
+      }
+  return planes;
+}
+
+PackedTensor pack_filter_signs(const FloatTensor& filters) {
+  return pack_signs(filters);
+}
+
+}  // namespace phonebit::bitpack

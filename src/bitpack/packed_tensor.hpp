@@ -1,0 +1,113 @@
+// PhoneBit — channel-packed binary tensors.
+//
+// The paper's core data structure (§V-A): an NHWC tensor whose channel
+// dimension is packed 1 bit per channel into 64-bit words. Because channels
+// are innermost (minor-to-major NHWC order), the packed words of one pixel
+// are contiguous and the packed words of adjacent pixels follow each other —
+// the layout that makes the binary-conv inner loop unit-stride and
+// memory-coalescible on the GPU.
+//
+// Bit convention: bit = 1 encodes +1, bit = 0 encodes -1 (sign binarization).
+// Padding bits beyond the true channel count are always 0 in both
+// activations and weights, so xor over the padded tail contributes no
+// mismatches and the Eqn-1 dot can use the true channel length.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitops.hpp"
+#include "common/error.hpp"
+#include "tensor/shape.hpp"
+
+namespace phonebit::bitpack {
+
+/// Number of channel bits stored per word.
+inline constexpr std::int64_t kWordBits = 64;
+
+/// Rank-4 binary tensor, channel dimension packed into uint64 words.
+/// Also used for weight banks with the interpretation (n=C_out, h=KH, w=KW,
+/// c=C_in) so conv kernels can reuse the same unit-stride span math.
+class PackedTensor {
+ public:
+  PackedTensor() = default;
+
+  /// Allocates a zeroed packed tensor for logical shape `shape` (the channel
+  /// count is the *unpacked* bit count).
+  explicit PackedTensor(Shape shape)
+      : shape_(checked_shape(shape)),
+        words_per_pixel_(ceil_div(shape.c, kWordBits)),
+        data_(static_cast<std::size_t>(shape.n * shape.h * shape.w *
+                                       words_per_pixel_),
+              0) {}
+
+  const Shape& shape() const noexcept { return shape_; }
+  std::int64_t channels() const noexcept { return shape_.c; }
+  std::int64_t words_per_pixel() const noexcept { return words_per_pixel_; }
+  std::int64_t total_words() const noexcept {
+    return static_cast<std::int64_t>(data_.size());
+  }
+  /// Packed storage footprint in bytes (the model-size accounting uses this).
+  std::int64_t bytes() const noexcept { return total_words() * 8; }
+
+  std::uint64_t* data() noexcept { return data_.data(); }
+  const std::uint64_t* data() const noexcept { return data_.data(); }
+
+  /// Linear word offset of pixel (n,h,w), word j in [0, words_per_pixel).
+  std::int64_t word_offset(std::int64_t n, std::int64_t h, std::int64_t w,
+                           std::int64_t j = 0) const noexcept {
+    return ((n * shape_.h + h) * shape_.w + w) * words_per_pixel_ + j;
+  }
+
+  /// Pointer to the packed channel span of pixel (n,h,w).
+  std::uint64_t* pixel(std::int64_t n, std::int64_t h, std::int64_t w) noexcept {
+    return data_.data() + word_offset(n, h, w);
+  }
+  const std::uint64_t* pixel(std::int64_t n, std::int64_t h,
+                             std::int64_t w) const noexcept {
+    return data_.data() + word_offset(n, h, w);
+  }
+
+  /// Reads channel bit c of pixel (n,h,w).
+  bool get(std::int64_t n, std::int64_t h, std::int64_t w,
+           std::int64_t c) const {
+    check_index(n, h, w, c);
+    const std::uint64_t word =
+        data_[static_cast<std::size_t>(word_offset(n, h, w, c / kWordBits))];
+    return get_bit(word, static_cast<int>(c % kWordBits));
+  }
+
+  /// Writes channel bit c of pixel (n,h,w).
+  void set(std::int64_t n, std::int64_t h, std::int64_t w, std::int64_t c,
+           bool bit) {
+    check_index(n, h, w, c);
+    auto& word =
+        data_[static_cast<std::size_t>(word_offset(n, h, w, c / kWordBits))];
+    word = set_bit(word, static_cast<int>(c % kWordBits), bit);
+  }
+
+  friend bool operator==(const PackedTensor& a, const PackedTensor& b) {
+    return a.shape_ == b.shape_ && a.data_ == b.data_;
+  }
+
+ private:
+  static Shape checked_shape(const Shape& shape) {
+    PB_CHECK(shape.n > 0 && shape.h > 0 && shape.w > 0 && shape.c > 0,
+             "packed tensor dims must be positive: " << shape.str());
+    return shape;
+  }
+
+  void check_index(std::int64_t n, std::int64_t h, std::int64_t w,
+                   std::int64_t c) const {
+    PB_CHECK(n >= 0 && n < shape_.n && h >= 0 && h < shape_.h && w >= 0 &&
+                 w < shape_.w && c >= 0 && c < shape_.c,
+             "packed index (" << n << "," << h << "," << w << "," << c
+                              << ") out of range for " << shape_.str());
+  }
+
+  Shape shape_{};
+  std::int64_t words_per_pixel_ = 0;
+  std::vector<std::uint64_t> data_;
+};
+
+}  // namespace phonebit::bitpack

@@ -1,0 +1,54 @@
+// PhoneBit — scalar bit-manipulation helpers used by the packing kernels.
+//
+// These mirror the OpenCL built-ins the paper's kernels rely on (popcount on
+// integer scalars/vectors); the vector forms live in src/simd.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <type_traits>
+
+namespace phonebit {
+
+/// Number of set bits in an unsigned integer (OpenCL `popcount`).
+template <typename T>
+  requires std::is_unsigned_v<T>
+constexpr int popcount(T v) noexcept {
+  return std::popcount(v);
+}
+
+/// Rounds `n` up to the next multiple of `m` (m > 0).
+constexpr std::int64_t round_up(std::int64_t n, std::int64_t m) noexcept {
+  return ((n + m - 1) / m) * m;
+}
+
+/// Ceiling division for non-negative integers.
+constexpr std::int64_t ceil_div(std::int64_t n, std::int64_t m) noexcept {
+  return (n + m - 1) / m;
+}
+
+/// Sets bit `i` (0 = LSB) of `word` to `bit`.
+template <typename T>
+  requires std::is_unsigned_v<T>
+constexpr T set_bit(T word, int i, bool bit) noexcept {
+  const T mask = static_cast<T>(T{1} << i);
+  return bit ? static_cast<T>(word | mask) : static_cast<T>(word & ~mask);
+}
+
+/// Reads bit `i` (0 = LSB) of `word`.
+template <typename T>
+  requires std::is_unsigned_v<T>
+constexpr bool get_bit(T word, int i) noexcept {
+  return ((word >> i) & T{1}) != 0;
+}
+
+/// Mask with the low `n` bits set (n in [0, bits-of-T]).
+template <typename T>
+  requires std::is_unsigned_v<T>
+constexpr T low_mask(int n) noexcept {
+  if (n <= 0) return T{0};
+  if (n >= static_cast<int>(sizeof(T) * 8)) return static_cast<T>(~T{0});
+  return static_cast<T>((T{1} << n) - T{1});
+}
+
+}  // namespace phonebit

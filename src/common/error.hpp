@@ -1,0 +1,79 @@
+// PhoneBit — error handling primitives.
+//
+// The public API reports contract violations and environmental failures with
+// exceptions (C++ Core Guidelines E.2). Internal invariants use PB_ASSERT,
+// which is compiled out in release builds.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace phonebit {
+
+/// Root of the PhoneBit exception hierarchy. Everything the library throws
+/// derives from this, so callers can catch one type.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A caller violated a documented precondition (bad shape, bad argument).
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// A simulated device ran out of its modeled memory budget. Used by the
+/// baseline engines to reproduce the paper's OOM rows (Table III).
+class OutOfMemoryError : public Error {
+ public:
+  explicit OutOfMemoryError(const std::string& what) : Error(what) {}
+};
+
+/// A simulated framework hit an operation outside its supported set. Used to
+/// reproduce the paper's CRASH rows for the TFLite GPU delegate (Table III).
+class UnsupportedOperationError : public Error {
+ public:
+  explicit UnsupportedOperationError(const std::string& what) : Error(what) {}
+};
+
+/// Model file parsing / serialization failure.
+class FormatError : public Error {
+ public:
+  explicit FormatError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_check_failure(const char* expr, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "PB_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw InvalidArgument(os.str());
+}
+
+}  // namespace detail
+}  // namespace phonebit
+
+/// Precondition check that always runs; throws InvalidArgument on failure.
+/// Usage: PB_CHECK(n > 0, "n must be positive, got " << n);
+#define PB_CHECK(cond, msg)                                                  \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::ostringstream pb_check_os_;                                       \
+      pb_check_os_ << msg;                                                   \
+      ::phonebit::detail::throw_check_failure(#cond, __FILE__, __LINE__,     \
+                                              pb_check_os_.str());           \
+    }                                                                        \
+  } while (0)
+
+/// Internal invariant; active only in debug builds.
+#ifndef NDEBUG
+#define PB_ASSERT(cond, msg) PB_CHECK(cond, msg)
+#else
+#define PB_ASSERT(cond, msg) \
+  do {                       \
+  } while (0)
+#endif

@@ -1,0 +1,52 @@
+// PhoneBit — 8-bit fixed-point helpers.
+//
+// The paper's first convolution layer consumes 8-bit integer images
+// (Section III-B / Eqn 2) and the TFLite-like baseline uses affine int8
+// quantization; both share these conversions.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+namespace phonebit {
+
+/// Affine quantization parameters mapping float x to uint8 q:
+///   q = clamp(round(x / scale) + zero_point, 0, 255).
+struct QuantParams {
+  float scale = 1.0f / 255.0f;
+  int zero_point = 0;
+
+  /// Chooses scale/zero-point covering [lo, hi] (lo <= 0 <= hi enforced by
+  /// widening the range, as TFLite does so that zero is exactly encodable).
+  static QuantParams for_range(float lo, float hi) {
+    lo = std::min(lo, 0.0f);
+    hi = std::max(hi, 0.0f);
+    if (hi - lo < 1e-12f) hi = lo + 1.0f;
+    QuantParams p;
+    p.scale = (hi - lo) / 255.0f;
+    p.zero_point = static_cast<int>(std::lround(-lo / p.scale));
+    p.zero_point = std::clamp(p.zero_point, 0, 255);
+    return p;
+  }
+
+  /// Float -> uint8.
+  std::uint8_t quantize(float x) const {
+    const long q = std::lround(x / scale) + zero_point;
+    return static_cast<std::uint8_t>(std::clamp<long>(q, 0, 255));
+  }
+
+  /// uint8 -> float.
+  float dequantize(std::uint8_t q) const {
+    return (static_cast<int>(q) - zero_point) * scale;
+  }
+};
+
+/// Converts a float in [0,1] to the 8-bit integer pixel domain used by the
+/// bit-plane first layer (Eqn 2).
+inline std::uint8_t to_u8_pixel(float x) {
+  const long q = std::lround(x * 255.0f);
+  return static_cast<std::uint8_t>(std::clamp<long>(q, 0, 255));
+}
+
+}  // namespace phonebit

@@ -1,0 +1,56 @@
+#include "common/logging.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace phonebit {
+namespace {
+
+LogLevel initial_level() {
+  const char* env = std::getenv("PHONEBIT_LOG");
+  if (env == nullptr) return LogLevel::kWarn;
+  if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
+  if (std::strcmp(env, "info") == 0) return LogLevel::kInfo;
+  if (std::strcmp(env, "warn") == 0) return LogLevel::kWarn;
+  if (std::strcmp(env, "error") == 0) return LogLevel::kError;
+  return LogLevel::kWarn;
+}
+
+std::atomic<int>& level_storage() {
+  static std::atomic<int> level{static_cast<int>(initial_level())};
+  return level;
+}
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel log_level() { return static_cast<LogLevel>(level_storage().load()); }
+
+void set_log_level(LogLevel level) {
+  level_storage().store(static_cast<int>(level));
+}
+
+namespace detail {
+
+void log_line(LogLevel level, const std::string& msg) {
+  static std::mutex mu;
+  std::lock_guard<std::mutex> lock(mu);
+  std::cerr << "[phonebit:" << level_name(level) << "] " << msg << "\n";
+}
+
+}  // namespace detail
+}  // namespace phonebit

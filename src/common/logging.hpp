@@ -1,0 +1,57 @@
+// PhoneBit — minimal leveled logging to stderr.
+//
+// Logging is intentionally tiny: benchmarks and tests must be quiet by
+// default, so the default level is kWarn. Set PHONEBIT_LOG=info|debug in the
+// environment or call set_log_level() to see engine traces.
+#pragma once
+
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace phonebit {
+
+/// Severity levels, ordered.
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Returns the process-wide log level (reads PHONEBIT_LOG once).
+LogLevel log_level();
+
+/// Overrides the process-wide log level.
+void set_log_level(LogLevel level);
+
+namespace detail {
+
+void log_line(LogLevel level, const std::string& msg);
+
+/// Stream-style log statement collector; emits on destruction.
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { log_line(level_, os_.str()); }
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+}  // namespace detail
+}  // namespace phonebit
+
+#define PB_LOG(level)                                        \
+  if (::phonebit::log_level() <= ::phonebit::LogLevel::level) \
+  ::phonebit::detail::LogMessage(::phonebit::LogLevel::level)
+
+#define PB_LOG_DEBUG PB_LOG(kDebug)
+#define PB_LOG_INFO PB_LOG(kInfo)
+#define PB_LOG_WARN PB_LOG(kWarn)
+#define PB_LOG_ERROR PB_LOG(kError)

@@ -1,0 +1,79 @@
+// PhoneBit — deterministic random number generation.
+//
+// All synthetic weights, images and datasets in the reproduction are seeded,
+// so every test, example and benchmark is bit-reproducible run to run.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace phonebit {
+
+/// xoshiro256** — fast, high-quality, deterministic PRNG.
+/// Satisfies UniformRandomBitGenerator so it plugs into <random> if needed.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds via splitmix64 so nearby seeds give unrelated streams.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) noexcept {
+    std::uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  /// Next 64 random bits.
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform float in [0, 1).
+  float uniform() noexcept {
+    return static_cast<float>((*this)() >> 40) * (1.0f / 16777216.0f);
+  }
+
+  /// Uniform float in [lo, hi).
+  float uniform(float lo, float hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Approximately standard normal float (sum of uniforms, CLT; adequate for
+  /// synthetic weight initialization and fully deterministic).
+  float normal() noexcept {
+    float s = 0.0f;
+    for (int i = 0; i < 12; ++i) s += uniform();
+    return s - 6.0f;
+  }
+
+  /// Uniform integer in [0, n) for n > 0.
+  std::uint64_t below(std::uint64_t n) noexcept { return (*this)() % n; }
+
+  /// Random sign: +1 or -1.
+  float sign() noexcept { return ((*this)() & 1) != 0 ? 1.0f : -1.0f; }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace phonebit

@@ -1,0 +1,76 @@
+#include "common/threadpool.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace phonebit {
+
+ThreadPool::ThreadPool(int num_threads) {
+  PB_CHECK(num_threads >= 1, "thread pool needs >= 1 thread, got " << num_threads);
+  workers_.reserve(static_cast<std::size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_task_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push(std::move(task));
+    ++in_flight_;
+  }
+  cv_task_.notify_one();
+}
+
+void ThreadPool::wait_all() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::parallel_for(
+    std::int64_t n, const std::function<void(std::int64_t, std::int64_t)>& fn) {
+  if (n <= 0) return;
+  const std::int64_t workers = size();
+  // Small ranges are not worth the dispatch overhead.
+  if (n < 2 * workers || workers == 1) {
+    fn(0, n);
+    return;
+  }
+  const std::int64_t chunk = (n + workers - 1) / workers;
+  for (std::int64_t begin = 0; begin < n; begin += chunk) {
+    const std::int64_t end = std::min(begin + chunk, n);
+    submit([&fn, begin, end] { fn(begin, end); });
+  }
+  wait_all();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_task_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --in_flight_;
+      if (in_flight_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+}  // namespace phonebit

@@ -1,0 +1,53 @@
+// PhoneBit — fixed-size thread pool used by the oclsim device to execute
+// NDRange kernel dispatches across simulated compute units.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace phonebit {
+
+/// A simple work-stealing-free thread pool: tasks are pushed to a shared
+/// queue and joined with wait_all(). Sized once at construction (the oclsim
+/// device sizes it to its compute-unit count).
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers (>= 1).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for asynchronous execution.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void wait_all();
+
+  /// Number of worker threads.
+  int size() const noexcept { return static_cast<int>(workers_.size()); }
+
+  /// Splits [0, n) into roughly equal chunks, runs `fn(begin, end)` on the
+  /// pool, and waits for completion. Runs inline when n is small.
+  void parallel_for(std::int64_t n,
+                    const std::function<void(std::int64_t, std::int64_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_done_;
+  std::int64_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace phonebit

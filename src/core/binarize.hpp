@@ -1,0 +1,35 @@
+// PhoneBit — binarization decision (Eqns 7–9).
+//
+// After folding, the sign of x3 = (gamma/sigma)(x1 - xi) depends only on
+// x1 vs xi and the sign of gamma (Eqn 8). GPUs pay for divergent branches,
+// so §VI-C rewrites the four-way check as the Karnaugh-reduced boolean
+// function x4 = (A xor B) or C with A = (x1 < xi), B = (gamma > 0),
+// C = (x1 == xi), evaluated with OpenCL's isless/isgreater/isequal.
+#pragma once
+
+#include "simd/vec.hpp"
+
+namespace phonebit::core {
+
+/// Eqn 8: the divergent reference implementation (four-way branch).
+inline bool binarize_eqn8(float x1, float xi, bool gamma_pos) {
+  if (gamma_pos) {
+    if (x1 >= xi) return true;   // x1 >= xi, gamma > 0 -> 1
+    return false;                // x1 <  xi, gamma > 0 -> 0
+  }
+  if (x1 <= xi) return true;     // x1 <= xi, gamma < 0 -> 1
+  return false;                  // x1 >  xi, gamma < 0 -> 0
+}
+
+/// Eqn 9: branch-free x4 = (A xor B) or C.
+inline bool binarize_eqn9(float x1, float xi, bool gamma_pos) {
+  const int a = simd::isless(x1, xi);
+  const int b = gamma_pos ? 1 : 0;
+  const int c = simd::isequal(x1, xi);
+  return ((a ^ b) | c) != 0;
+}
+
+/// Plain Eqn 7 sign binarization (x4 = 1 iff x >= 0); the pack-time rule.
+inline bool binarize_sign(float x) { return x >= 0.0f; }
+
+}  // namespace phonebit::core

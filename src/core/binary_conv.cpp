@@ -1,0 +1,304 @@
+#include "core/binary_conv.hpp"
+
+#include <bit>
+#include <cstring>
+
+#include "bitpack/binary_ops.hpp"
+#include "core/binarize.hpp"
+#include "core/costs.hpp"
+
+namespace phonebit::core {
+
+static_assert(std::endian::native == std::endian::little,
+              "byte-granular packing assumes little-endian words");
+
+using bitpack::PackedTensor;
+using oclsim::KernelCost;
+using oclsim::NDRange;
+using oclsim::WorkItem;
+
+BinaryConv2d::BinaryConv2d(std::string name, PackedTensor weights,
+                           std::vector<BatchNormParams> bn,
+                           std::vector<float> bias, ConvGeometry geom)
+    : name_(std::move(name)), weights_(std::move(weights)), bn_(std::move(bn)),
+      bias_(std::move(bias)), geom_(geom) {
+  const std::int64_t c_out = weights_.shape().n;
+  PB_CHECK(static_cast<std::int64_t>(bn_.size()) == c_out,
+           name_ << ": BN channel count " << bn_.size() << " != C_out "
+                 << c_out);
+  PB_CHECK(weights_.shape().h == geom_.kernel_h &&
+               weights_.shape().w == geom_.kernel_w,
+           name_ << ": filter bank spatial dims disagree with geometry");
+  folded_ = fold_batch_norm(bn_, bias_);
+}
+
+std::int64_t BinaryConv2d::param_bytes() const {
+  // Packed 1-bit weights + per-channel float xi + 1 gamma-sign bit/channel.
+  const std::int64_t c_out = weights_.shape().n;
+  return weights_.bytes() + c_out * 4 + ceil_div(c_out, 8);
+}
+
+std::int64_t BinaryConv2d::param_count() const {
+  const Shape& s = weights_.shape();
+  return s.n * s.h * s.w * s.c + 5 * s.n;  // weights + (gamma,beta,mu,sigma,b)
+}
+
+Blob BinaryConv2d::forward(ExecContext& ctx, const Blob& in) {
+  const auto* packed = std::get_if<PackedTensor>(&in);
+  PB_CHECK(packed != nullptr,
+           name_ << ": binary conv expects a packed binary input");
+  PB_CHECK(packed->shape().c == in_channels(),
+           name_ << ": input has " << packed->shape().c << " channels, filter "
+                 << in_channels());
+  if (!ctx.opts.fuse_bn_binarize) return forward_unfused(ctx, *packed);
+  const bool integrate = ctx.opts.integrate_packing &&
+                         in_channels() <= ctx.opts.packing_channel_threshold &&
+                         out_channels() % 8 == 0;
+  return forward_fused(ctx, *packed, integrate);
+}
+
+namespace {
+
+/// Shared geometry snapshot the kernel bodies capture by value.
+struct ConvDims {
+  std::int64_t n, ih, iw, c_in, oh, ow, c_out, kh, kw, sh, sw, ph, pw, words;
+};
+
+ConvDims make_dims(const PackedTensor& in, const PackedTensor& weights,
+                   const ConvGeometry& g) {
+  ConvDims d{};
+  d.n = in.shape().n;
+  d.ih = in.shape().h;
+  d.iw = in.shape().w;
+  d.c_in = in.shape().c;
+  d.oh = g.out_h(d.ih);
+  d.ow = g.out_w(d.iw);
+  d.c_out = weights.shape().n;
+  d.kh = g.kernel_h;
+  d.kw = g.kernel_w;
+  d.sh = g.stride_h;
+  d.sw = g.stride_w;
+  d.ph = g.pad_h;
+  d.pw = g.pad_w;
+  d.words = in.words_per_pixel();
+  return d;
+}
+
+/// xor-popcount accumulation of one filter over one output window;
+/// out-of-bounds input pixels use the all-zero span (-1 padding).
+inline std::int64_t window_mismatches(const PackedTensor& in,
+                                      const PackedTensor& weights,
+                                      const ConvDims& d, std::int64_t n,
+                                      std::int64_t oy, std::int64_t ox,
+                                      std::int64_t co,
+                                      const std::uint64_t* zeros,
+                                      bitpack::PackWidth pw) {
+  std::int64_t mism = 0;
+  for (std::int64_t kh = 0; kh < d.kh; ++kh) {
+    const std::int64_t iy = oy * d.sh - d.ph + kh;
+    for (std::int64_t kw = 0; kw < d.kw; ++kw) {
+      const std::int64_t ix = ox * d.sw - d.pw + kw;
+      const bool inside = iy >= 0 && iy < d.ih && ix >= 0 && ix < d.iw;
+      const std::uint64_t* span = inside ? in.pixel(n, iy, ix) : zeros;
+      mism += bitpack::xor_popcount(span, weights.pixel(co, kh, kw), d.words,
+                                    pw);
+    }
+  }
+  return mism;
+}
+
+}  // namespace
+
+PackedTensor BinaryConv2d::forward_fused(ExecContext& ctx,
+                                         const PackedTensor& in,
+                                         bool integrate_packing) {
+  const ConvDims d = make_dims(in, weights_, geom_);
+  PackedTensor out(Shape{d.n, d.oh, d.ow, d.c_out});
+  const std::vector<std::uint64_t> zeros(static_cast<std::size_t>(d.words), 0);
+  const auto pw = ctx.opts.pack_width_for(d.c_in);
+  const bool branch_free = ctx.opts.branch_free_binarize;
+  const std::int64_t len = d.kh * d.kw * d.c_in;
+  const FoldedBatchNorm& fb = folded_;
+
+  // Work tally (see costs.hpp): xor + popcount bit-lanes per window tap,
+  // padded to the processing vector width (narrow layers waste the tail
+  // lanes of one vector, not a whole 64-bit word), plus window accumulation
+  // and the threshold test per output value.
+  const double outputs = static_cast<double>(d.n) * d.oh * d.ow * d.c_out;
+  const double tap_bits = static_cast<double>(
+      ceil_div(d.c_in, bitpack::bits(pw)) * bitpack::bits(pw));
+  KernelCost cost;
+  cost.bitop_bits =
+      2.0 * outputs * static_cast<double>(d.kh * d.kw) * tap_bits;
+  cost.scalar_ops = outputs * static_cast<double>(d.kh * d.kw + 4);
+  cost.pack_width_bits = bitpack::bits(pw);
+  cost.instr_overhead_cycles = costs::instr_overhead(ctx.opts);
+  cost.bytes_read = static_cast<double>(in.bytes() + weights_.bytes()) +
+                    static_cast<double>(d.c_out) * 5.0;
+  cost.coalescing = costs::coalescing(ctx.opts);
+  cost.alu_efficiency = costs::binary_kernel_eff(ctx.opts);
+
+  if (integrate_packing) {
+    // Path A — Fig. 4: one work item owns 8 filters and stores one byte.
+    const std::int64_t groups = d.c_out / 8;
+    cost.bytes_written = static_cast<double>(out.bytes());
+    auto* out_bytes = reinterpret_cast<std::uint8_t*>(out.data());
+    ctx.queue.enqueue(
+        name_ + ".bconv_fused", NDRange{d.ow, d.oh, d.n * groups}, cost,
+        [&, d, pw, branch_free, len, groups](const WorkItem& it) {
+          const std::int64_t n = it.z / groups;
+          const std::int64_t g = it.z % groups;
+          std::uint8_t byte = 0;
+          for (int f = 0; f < 8; ++f) {
+            const std::int64_t co = g * 8 + f;
+            const std::int64_t mism = window_mismatches(
+                in, weights_, d, n, it.y, it.x, co, zeros.data(), pw);
+            const float x1 = static_cast<float>(len - 2 * mism);
+            const std::size_t ci = static_cast<std::size_t>(co);
+            const bool bit =
+                branch_free
+                    ? binarize_eqn9(x1, fb.xi[ci], fb.gamma_pos[ci] != 0)
+                    : binarize_eqn8(x1, fb.xi[ci], fb.gamma_pos[ci] != 0);
+            if (bit) byte = static_cast<std::uint8_t>(byte | (1u << f));
+          }
+          out_bytes[out.word_offset(n, it.y, it.x, 0) * 8 + g] = byte;
+        });
+    return out;
+  }
+
+  // Path B — fused math, separate packing kernel (wide layers, §VI-B).
+  std::vector<std::uint8_t> bits(
+      static_cast<std::size_t>(d.n * d.oh * d.ow * d.c_out));
+  KernelCost conv_cost = cost;
+  conv_cost.bytes_written = static_cast<double>(bits.size());
+  ctx.queue.enqueue(
+      name_ + ".bconv_nopack", NDRange{d.ow, d.oh, d.n * d.c_out}, conv_cost,
+      [&, d, pw, branch_free, len](const WorkItem& it) {
+        const std::int64_t n = it.z / d.c_out;
+        const std::int64_t co = it.z % d.c_out;
+        const std::int64_t mism = window_mismatches(in, weights_, d, n, it.y,
+                                                    it.x, co, zeros.data(), pw);
+        const float x1 = static_cast<float>(len - 2 * mism);
+        const std::size_t ci = static_cast<std::size_t>(co);
+        const bool bit =
+            branch_free ? binarize_eqn9(x1, fb.xi[ci], fb.gamma_pos[ci] != 0)
+                        : binarize_eqn8(x1, fb.xi[ci], fb.gamma_pos[ci] != 0);
+        bits[static_cast<std::size_t>(
+            ((n * d.oh + it.y) * d.ow + it.x) * d.c_out + co)] = bit ? 1 : 0;
+      });
+
+  // Packing pass: one work item per output word.
+  const std::int64_t owords = out.words_per_pixel();
+  KernelCost pack_cost;
+  pack_cost.scalar_ops = static_cast<double>(d.n * d.oh * d.ow * d.c_out);
+  pack_cost.bytes_read = static_cast<double>(bits.size());
+  pack_cost.bytes_written = static_cast<double>(out.bytes());
+  pack_cost.coalescing = costs::coalescing(ctx.opts);
+  pack_cost.alu_efficiency = costs::kAuxKernelEff;
+  ctx.queue.enqueue(
+      name_ + ".pack", NDRange{d.ow, d.oh, d.n * owords}, pack_cost,
+      [&, d, owords](const WorkItem& it) {
+        const std::int64_t n = it.z / owords;
+        const std::int64_t j = it.z % owords;
+        std::uint64_t word = 0;
+        const std::int64_t base =
+            ((n * d.oh + it.y) * d.ow + it.x) * d.c_out + j * 64;
+        const std::int64_t limit = std::min<std::int64_t>(64, d.c_out - j * 64);
+        for (std::int64_t b = 0; b < limit; ++b) {
+          if (bits[static_cast<std::size_t>(base + b)] != 0) {
+            word |= (std::uint64_t{1} << b);
+          }
+        }
+        out.data()[out.word_offset(n, it.y, it.x, j)] = word;
+      });
+  return out;
+}
+
+PackedTensor BinaryConv2d::forward_unfused(ExecContext& ctx,
+                                           const PackedTensor& in) {
+  // Path C — the pre-integration pipeline: three kernels and two
+  // materialized intermediates (what §V-B's fusion eliminates).
+  const ConvDims d = make_dims(in, weights_, geom_);
+  PackedTensor out(Shape{d.n, d.oh, d.ow, d.c_out});
+  const std::vector<std::uint64_t> zeros(static_cast<std::size_t>(d.words), 0);
+  const auto pw = ctx.opts.pack_width_for(d.c_in);
+  const std::int64_t len = d.kh * d.kw * d.c_in;
+  const double outputs = static_cast<double>(d.n) * d.oh * d.ow * d.c_out;
+
+  // Kernel 1: raw binary convolution, int32 sums out.
+  std::vector<std::int32_t> sums(static_cast<std::size_t>(
+      d.n * d.oh * d.ow * d.c_out));
+  KernelCost conv_cost;
+  conv_cost.bitop_bits =
+      2.0 * outputs * static_cast<double>(d.kh * d.kw) *
+      static_cast<double>(ceil_div(d.c_in, bitpack::bits(pw)) *
+                          bitpack::bits(pw));
+  conv_cost.scalar_ops = outputs * static_cast<double>(d.kh * d.kw);
+  conv_cost.pack_width_bits = bitpack::bits(pw);
+  conv_cost.instr_overhead_cycles = costs::instr_overhead(ctx.opts);
+  conv_cost.bytes_read = static_cast<double>(in.bytes() + weights_.bytes());
+  conv_cost.bytes_written = outputs * 4.0;
+  conv_cost.coalescing = costs::coalescing(ctx.opts);
+  conv_cost.alu_efficiency = costs::binary_kernel_eff(ctx.opts);
+  ctx.queue.enqueue(
+      name_ + ".bconv_raw", NDRange{d.ow, d.oh, d.n * d.c_out}, conv_cost,
+      [&, d, pw, len](const WorkItem& it) {
+        const std::int64_t n = it.z / d.c_out;
+        const std::int64_t co = it.z % d.c_out;
+        const std::int64_t mism = window_mismatches(in, weights_, d, n, it.y,
+                                                    it.x, co, zeros.data(), pw);
+        sums[static_cast<std::size_t>(
+            ((n * d.oh + it.y) * d.ow + it.x) * d.c_out + co)] =
+            static_cast<std::int32_t>(len - 2 * mism);
+      });
+
+  // Kernel 2: full floating-point batch-norm + sign binarization.
+  std::vector<std::uint8_t> bits(sums.size());
+  KernelCost bn_cost;
+  bn_cost.scalar_ops = outputs * 6.0;  // add, sub, div, mul, add, compare
+  bn_cost.bytes_read = outputs * 4.0 + static_cast<double>(d.c_out) * 20.0;
+  bn_cost.bytes_written = static_cast<double>(bits.size());
+  bn_cost.coalescing = costs::coalescing(ctx.opts);
+  bn_cost.alu_efficiency = costs::kAuxKernelEff;
+  const std::vector<BatchNormParams>& bn = bn_;
+  const std::vector<float>& bias = bias_;
+  ctx.queue.enqueue_chunked(
+      name_ + ".bn_binarize", NDRange{static_cast<std::int64_t>(sums.size())},
+      bn_cost, [&, d](std::int64_t begin, std::int64_t end) {
+        for (std::int64_t i = begin; i < end; ++i) {
+          const std::size_t ci = static_cast<std::size_t>(i % d.c_out);
+          const float x3 = batch_norm_reference(
+              static_cast<float>(sums[static_cast<std::size_t>(i)]), bn[ci],
+              bias.empty() ? 0.0f : bias[ci]);
+          bits[static_cast<std::size_t>(i)] = binarize_sign(x3) ? 1 : 0;
+        }
+      });
+
+  // Kernel 3: packing (same as path B's second kernel).
+  const std::int64_t owords = out.words_per_pixel();
+  KernelCost pack_cost;
+  pack_cost.scalar_ops = outputs;
+  pack_cost.bytes_read = static_cast<double>(bits.size());
+  pack_cost.bytes_written = static_cast<double>(out.bytes());
+  pack_cost.coalescing = costs::coalescing(ctx.opts);
+  pack_cost.alu_efficiency = costs::kAuxKernelEff;
+  ctx.queue.enqueue(
+      name_ + ".pack", NDRange{d.ow, d.oh, d.n * owords}, pack_cost,
+      [&, d, owords](const WorkItem& it) {
+        const std::int64_t n = it.z / owords;
+        const std::int64_t j = it.z % owords;
+        std::uint64_t word = 0;
+        const std::int64_t base =
+            ((n * d.oh + it.y) * d.ow + it.x) * d.c_out + j * 64;
+        const std::int64_t limit = std::min<std::int64_t>(64, d.c_out - j * 64);
+        for (std::int64_t b = 0; b < limit; ++b) {
+          if (bits[static_cast<std::size_t>(base + b)] != 0) {
+            word |= (std::uint64_t{1} << b);
+          }
+        }
+        out.data()[out.word_offset(n, it.y, it.x, j)] = word;
+      });
+  return out;
+}
+
+}  // namespace phonebit::core

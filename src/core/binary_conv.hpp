@@ -1,0 +1,69 @@
+// PhoneBit — fused binary convolution (the paper's central operator).
+//
+// Computes conv -> batch-norm -> binarize over channel-packed inputs using
+// xor+popcount (Eqn 1) and the folded threshold ξ (Eqns 5–8), with the
+// branch-free Eqn 9 decision. Three execution paths mirror §V-B/§VI-B:
+//
+//   A. fully fused  — one kernel; each work item computes 8 filters,
+//      binarizes 8 results and packs them into one byte (Fig. 4).
+//      Taken when layer integration is on and C_in <= the private-memory
+//      threshold (256 channels by default).
+//   B. separate packing — fused conv+BN+binarize emits a 0/1 byte map; a
+//      second kernel packs bytes into words. Taken for wide layers.
+//   C. no integration (ablation) — conv emits raw int32 sums, a second
+//      kernel applies full floating-point BN + sign, a third packs. This is
+//      the configuration the layer-integration ablation measures against.
+//
+// Binary-domain padding: the ±1 encoding has no zero, so padded positions
+// contribute -1 per channel (all-zero packed words), the standard BNN
+// convention. The float reference used by tests pads with -1 accordingly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bitpack/packed_tensor.hpp"
+#include "core/bn_fold.hpp"
+#include "core/layer.hpp"
+
+namespace phonebit::core {
+
+class BinaryConv2d final : public Layer {
+ public:
+  /// `weights`: packed filter bank with logical shape (C_out, KH, KW, C_in).
+  /// `bn`/`bias`: per-output-channel trained parameters (folded offline in
+  /// the constructor; kept raw for the no-integration ablation path).
+  BinaryConv2d(std::string name, bitpack::PackedTensor weights,
+               std::vector<BatchNormParams> bn, std::vector<float> bias,
+               ConvGeometry geom);
+
+  const std::string& name() const override { return name_; }
+  Blob forward(ExecContext& ctx, const Blob& in) override;
+
+  std::int64_t param_bytes() const override;
+  std::int64_t param_count() const override;
+
+  const ConvGeometry& geometry() const noexcept { return geom_; }
+  std::int64_t out_channels() const noexcept { return weights_.shape().n; }
+  std::int64_t in_channels() const noexcept { return weights_.shape().c; }
+  const bitpack::PackedTensor& weights() const noexcept { return weights_; }
+  const FoldedBatchNorm& folded_bn() const noexcept { return folded_; }
+  const std::vector<BatchNormParams>& raw_bn() const noexcept { return bn_; }
+  const std::vector<float>& bias() const noexcept { return bias_; }
+
+ private:
+  bitpack::PackedTensor forward_fused(ExecContext& ctx,
+                                      const bitpack::PackedTensor& in,
+                                      bool integrate_packing);
+  bitpack::PackedTensor forward_unfused(ExecContext& ctx,
+                                        const bitpack::PackedTensor& in);
+
+  std::string name_;
+  bitpack::PackedTensor weights_;
+  std::vector<BatchNormParams> bn_;
+  std::vector<float> bias_;
+  FoldedBatchNorm folded_;
+  ConvGeometry geom_;
+};
+
+}  // namespace phonebit::core

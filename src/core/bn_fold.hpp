@@ -1,0 +1,75 @@
+// PhoneBit — offline batch-normalization folding (Eqns 3–6).
+//
+// A binary conv block is conv -> bias -> BN -> binarize. With
+//   x2 = x1 + b                      (Eqn 3, conv bias)
+//   x3 = gamma * (x2 - mu) / sigma + beta   (Eqn 4, BN)
+// substituting gives x3 = (gamma / sigma) * (x1 - xi) with
+//   xi = mu - beta * sigma / gamma - b      (Eqn 6).
+// Since only the sign of x3 survives binarization, the runtime needs just
+// xi and sign(gamma) per channel — both computed here, offline.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace phonebit::core {
+
+/// Trained batch-norm parameters of one channel (sigma is the standard
+/// deviation, i.e. sqrt(var + eps), matching the paper's notation).
+struct BatchNormParams {
+  float gamma = 1.0f;
+  float beta = 0.0f;
+  float mu = 0.0f;
+  float sigma = 1.0f;
+};
+
+/// The folded per-channel constants the fused kernel consumes.
+struct FoldedBatchNorm {
+  std::vector<float> xi;          ///< threshold per output channel (Eqn 6)
+  std::vector<std::uint8_t> gamma_pos;  ///< 1 iff gamma > 0
+
+  std::int64_t channels() const noexcept {
+    return static_cast<std::int64_t>(xi.size());
+  }
+
+  /// Identity fold (xi = 0, gamma > 0): plain sign binarization.
+  static FoldedBatchNorm identity(std::int64_t channels) {
+    FoldedBatchNorm f;
+    f.xi.assign(static_cast<std::size_t>(channels), 0.0f);
+    f.gamma_pos.assign(static_cast<std::size_t>(channels), 1);
+    return f;
+  }
+};
+
+/// Folds per-channel BN parameters and conv biases into (xi, sign(gamma)).
+/// Channels with gamma == 0 carry no information after BN + binarize; the
+/// paper prunes them (footnote 2) and we reject them here.
+inline FoldedBatchNorm fold_batch_norm(const std::vector<BatchNormParams>& bn,
+                                       const std::vector<float>& bias) {
+  PB_CHECK(bias.empty() || bias.size() == bn.size(),
+           "bias count " << bias.size() << " != channel count " << bn.size());
+  FoldedBatchNorm out;
+  out.xi.reserve(bn.size());
+  out.gamma_pos.reserve(bn.size());
+  for (std::size_t c = 0; c < bn.size(); ++c) {
+    const BatchNormParams& p = bn[c];
+    PB_CHECK(p.gamma != 0.0f,
+             "gamma == 0 at channel " << c << ": prune the channel offline");
+    PB_CHECK(p.sigma > 0.0f, "sigma must be positive at channel " << c);
+    const float b = bias.empty() ? 0.0f : bias[c];
+    out.xi.push_back(p.mu - p.beta * p.sigma / p.gamma - b);
+    out.gamma_pos.push_back(p.gamma > 0.0f ? 1 : 0);
+  }
+  return out;
+}
+
+/// Reference (unfused) BN transform for one value — used by tests and the
+/// no-integration ablation path: x3 = gamma * (x1 + b - mu) / sigma + beta.
+inline float batch_norm_reference(float x1, const BatchNormParams& p,
+                                  float bias) {
+  return p.gamma * (x1 + bias - p.mu) / p.sigma + p.beta;
+}
+
+}  // namespace phonebit::core

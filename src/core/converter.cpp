@@ -1,0 +1,87 @@
+#include "core/converter.hpp"
+
+#include "bitpack/pack.hpp"
+#include "core/binary_conv.hpp"
+#include "core/dense.hpp"
+#include "core/float_conv.hpp"
+#include "core/input_conv.hpp"
+#include "core/pooling.hpp"
+
+namespace phonebit::core {
+
+namespace {
+
+/// BN vector for layers trained without batch-norm: identity statistics so
+/// folding yields xi = -bias (conv bias still folds into the threshold).
+std::vector<BatchNormParams> identity_bn(std::int64_t channels) {
+  return std::vector<BatchNormParams>(static_cast<std::size_t>(channels),
+                                      BatchNormParams{1.0f, 0.0f, 0.0f, 1.0f});
+}
+
+}  // namespace
+
+std::unique_ptr<Network> convert_to_phonebit(const FloatModel& model) {
+  const NetworkSpec& spec = model.spec;
+  PB_CHECK(!spec.layers.empty(), "cannot convert an empty model");
+  PB_CHECK(model.weights.size() == spec.layers.size(),
+           "weights list does not parallel the layer specs");
+
+  auto net = std::make_unique<Network>(spec.name + "-bnn");
+
+  // Index of the last parameterized layer: stays full precision.
+  std::size_t last_param = spec.layers.size();
+  for (std::size_t i = spec.layers.size(); i-- > 0;) {
+    if (!std::holds_alternative<PoolLayerSpec>(spec.layers[i])) {
+      last_param = i;
+      break;
+    }
+  }
+  PB_CHECK(last_param < spec.layers.size(),
+           "model has no parameterized layers");
+
+  bool first_conv_seen = false;
+  for (std::size_t i = 0; i < spec.layers.size(); ++i) {
+    const LayerSpec& layer = spec.layers[i];
+    if (const auto* c = std::get_if<ConvLayerSpec>(&layer)) {
+      const auto* w = std::get_if<ConvWeights>(&model.weights[i]);
+      PB_CHECK(w != nullptr, c->name << ": missing conv weights");
+      if (i == last_param) {
+        PB_CHECK(c->act == Activation::kNone,
+                 c->name << ": the full-precision output layer must be linear");
+        net->add(std::make_unique<FloatConv2d>(c->name, w->w, w->bias,
+                                               c->geom));
+        continue;
+      }
+      auto packed = bitpack::pack_filter_signs(w->w);
+      auto bn = w->bn.empty() ? identity_bn(c->c_out) : w->bn;
+      if (!first_conv_seen) {
+        first_conv_seen = true;
+        net->add(std::make_unique<InputConv2d>(c->name, std::move(packed),
+                                               std::move(bn), w->bias,
+                                               c->geom));
+      } else {
+        net->add(std::make_unique<BinaryConv2d>(c->name, std::move(packed),
+                                                std::move(bn), w->bias,
+                                                c->geom));
+      }
+    } else if (const auto* p = std::get_if<PoolLayerSpec>(&layer)) {
+      net->add(std::make_unique<MaxPool2d>(p->name, p->geom));
+    } else if (const auto* d = std::get_if<DenseLayerSpec>(&layer)) {
+      const auto* w = std::get_if<DenseWeights>(&model.weights[i]);
+      PB_CHECK(w != nullptr, d->name << ": missing dense weights");
+      if (i == last_param) {
+        PB_CHECK(d->act == Activation::kNone,
+                 d->name << ": the full-precision output layer must be linear");
+        net->add(std::make_unique<FloatDense>(d->name, w->w, w->bias));
+        continue;
+      }
+      auto packed = bitpack::pack_filter_signs(w->w);
+      auto bn = w->bn.empty() ? identity_bn(d->out_features) : w->bn;
+      net->add(std::make_unique<BinaryDense>(d->name, std::move(packed),
+                                             std::move(bn), w->bias));
+    }
+  }
+  return net;
+}
+
+}  // namespace phonebit::core

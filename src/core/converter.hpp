@@ -1,0 +1,23 @@
+// PhoneBit — trained-model converter (the "Convert to PhoneBit format" step
+// of Fig. 2). Binarizes weights by sign, folds batch-norm + bias into the
+// per-channel threshold ξ, and assembles the runnable Network:
+//   first conv  -> InputConv2d (8-bit bit-plane path, Eqn 2)
+//   middle conv -> BinaryConv2d (fused xor/popcount path)
+//   pool        -> MaxPool2d (packed OR)
+//   middle fc   -> BinaryDense
+//   last layer  -> FloatConv2d / FloatDense (kept full precision, §VII)
+// Activations on binary layers are subsumed by binarization (standard BNN
+// conversion); the last layer must be linear.
+#pragma once
+
+#include <memory>
+
+#include "core/float_model.hpp"
+#include "core/network.hpp"
+
+namespace phonebit::core {
+
+/// Converts a trained full-precision model into a PhoneBit binary network.
+std::unique_ptr<Network> convert_to_phonebit(const FloatModel& model);
+
+}  // namespace phonebit::core

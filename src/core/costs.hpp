@@ -1,0 +1,81 @@
+// PhoneBit — cost accounting for the engine's kernels.
+//
+// Each forward pass counts the work its kernels genuinely perform (bit-lane
+// ops, scalar ops, DRAM traffic, launches) and hands the tally to the oclsim
+// roofline model. The efficiency constants below are the only calibrated
+// quantities; they are engine-wide (never per-network or per-layer), so
+// every relative result — speedups between engines, fusion/packing/layout
+// ablations — emerges from counted work, not tuning. Calibration rationale
+// is documented in EXPERIMENTS.md.
+#pragma once
+
+#include <cstdint>
+
+#include "core/options.hpp"
+#include "oclsim/cost_model.hpp"
+#include "tensor/shape.hpp"
+
+namespace phonebit::core::costs {
+
+/// Fraction of peak ALU throughput PhoneBit's hand-tuned binary kernels
+/// reach on Adreno (occupancy, addressing, barriers).
+inline constexpr double kBinaryKernelEff = 0.18;
+
+/// Efficiency of the full-precision last-layer kernel using the OpenCL
+/// float4 `dot` built-in (the paper credits conv9's 3x over the baseline to
+/// this SIMD issue advantage).
+inline constexpr double kFloatDotEff = 0.06;
+
+/// Efficiency of auxiliary scalar kernels (packing, pooling, bit-plane
+/// splitting) — memory-bound, modest ALU pressure.
+inline constexpr double kAuxKernelEff = 0.30;
+
+/// Effective-bandwidth fractions for the two layouts (§V-A.1, §VI-A.2):
+/// NHWC packed rows are unit-stride and coalesce; NCHW channel gathers
+/// hit one word per cache line.
+inline constexpr double kCoalesceNHWC = 0.85;
+inline constexpr double kCoalesceNCHW = 0.25;
+
+/// Extra bandwidth derating when vectorized (128-bit) load/store is
+/// disabled (§VI-A.1): scalar accesses waste most of each memory
+/// transaction.
+inline constexpr double kScalarLoadPenalty = 0.45;
+
+/// Per-vector-instruction loop/bookkeeping overhead in ALU cycles; constant
+/// across pack widths, which is why wide packing wins (§V-A.2).
+inline constexpr double kInstrOverheadCycles = 1.0;
+
+/// Additional instruction overhead when vectorized loads are off (each
+/// operand arrives in pieces).
+inline constexpr double kScalarLoadInstrOverhead = 2.0;
+
+/// Additional per-vector-op overhead under NCHW: channel bits are strided,
+/// so every packed operand needs gather address arithmetic on top of the
+/// bandwidth penalty (§V-A.1).
+inline constexpr double kNchwGatherInstrOverhead = 1.5;
+
+/// ALU derating of the divergent Eqn-8 binarization: half the wave idles
+/// while each branch path retires (§VI-C). Applied to the whole fused
+/// kernel's efficiency when branch-free mode is off.
+inline constexpr double kDivergencePenalty = 0.55;
+
+/// Coalescing / efficiency helpers reading the engine options.
+inline double coalescing(const EngineOptions& o) {
+  double c = o.layout == Layout::kNHWC ? kCoalesceNHWC : kCoalesceNCHW;
+  if (!o.vectorized_loads) c *= kScalarLoadPenalty;
+  return c;
+}
+
+inline double instr_overhead(const EngineOptions& o) {
+  double cycles = kInstrOverheadCycles;
+  if (!o.vectorized_loads) cycles += kScalarLoadInstrOverhead;
+  if (o.layout == Layout::kNCHW) cycles += kNchwGatherInstrOverhead;
+  return cycles;
+}
+
+inline double binary_kernel_eff(const EngineOptions& o) {
+  return o.branch_free_binarize ? kBinaryKernelEff
+                                : kBinaryKernelEff * kDivergencePenalty;
+}
+
+}  // namespace phonebit::core::costs

@@ -1,0 +1,181 @@
+#include "core/dense.hpp"
+
+#include "bitpack/binary_ops.hpp"
+#include "bitpack/flatten.hpp"
+#include "core/binarize.hpp"
+#include "core/costs.hpp"
+#include "simd/vec.hpp"
+
+namespace phonebit::core {
+
+using bitpack::PackedTensor;
+using oclsim::KernelCost;
+using oclsim::NDRange;
+using oclsim::WorkItem;
+
+BinaryDense::BinaryDense(std::string name, PackedTensor weights,
+                         std::vector<BatchNormParams> bn,
+                         std::vector<float> bias)
+    : name_(std::move(name)), weights_(std::move(weights)), bn_(std::move(bn)),
+      bias_(std::move(bias)) {
+  PB_CHECK(weights_.shape().h == 1 && weights_.shape().w == 1,
+           name_ << ": dense weights must be (units,1,1,features)");
+  PB_CHECK(static_cast<std::int64_t>(bn_.size()) == weights_.shape().n,
+           name_ << ": BN channel count mismatch");
+  PB_CHECK(weights_.shape().n % 8 == 0,
+           name_ << ": units must be a multiple of 8 for byte packing");
+  folded_ = fold_batch_norm(bn_, bias_);
+}
+
+std::int64_t BinaryDense::param_bytes() const {
+  return weights_.bytes() + units() * 4 + ceil_div(units(), 8);
+}
+
+std::int64_t BinaryDense::param_count() const {
+  return units() * in_features() + 5 * units();
+}
+
+Blob BinaryDense::forward(ExecContext& ctx, const Blob& in) {
+  const auto* packed = std::get_if<PackedTensor>(&in);
+  PB_CHECK(packed != nullptr, name_ << ": binary dense expects packed input");
+  const PackedTensor flat = bitpack::flatten_packed(*packed);
+  PB_CHECK(flat.shape().c == in_features(),
+           name_ << ": input features " << flat.shape().c << " != "
+                 << in_features());
+
+  const std::int64_t n = flat.shape().n;
+  const std::int64_t u = units();
+  const std::int64_t words = weights_.words_per_pixel();
+  const std::int64_t groups = u / 8;
+  const auto pw = ctx.opts.pack_width_for(in_features());
+  const bool branch_free = ctx.opts.branch_free_binarize;
+  PackedTensor out(Shape{n, 1, 1, u});
+  const FoldedBatchNorm& fb = folded_;
+
+  KernelCost cost;
+  cost.bitop_bits =
+      2.0 * static_cast<double>(n * u) *
+      static_cast<double>(ceil_div(in_features(), bitpack::bits(pw)) *
+                          bitpack::bits(pw));
+  cost.scalar_ops = static_cast<double>(n * u) * 4.0;
+  cost.pack_width_bits = bitpack::bits(pw);
+  cost.instr_overhead_cycles = costs::instr_overhead(ctx.opts);
+  cost.bytes_read = static_cast<double>(flat.bytes() + weights_.bytes());
+  cost.bytes_written = static_cast<double>(out.bytes());
+  cost.coalescing = costs::coalescing(ctx.opts);
+  cost.alu_efficiency = costs::binary_kernel_eff(ctx.opts);
+
+  auto* out_bytes = reinterpret_cast<std::uint8_t*>(out.data());
+  const std::int64_t features = in_features();
+  ctx.queue.enqueue(
+      name_ + ".bdense_fused", NDRange{groups, n, 1}, cost,
+      [&, words, groups, branch_free, pw, features](const WorkItem& it) {
+        const std::int64_t sample = it.y;
+        const std::uint64_t* x = flat.pixel(sample, 0, 0);
+        std::uint8_t byte = 0;
+        for (int f = 0; f < 8; ++f) {
+          const std::int64_t unit = it.x * 8 + f;
+          const std::int64_t mism =
+              bitpack::xor_popcount(x, weights_.pixel(unit, 0, 0), words, pw);
+          const float x1 = static_cast<float>(features - 2 * mism);
+          const std::size_t ci = static_cast<std::size_t>(unit);
+          const bool bit =
+              branch_free
+                  ? binarize_eqn9(x1, fb.xi[ci], fb.gamma_pos[ci] != 0)
+                  : binarize_eqn8(x1, fb.xi[ci], fb.gamma_pos[ci] != 0);
+          if (bit) byte = static_cast<std::uint8_t>(byte | (1u << f));
+        }
+        out_bytes[out.word_offset(sample, 0, 0, 0) * 8 + it.x] = byte;
+      });
+  return out;
+}
+
+FloatDense::FloatDense(std::string name, FloatTensor weights,
+                       std::vector<float> bias)
+    : name_(std::move(name)), weights_(std::move(weights)),
+      bias_(std::move(bias)) {
+  PB_CHECK(weights_.shape().h == 1 && weights_.shape().w == 1,
+           name_ << ": dense weights must be (units,1,1,features)");
+  PB_CHECK(bias_.empty() ||
+               static_cast<std::int64_t>(bias_.size()) == weights_.shape().n,
+           name_ << ": bias count mismatch");
+}
+
+std::int64_t FloatDense::param_bytes() const {
+  return weights_.bytes() + static_cast<std::int64_t>(bias_.size()) * 4;
+}
+
+std::int64_t FloatDense::param_count() const {
+  return units() * in_features() + static_cast<std::int64_t>(bias_.size());
+}
+
+Blob FloatDense::forward(ExecContext& ctx, const Blob& in) {
+  // Expand packed input to ±1 floats; flatten float input if spatial.
+  FloatTensor x;
+  if (const auto* packed = std::get_if<PackedTensor>(&in)) {
+    const PackedTensor flat = bitpack::flatten_packed(*packed);
+    x = FloatTensor(flat.shape(), Layout::kNHWC);
+    KernelCost cost;
+    cost.scalar_ops = static_cast<double>(flat.shape().elems());
+    cost.bytes_read = static_cast<double>(flat.bytes());
+    cost.bytes_written = static_cast<double>(x.bytes());
+    cost.alu_efficiency = costs::kAuxKernelEff;
+    cost.coalescing = costs::coalescing(ctx.opts);
+    ctx.queue.enqueue_chunked(
+        name_ + ".unpack", NDRange{flat.shape().elems() / flat.shape().c,
+                                   1, 1},
+        cost, [&](std::int64_t begin, std::int64_t end) {
+          const std::int64_t c = flat.shape().c;
+          (void)begin;
+          (void)end;
+          for (std::int64_t s = begin; s < end; ++s) {
+            for (std::int64_t i = 0; i < c; ++i) {
+              x(s, 0, 0, i) = flat.get(s, 0, 0, i) ? 1.0f : -1.0f;
+            }
+          }
+        });
+  } else {
+    const auto* f = std::get_if<FloatTensor>(&in);
+    PB_CHECK(f != nullptr, name_ << ": expects packed or float input");
+    const Shape s = f->shape();
+    x = FloatTensor(Shape{s.n, 1, 1, s.h * s.w * s.c}, Layout::kNHWC);
+    PB_CHECK(f->layout() == Layout::kNHWC, name_ << ": input must be NHWC");
+    std::copy(f->data(), f->data() + s.elems(), x.data());
+  }
+  PB_CHECK(x.shape().c == in_features(),
+           name_ << ": input features " << x.shape().c << " != "
+                 << in_features());
+
+  const std::int64_t n = x.shape().n;
+  const std::int64_t u = units();
+  const std::int64_t features = in_features();
+  FloatTensor out(Shape{n, 1, 1, u}, Layout::kNHWC);
+
+  KernelCost cost;
+  cost.scalar_ops = static_cast<double>(n * u * features);
+  cost.bytes_read =
+      static_cast<double>(x.bytes()) + static_cast<double>(weights_.bytes());
+  cost.bytes_written = static_cast<double>(out.bytes());
+  cost.coalescing = costs::coalescing(ctx.opts);
+  cost.alu_efficiency = costs::kFloatDotEff;
+
+  const std::vector<float>& bias = bias_;
+  ctx.queue.enqueue(
+      name_ + ".fdense_dot", NDRange{u, n, 1}, cost,
+      [&, features](const WorkItem& it) {
+        const float* px = &x(it.y, 0, 0, 0);
+        const float* wt = &weights_(it.x, 0, 0, 0);
+        float acc = bias.empty() ? 0.0f : bias[static_cast<std::size_t>(it.x)];
+        std::int64_t c = 0;
+        for (; c + 4 <= features; c += 4) {
+          const auto a = simd::vload<float, 4>(0, px + c);
+          const auto b = simd::vload<float, 4>(0, wt + c);
+          acc += simd::dot(a, b);
+        }
+        for (; c < features; ++c) acc += px[c] * wt[c];
+        out(it.y, 0, 0, it.x) = acc;
+      });
+  return out;
+}
+
+}  // namespace phonebit::core

@@ -1,0 +1,41 @@
+// PhoneBit — the inference engine: a simulated device + command queue +
+// engine options, matching the host-side state the OpenCL engine keeps on a
+// phone. One Engine can run many Networks.
+#pragma once
+
+#include <memory>
+
+#include "core/layer.hpp"
+#include "core/options.hpp"
+#include "oclsim/runtime.hpp"
+
+namespace phonebit::core {
+
+class Engine {
+ public:
+  /// Creates an engine on `device` (the GPU of the simulated SoC).
+  explicit Engine(std::shared_ptr<oclsim::Device> device,
+                  EngineOptions opts = {})
+      : device_(std::move(device)),
+        queue_(*device_, oclsim::ExecUnit::kGpu), opts_(opts) {
+    PB_CHECK(device_ != nullptr, "engine needs a device");
+  }
+
+  /// Execution context for Network::forward.
+  ExecContext context() { return ExecContext{queue_, opts_}; }
+
+  oclsim::CommandQueue& queue() noexcept { return queue_; }
+  const EngineOptions& options() const noexcept { return opts_; }
+  EngineOptions& options() noexcept { return opts_; }
+  oclsim::Device& device() noexcept { return *device_; }
+
+  /// Clears the profiling event log.
+  void reset_profile() { queue_.reset_events(); }
+
+ private:
+  std::shared_ptr<oclsim::Device> device_;
+  oclsim::CommandQueue queue_;
+  EngineOptions opts_;
+};
+
+}  // namespace phonebit::core

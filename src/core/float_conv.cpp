@@ -1,0 +1,112 @@
+#include "core/float_conv.hpp"
+
+#include "bitpack/pack.hpp"
+#include "core/costs.hpp"
+#include "simd/vec.hpp"
+
+namespace phonebit::core {
+
+using bitpack::PackedTensor;
+using oclsim::KernelCost;
+using oclsim::NDRange;
+using oclsim::WorkItem;
+
+FloatConv2d::FloatConv2d(std::string name, FloatTensor weights,
+                         std::vector<float> bias, ConvGeometry geom)
+    : name_(std::move(name)), weights_(std::move(weights)),
+      bias_(std::move(bias)), geom_(geom) {
+  PB_CHECK(weights_.layout() == Layout::kNHWC,
+           name_ << ": float filters must be NHWC");
+  PB_CHECK(bias_.empty() ||
+               static_cast<std::int64_t>(bias_.size()) == weights_.shape().n,
+           name_ << ": bias count mismatch");
+  PB_CHECK(weights_.shape().h == geom_.kernel_h &&
+               weights_.shape().w == geom_.kernel_w,
+           name_ << ": filter bank spatial dims disagree with geometry");
+}
+
+std::int64_t FloatConv2d::param_bytes() const {
+  return weights_.bytes() +
+         static_cast<std::int64_t>(bias_.size()) * 4;
+}
+
+std::int64_t FloatConv2d::param_count() const {
+  const Shape& s = weights_.shape();
+  return s.n * s.h * s.w * s.c + static_cast<std::int64_t>(bias_.size());
+}
+
+Blob FloatConv2d::forward(ExecContext& ctx, const Blob& in) {
+  if (const auto* packed = std::get_if<PackedTensor>(&in)) {
+    // Unpack kernel: packed bits -> ±1 floats.
+    const Shape s = packed->shape();
+    FloatTensor expanded(s, Layout::kNHWC);
+    KernelCost cost;
+    cost.scalar_ops = static_cast<double>(s.elems());
+    cost.bytes_read = static_cast<double>(packed->bytes());
+    cost.bytes_written = static_cast<double>(expanded.bytes());
+    cost.coalescing = costs::coalescing(ctx.opts);
+    cost.alu_efficiency = costs::kAuxKernelEff;
+    ctx.queue.enqueue(name_ + ".unpack", NDRange{s.w, s.h, s.n}, cost,
+                      [&](const WorkItem& it) {
+                        for (std::int64_t c = 0; c < s.c; ++c) {
+                          expanded(it.z, it.y, it.x, c) =
+                              packed->get(it.z, it.y, it.x, c) ? 1.0f : -1.0f;
+                        }
+                      });
+    return conv(ctx, expanded);
+  }
+  const auto* f = std::get_if<FloatTensor>(&in);
+  PB_CHECK(f != nullptr, name_ << ": expects packed or float input");
+  return conv(ctx, *f);
+}
+
+FloatTensor FloatConv2d::conv(ExecContext& ctx, const FloatTensor& in) {
+  PB_CHECK(in.layout() == Layout::kNHWC, name_ << ": input must be NHWC");
+  const Shape& is = in.shape();
+  PB_CHECK(is.c == in_channels(), name_ << ": channel mismatch");
+  const std::int64_t oh = geom_.out_h(is.h);
+  const std::int64_t ow = geom_.out_w(is.w);
+  const std::int64_t c_out = out_channels();
+  const std::int64_t kh = geom_.kernel_h, kw = geom_.kernel_w;
+  FloatTensor out(Shape{is.n, oh, ow, c_out}, Layout::kNHWC);
+
+  KernelCost cost;
+  const double outputs = static_cast<double>(is.n) * oh * ow * c_out;
+  cost.scalar_ops = outputs * static_cast<double>(kh * kw * is.c);
+  cost.bytes_read =
+      static_cast<double>(in.bytes()) + static_cast<double>(weights_.bytes());
+  cost.bytes_written = static_cast<double>(out.bytes());
+  cost.coalescing = costs::coalescing(ctx.opts);
+  cost.alu_efficiency = costs::kFloatDotEff;  // float4 dot built-in (§VII)
+
+  const std::vector<float>& bias = bias_;
+  ctx.queue.enqueue(
+      name_ + ".fconv_dot", NDRange{ow, oh, is.n * c_out}, cost,
+      [&, oh, ow, kh, kw, c_out](const WorkItem& it) {
+        const std::int64_t n = it.z / c_out;
+        const std::int64_t co = it.z % c_out;
+        float acc = bias.empty() ? 0.0f : bias[static_cast<std::size_t>(co)];
+        for (std::int64_t ky = 0; ky < kh; ++ky) {
+          const std::int64_t iy = it.y * geom_.stride_h - geom_.pad_h + ky;
+          if (iy < 0 || iy >= is.h) continue;  // zero padding
+          for (std::int64_t kx = 0; kx < kw; ++kx) {
+            const std::int64_t ix = it.x * geom_.stride_w - geom_.pad_w + kx;
+            if (ix < 0 || ix >= is.w) continue;
+            const float* px = &in(n, iy, ix, 0);
+            const float* wt = &weights_(co, ky, kx, 0);
+            std::int64_t c = 0;
+            // float4 dot main loop + scalar tail, as the OpenCL kernel does.
+            for (; c + 4 <= is.c; c += 4) {
+              const auto a = simd::vload<float, 4>(0, px + c);
+              const auto b = simd::vload<float, 4>(0, wt + c);
+              acc += simd::dot(a, b);
+            }
+            for (; c < is.c; ++c) acc += px[c] * wt[c];
+          }
+        }
+        out(n, it.y, it.x, co) = acc;
+      });
+  return out;
+}
+
+}  // namespace phonebit::core

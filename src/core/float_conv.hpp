@@ -1,0 +1,46 @@
+// PhoneBit — full-precision convolution for the network's last layer.
+//
+// The paper keeps the final layer in float (e.g. YOLOv2-Tiny's conv9, which
+// must emit real-valued box/objectness activations) and accelerates it with
+// the OpenCL float4 `dot` built-in — the source of the ~3x conv9 speedup in
+// Fig. 5. A packed binary input is expanded to ±1 floats first.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/layer.hpp"
+
+namespace phonebit::core {
+
+class FloatConv2d final : public Layer {
+ public:
+  /// `weights`: float filter bank (C_out, KH, KW, C_in) in NHWC order.
+  FloatConv2d(std::string name, FloatTensor weights, std::vector<float> bias,
+              ConvGeometry geom);
+
+  const std::string& name() const override { return name_; }
+
+  /// Accepts a packed binary blob (unpacked to ±1 on the queue) or floats.
+  /// Output is always a FloatTensor.
+  Blob forward(ExecContext& ctx, const Blob& in) override;
+
+  std::int64_t param_bytes() const override;
+  std::int64_t param_count() const override;
+
+  const ConvGeometry& geometry() const noexcept { return geom_; }
+  std::int64_t out_channels() const noexcept { return weights_.shape().n; }
+  std::int64_t in_channels() const noexcept { return weights_.shape().c; }
+  const FloatTensor& weights() const noexcept { return weights_; }
+  const std::vector<float>& bias() const noexcept { return bias_; }
+
+ private:
+  FloatTensor conv(ExecContext& ctx, const FloatTensor& in);
+
+  std::string name_;
+  FloatTensor weights_;
+  std::vector<float> bias_;
+  ConvGeometry geom_;
+};
+
+}  // namespace phonebit::core

@@ -1,0 +1,84 @@
+#include "core/float_model.hpp"
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace phonebit::core {
+
+std::int64_t NetworkSpec::float_param_count() const {
+  std::int64_t total = 0;
+  for (const auto& layer : layers) {
+    if (const auto* c = std::get_if<ConvLayerSpec>(&layer)) {
+      total += c->c_out * c->geom.kernel_h * c->geom.kernel_w * c->c_in;
+      total += c->c_out;                       // bias
+      if (c->batch_norm) total += 4 * c->c_out;  // gamma,beta,mu,sigma
+    } else if (const auto* d = std::get_if<DenseLayerSpec>(&layer)) {
+      total += d->out_features * d->in_features + d->out_features;
+      if (d->batch_norm) total += 4 * d->out_features;
+    }
+  }
+  return total;
+}
+
+namespace {
+
+std::vector<BatchNormParams> random_bn(Rng& rng, std::int64_t channels) {
+  std::vector<BatchNormParams> bn;
+  bn.reserve(static_cast<std::size_t>(channels));
+  for (std::int64_t c = 0; c < channels; ++c) {
+    BatchNormParams p;
+    // Realistic trained ranges; gamma occasionally negative so the
+    // sign-of-gamma path (Eqn 8) is genuinely exercised.
+    p.gamma = rng.uniform(0.4f, 1.6f) * (rng.uniform() < 0.15f ? -1.0f : 1.0f);
+    p.beta = rng.normal() * 0.3f;
+    p.mu = rng.normal() * 2.0f;
+    p.sigma = rng.uniform(0.5f, 3.0f);
+    bn.push_back(p);
+  }
+  return bn;
+}
+
+std::vector<float> random_bias(Rng& rng, std::int64_t channels) {
+  std::vector<float> b(static_cast<std::size_t>(channels));
+  for (auto& x : b) x = rng.normal() * 0.1f;
+  return b;
+}
+
+}  // namespace
+
+FloatModel FloatModel::random(NetworkSpec spec, std::uint64_t seed) {
+  Rng rng(seed);
+  FloatModel model;
+  model.weights.reserve(spec.layers.size());
+  for (const auto& layer : spec.layers) {
+    if (const auto* c = std::get_if<ConvLayerSpec>(&layer)) {
+      ConvWeights w;
+      w.w = FloatTensor(
+          Shape{c->c_out, c->geom.kernel_h, c->geom.kernel_w, c->c_in},
+          Layout::kNHWC);
+      const float scale = 1.0f / std::sqrt(static_cast<float>(
+                              c->geom.kernel_h * c->geom.kernel_w * c->c_in));
+      w.w.fill_random(rng, scale);
+      w.bias = random_bias(rng, c->c_out);
+      if (c->batch_norm) w.bn = random_bn(rng, c->c_out);
+      model.weights.emplace_back(std::move(w));
+    } else if (const auto* d = std::get_if<DenseLayerSpec>(&layer)) {
+      DenseWeights w;
+      w.w = FloatTensor(Shape{d->out_features, 1, 1, d->in_features},
+                        Layout::kNHWC);
+      const float scale =
+          1.0f / std::sqrt(static_cast<float>(d->in_features));
+      w.w.fill_random(rng, scale);
+      w.bias = random_bias(rng, d->out_features);
+      if (d->batch_norm) w.bn = random_bn(rng, d->out_features);
+      model.weights.emplace_back(std::move(w));
+    } else {
+      model.weights.emplace_back(std::monostate{});
+    }
+  }
+  model.spec = std::move(spec);
+  return model;
+}
+
+}  // namespace phonebit::core

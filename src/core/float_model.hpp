@@ -1,0 +1,96 @@
+// PhoneBit — the trained-model IR.
+//
+// The paper's deployment flow (Fig. 2) starts from a model trained by an
+// existing BNN framework and converts it to the PhoneBit format. FloatModel
+// is that interchange point in this repo: a layer-spec list plus full-
+// precision weights/BN parameters. The PhoneBit converter binarizes and
+// folds it (core/converter.*); the baseline engines execute it directly at
+// full precision; the model-size accounting (Table II) reads both.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "core/bn_fold.hpp"
+#include "core/pooling.hpp"
+#include "tensor/tensor.hpp"
+
+namespace phonebit::core {
+
+/// Post-conv activation in the full-precision model. Binary layers replace
+/// the activation with binarization when converted (standard BNN practice);
+/// baselines apply it as trained.
+enum class Activation { kNone, kRelu, kLeakyRelu };
+
+/// Full-precision convolution layer description.
+struct ConvLayerSpec {
+  std::string name;
+  std::int64_t c_in = 0;
+  std::int64_t c_out = 0;
+  ConvGeometry geom;
+  bool batch_norm = true;
+  Activation act = Activation::kRelu;
+  /// AlexNet-style local response normalization follows this conv. The
+  /// TFLite-like GPU delegate rejects graphs containing it (DESIGN.md §4).
+  bool lrn_after = false;
+};
+
+/// Max-pool layer description.
+struct PoolLayerSpec {
+  std::string name;
+  PoolGeometry geom;
+};
+
+/// Dense layer description.
+struct DenseLayerSpec {
+  std::string name;
+  std::int64_t in_features = 0;
+  std::int64_t out_features = 0;
+  bool batch_norm = true;
+  Activation act = Activation::kRelu;
+};
+
+using LayerSpec = std::variant<ConvLayerSpec, PoolLayerSpec, DenseLayerSpec>;
+
+/// Architecture description: input shape + ordered layer specs.
+struct NetworkSpec {
+  std::string name;
+  Shape input{1, 224, 224, 3};
+  std::vector<LayerSpec> layers;
+
+  /// Trained parameter count of the full-precision model.
+  std::int64_t float_param_count() const;
+  /// Full-precision serialized size in bytes (fp32).
+  std::int64_t float_param_bytes() const { return float_param_count() * 4; }
+};
+
+/// Trained weights of one conv layer (w laid out (C_out, KH, KW, C_in)).
+struct ConvWeights {
+  FloatTensor w;
+  std::vector<float> bias;
+  std::vector<BatchNormParams> bn;  // empty when batch_norm == false
+};
+
+/// Trained weights of one dense layer (w laid out (units, 1, 1, features)).
+struct DenseWeights {
+  FloatTensor w;
+  std::vector<float> bias;
+  std::vector<BatchNormParams> bn;
+};
+
+using LayerWeights = std::variant<std::monostate, ConvWeights, DenseWeights>;
+
+/// A trained full-precision model: spec + per-layer weights.
+struct FloatModel {
+  NetworkSpec spec;
+  std::vector<LayerWeights> weights;  // parallel to spec.layers
+
+  /// Deterministic synthetic "trained" model: Gaussian weights scaled per
+  /// fan-in, BN statistics in realistic ranges. Substitutes for checkpoints
+  /// this environment cannot train (DESIGN.md §2).
+  static FloatModel random(NetworkSpec spec, std::uint64_t seed);
+};
+
+}  // namespace phonebit::core

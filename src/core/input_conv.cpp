@@ -1,0 +1,186 @@
+#include "core/input_conv.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "bitpack/binary_ops.hpp"
+#include "bitpack/pack.hpp"
+#include "core/binarize.hpp"
+#include "core/costs.hpp"
+
+namespace phonebit::core {
+
+using bitpack::PackedTensor;
+using oclsim::KernelCost;
+using oclsim::NDRange;
+using oclsim::WorkItem;
+
+InputConv2d::InputConv2d(std::string name, PackedTensor weights,
+                         std::vector<BatchNormParams> bn,
+                         std::vector<float> bias, ConvGeometry geom)
+    : name_(std::move(name)), weights_(std::move(weights)), bn_(std::move(bn)),
+      bias_(std::move(bias)), geom_(geom) {
+  PB_CHECK(static_cast<std::int64_t>(bn_.size()) == weights_.shape().n,
+           name_ << ": BN channel count mismatch");
+  PB_CHECK(weights_.shape().h == geom_.kernel_h &&
+               weights_.shape().w == geom_.kernel_w,
+           name_ << ": filter bank spatial dims disagree with geometry");
+  folded_ = fold_batch_norm(bn_, bias_);
+}
+
+std::int64_t InputConv2d::param_bytes() const {
+  const std::int64_t c_out = weights_.shape().n;
+  return weights_.bytes() + c_out * 4 + ceil_div(c_out, 8);
+}
+
+std::int64_t InputConv2d::param_count() const {
+  const Shape& s = weights_.shape();
+  return s.n * s.h * s.w * s.c + 5 * s.n;
+}
+
+Blob InputConv2d::forward(ExecContext& ctx, const Blob& in) {
+  const auto* image = std::get_if<U8Tensor>(&in);
+  PB_CHECK(image != nullptr, name_ << ": input conv expects an 8-bit image");
+  const Shape& is = image->shape();
+  PB_CHECK(is.c == in_channels(), name_ << ": image has " << is.c
+                                        << " channels, filter expects "
+                                        << in_channels());
+
+  const std::int64_t oh = geom_.out_h(is.h);
+  const std::int64_t ow = geom_.out_w(is.w);
+  const std::int64_t c_out = out_channels();
+  const std::int64_t kh = geom_.kernel_h, kw = geom_.kernel_w;
+  const std::int64_t words = ceil_div(is.c, bitpack::kWordBits);
+  const auto pw = ctx.opts.pack_width_for(is.c);
+
+  // Kernel 1: bit-plane split (one work item per pixel owns all its words,
+  // so plane words are written race-free).
+  auto planes_storage = std::make_shared<std::array<PackedTensor, 8>>(
+      std::array<PackedTensor, 8>{PackedTensor(is), PackedTensor(is),
+                                  PackedTensor(is), PackedTensor(is),
+                                  PackedTensor(is), PackedTensor(is),
+                                  PackedTensor(is), PackedTensor(is)});
+  auto& planes = *planes_storage;
+  {
+    KernelCost split_cost;
+    split_cost.scalar_ops = static_cast<double>(is.elems()) * 8.0;
+    split_cost.bytes_read = static_cast<double>(is.elems());
+    split_cost.bytes_written = static_cast<double>(planes[0].bytes()) * 8.0;
+    split_cost.coalescing = costs::coalescing(ctx.opts);
+    split_cost.alu_efficiency = costs::kAuxKernelEff;
+    ctx.queue.enqueue(
+        name_ + ".bitplane_split", NDRange{is.w, is.h, is.n}, split_cost,
+        [&](const WorkItem& it) {
+          for (std::int64_t j = 0; j < words; ++j) {
+            std::array<std::uint64_t, 8> acc{};
+            const std::int64_t c0 = j * bitpack::kWordBits;
+            const std::int64_t limit =
+                std::min<std::int64_t>(bitpack::kWordBits, is.c - c0);
+            for (std::int64_t b = 0; b < limit; ++b) {
+              const std::uint8_t px = (*image)(it.z, it.y, it.x, c0 + b);
+              for (int k = 0; k < 8; ++k) {
+                if ((px >> k) & 1) {
+                  acc[static_cast<std::size_t>(k)] |= (std::uint64_t{1} << b);
+                }
+              }
+            }
+            for (int k = 0; k < 8; ++k) {
+              planes[static_cast<std::size_t>(k)]
+                  .data()[planes[0].word_offset(it.z, it.y, it.x, j)] =
+                  acc[static_cast<std::size_t>(k)];
+            }
+          }
+        });
+  }
+
+  // Kernel 2: fused plane conv + BN + binarize + pack (Fig. 4 workload:
+  // 8 filters per item when C_out allows).
+  PB_CHECK(c_out % 8 == 0, name_ << ": C_out must be a multiple of 8");
+  PackedTensor out(Shape{is.n, oh, ow, c_out});
+  const std::int64_t groups = c_out / 8;
+  const bool branch_free = ctx.opts.branch_free_binarize;
+  const FoldedBatchNorm& fb = folded_;
+
+  KernelCost cost;
+  const double outputs = static_cast<double>(is.n) * oh * ow * c_out;
+  // 8 planes of and+popcount per output window. Costed as the window-packed
+  // schedule the production kernel uses for narrow first layers: the whole
+  // KxKxC window's bits are processed contiguously at the vector width
+  // chosen for KxKxC (e.g. YOLO conv1: 27 bits -> 32-bit vectors), rather
+  // than one padded vector per 3-channel tap.
+  const auto window_pw = ctx.opts.pack_width_for(kh * kw * is.c);
+  const double window_bits = static_cast<double>(
+      ceil_div(kh * kw * is.c, bitpack::bits(window_pw)) *
+      bitpack::bits(window_pw));
+  cost.bitop_bits = outputs * 8.0 * 2.0 * window_bits;
+  cost.scalar_ops = outputs * (8.0 + 4.0);
+  cost.pack_width_bits = bitpack::bits(window_pw);
+  cost.instr_overhead_cycles = costs::instr_overhead(ctx.opts);
+  cost.bytes_read = static_cast<double>(planes[0].bytes()) * 8.0 +
+                    static_cast<double>(weights_.bytes());
+  cost.bytes_written = static_cast<double>(out.bytes());
+  cost.coalescing = costs::coalescing(ctx.opts);
+  cost.alu_efficiency = costs::binary_kernel_eff(ctx.opts);
+
+  auto* out_bytes = reinterpret_cast<std::uint8_t*>(out.data());
+  const std::vector<std::uint64_t> zeros(static_cast<std::size_t>(words), 0);
+  ctx.queue.enqueue(
+      name_ + ".bitplane_conv_fused", NDRange{ow, oh, is.n * groups}, cost,
+      [&, oh, ow, kh, kw, words, groups, branch_free, pw](const WorkItem& it) {
+        const std::int64_t n = it.z / groups;
+        const std::int64_t g = it.z % groups;
+
+        // Hoisted weight-independent term: integer pixel sum of the window.
+        std::int64_t window_sum = 0;
+        for (std::int64_t ky = 0; ky < kh; ++ky) {
+          const std::int64_t iy = it.y * geom_.stride_h - geom_.pad_h + ky;
+          if (iy < 0 || iy >= is.h) continue;  // zero padding: planes are 0
+          for (std::int64_t kx = 0; kx < kw; ++kx) {
+            const std::int64_t ix = it.x * geom_.stride_w - geom_.pad_w + kx;
+            if (ix < 0 || ix >= is.w) continue;
+            for (int k = 0; k < 8; ++k) {
+              window_sum += (std::int64_t{1} << k) *
+                            bitpack::popcount_words(
+                                planes[static_cast<std::size_t>(k)].pixel(
+                                    n, iy, ix),
+                                words);
+            }
+          }
+        }
+
+        std::uint8_t byte = 0;
+        for (int f = 0; f < 8; ++f) {
+          const std::int64_t co = g * 8 + f;
+          std::int64_t weighted_and = 0;
+          for (std::int64_t ky = 0; ky < kh; ++ky) {
+            const std::int64_t iy = it.y * geom_.stride_h - geom_.pad_h + ky;
+            for (std::int64_t kx = 0; kx < kw; ++kx) {
+              const std::int64_t ix = it.x * geom_.stride_w - geom_.pad_w + kx;
+              const bool inside = iy >= 0 && iy < is.h && ix >= 0 && ix < is.w;
+              const std::uint64_t* wspan = weights_.pixel(co, ky, kx);
+              for (int k = 0; k < 8; ++k) {
+                const std::uint64_t* pspan =
+                    inside
+                        ? planes[static_cast<std::size_t>(k)].pixel(n, iy, ix)
+                        : zeros.data();
+                weighted_and +=
+                    (std::int64_t{1} << k) *
+                    bitpack::and_popcount(pspan, wspan, words, pw);
+              }
+            }
+          }
+          // s = sum_k 2^k (2*popcount(p&w) - popcount(p))  (Eqn 2)
+          const float x1 = static_cast<float>(2 * weighted_and - window_sum);
+          const std::size_t ci = static_cast<std::size_t>(co);
+          const bool bit =
+              branch_free
+                  ? binarize_eqn9(x1, fb.xi[ci], fb.gamma_pos[ci] != 0)
+                  : binarize_eqn8(x1, fb.xi[ci], fb.gamma_pos[ci] != 0);
+          if (bit) byte = static_cast<std::uint8_t>(byte | (1u << f));
+        }
+        out_bytes[out.word_offset(n, it.y, it.x, 0) * 8 + g] = byte;
+      });
+  return out;
+}
+
+}  // namespace phonebit::core

@@ -1,0 +1,52 @@
+// PhoneBit — first-layer convolution over 8-bit integer input (Eqn 2).
+//
+// Camera images are not binary, so the first conv splits each 8-bit input
+// into 8 bit-planes I_k and accumulates s = sum_k 2^k <I_k * W> where <>
+// is a binary convolution of the 0/1 plane against ±1 weights:
+//   sum_i p_i w_i = 2*popcount(p AND w) - popcount(p).
+// The weight-independent popcount term equals the window's integer pixel
+// sum, so it is hoisted out of the per-filter loop. BN + binarization fuse
+// at the end exactly as in BinaryConv2d. This 8x plane overhead is why the
+// paper's Fig. 5 shows conv1 gaining only ~23x vs ~45x for middle layers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bitpack/packed_tensor.hpp"
+#include "core/bn_fold.hpp"
+#include "core/layer.hpp"
+
+namespace phonebit::core {
+
+class InputConv2d final : public Layer {
+ public:
+  /// `weights`: packed (C_out, KH, KW, C_in) sign-binarized filters.
+  InputConv2d(std::string name, bitpack::PackedTensor weights,
+              std::vector<BatchNormParams> bn, std::vector<float> bias,
+              ConvGeometry geom);
+
+  const std::string& name() const override { return name_; }
+
+  /// Input blob must be a U8Tensor (the decoded image). Output is packed.
+  Blob forward(ExecContext& ctx, const Blob& in) override;
+
+  std::int64_t param_bytes() const override;
+  std::int64_t param_count() const override;
+
+  const ConvGeometry& geometry() const noexcept { return geom_; }
+  std::int64_t out_channels() const noexcept { return weights_.shape().n; }
+  std::int64_t in_channels() const noexcept { return weights_.shape().c; }
+  const bitpack::PackedTensor& weights() const noexcept { return weights_; }
+  const FoldedBatchNorm& folded_bn() const noexcept { return folded_; }
+
+ private:
+  std::string name_;
+  bitpack::PackedTensor weights_;
+  std::vector<BatchNormParams> bn_;
+  std::vector<float> bias_;
+  FoldedBatchNorm folded_;
+  ConvGeometry geom_;
+};
+
+}  // namespace phonebit::core

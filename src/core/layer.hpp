@@ -1,0 +1,66 @@
+// PhoneBit — layer abstraction.
+//
+// A network is a pipeline of layers exchanging Blobs. A Blob is either a
+// float tensor (full-precision boundary layers), an 8-bit image (network
+// input, Eqn 2) or a channel-packed binary tensor (everything in between —
+// the engine never materializes float activations for binary layers).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "bitpack/packed_tensor.hpp"
+#include "core/options.hpp"
+#include "oclsim/runtime.hpp"
+#include "tensor/tensor.hpp"
+
+namespace phonebit::core {
+
+/// The value flowing between layers.
+using Blob = std::variant<FloatTensor, U8Tensor, bitpack::PackedTensor>;
+
+/// Logical shape of whichever tensor the blob holds.
+inline const Shape& blob_shape(const Blob& b) {
+  if (const auto* f = std::get_if<FloatTensor>(&b)) return f->shape();
+  if (const auto* u = std::get_if<U8Tensor>(&b)) return u->shape();
+  return std::get<bitpack::PackedTensor>(b).shape();
+}
+
+/// Execution state threaded through a forward pass.
+struct ExecContext {
+  oclsim::CommandQueue& queue;
+  EngineOptions opts;
+};
+
+/// Base class for all PhoneBit layers.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Layer instance name ("conv2", "pool1", ...).
+  virtual const std::string& name() const = 0;
+
+  /// Runs the layer, enqueueing its kernels on ctx.queue.
+  virtual Blob forward(ExecContext& ctx, const Blob& in) = 0;
+
+  /// On-device parameter footprint in bytes (packed weights count packed;
+  /// used for the Table II model-size accounting).
+  virtual std::int64_t param_bytes() const { return 0; }
+
+  /// Number of trained parameters (for reporting).
+  virtual std::int64_t param_count() const { return 0; }
+};
+
+/// Per-layer timing extracted from the queue's profiling events.
+struct LayerReport {
+  std::string name;
+  double modeled_ms = 0.0;
+  double host_ms = 0.0;
+  int launches = 0;
+  oclsim::KernelCost cost;
+};
+
+}  // namespace phonebit::core

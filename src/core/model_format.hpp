@@ -1,0 +1,28 @@
+// PhoneBit — the on-disk model format (the artifact Fig. 2 uploads to the
+// phone). A compact little-endian binary container:
+//
+//   magic "PBIT" | u32 version | u32 layer_count | layers...
+//
+// Binary layers store packed 1-bit weights plus the folded (xi, sign-gamma)
+// constants — the only BN state the runtime needs, which is what makes the
+// format 1/32nd the float checkpoint. Full-precision layers store fp32.
+// load_model() reconstructs a runnable Network; for the no-integration
+// ablation the folded constants are re-expressed as equivalent raw BN
+// parameters (gamma = ±1, sigma = 1, mu = xi), which binarize identically.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/network.hpp"
+
+namespace phonebit::core {
+
+/// Serializes a converted network to `path`. Throws FormatError on I/O
+/// failure and InvalidArgument for unserializable layers.
+void save_model(const Network& net, const std::string& path);
+
+/// Loads a network previously written by save_model().
+std::unique_ptr<Network> load_model(const std::string& path);
+
+}  // namespace phonebit::core

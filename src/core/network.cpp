@@ -1,0 +1,62 @@
+#include "core/network.hpp"
+
+namespace phonebit::core {
+
+Blob Network::forward(ExecContext& ctx, Blob input) {
+  PB_CHECK(!layers_.empty(), name_ << ": network has no layers");
+  report_.clear();
+  report_.reserve(layers_.size());
+  Blob blob = std::move(input);
+  for (const auto& layer : layers_) {
+    const std::size_t events_before = ctx.queue.events().size();
+    blob = layer->forward(ctx, blob);
+    LayerReport r;
+    r.name = layer->name();
+    for (std::size_t i = events_before; i < ctx.queue.events().size(); ++i) {
+      const auto& ev = ctx.queue.events()[i];
+      r.modeled_ms += ev.modeled_ms;
+      r.host_ms += ev.host_ms;
+      r.launches += ev.cost.launches;
+      r.cost += ev.cost;
+    }
+    // The += above double-counts the first event's launch baseline; reset to
+    // the true count.
+    r.cost.launches = r.launches;
+    report_.push_back(std::move(r));
+  }
+  return blob;
+}
+
+FloatTensor Network::forward_float(ExecContext& ctx, const U8Tensor& image) {
+  Blob out = forward(ctx, Blob{image});
+  auto* f = std::get_if<FloatTensor>(&out);
+  PB_CHECK(f != nullptr,
+           name_ << ": network does not end in a full-precision layer");
+  return std::move(*f);
+}
+
+std::int64_t Network::param_bytes() const {
+  std::int64_t total = 0;
+  for (const auto& l : layers_) total += l->param_bytes();
+  return total;
+}
+
+std::int64_t Network::param_count() const {
+  std::int64_t total = 0;
+  for (const auto& l : layers_) total += l->param_count();
+  return total;
+}
+
+double Network::last_modeled_ms() const {
+  double s = 0.0;
+  for (const auto& r : report_) s += r.modeled_ms;
+  return s;
+}
+
+double Network::last_host_ms() const {
+  double s = 0.0;
+  for (const auto& r : report_) s += r.host_ms;
+  return s;
+}
+
+}  // namespace phonebit::core

@@ -1,0 +1,73 @@
+// PhoneBit — network container and forward pass.
+//
+// A Network is an ordered pipeline of layers (Fig. 3's hand-written layer
+// calls, behind a builder API). forward() threads a Blob through the layers
+// and slices the queue's profiling events into per-layer reports — the data
+// behind Table III and Fig. 5.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/layer.hpp"
+
+namespace phonebit::core {
+
+class Network {
+ public:
+  explicit Network(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const noexcept { return name_; }
+
+  /// Appends a layer; returns *this for chaining.
+  Network& add(std::unique_ptr<Layer> layer) {
+    PB_CHECK(layer != nullptr, "null layer");
+    layers_.push_back(std::move(layer));
+    return *this;
+  }
+
+  /// Constructs a layer in place and appends it.
+  template <typename L, typename... Args>
+  L& emplace(Args&&... args) {
+    auto layer = std::make_unique<L>(std::forward<Args>(args)...);
+    L& ref = *layer;
+    layers_.push_back(std::move(layer));
+    return ref;
+  }
+
+  /// Runs every layer in order. Also populates last_report().
+  Blob forward(ExecContext& ctx, Blob input);
+
+  /// Convenience: forward an 8-bit image and return the float output blob
+  /// (throws if the network does not end in a full-precision layer).
+  FloatTensor forward_float(ExecContext& ctx, const U8Tensor& image);
+
+  const std::vector<std::unique_ptr<Layer>>& layers() const noexcept {
+    return layers_;
+  }
+  std::size_t size() const noexcept { return layers_.size(); }
+
+  /// Serialized parameter footprint (Table II model size).
+  std::int64_t param_bytes() const;
+  /// Trained parameter count.
+  std::int64_t param_count() const;
+
+  /// Per-layer timing of the most recent forward().
+  const std::vector<LayerReport>& last_report() const noexcept {
+    return report_;
+  }
+
+  /// Modeled device milliseconds of the most recent forward().
+  double last_modeled_ms() const;
+  /// Host wall milliseconds of the most recent forward().
+  double last_host_ms() const;
+
+ private:
+  std::string name_;
+  std::vector<std::unique_ptr<Layer>> layers_;
+  std::vector<LayerReport> report_;
+};
+
+}  // namespace phonebit::core

@@ -1,0 +1,53 @@
+// PhoneBit — engine configuration.
+//
+// Every optimization the paper describes is a switch here so the ablation
+// benchmarks can turn them off one at a time (DESIGN.md §3). Defaults are
+// the paper's configuration.
+#pragma once
+
+#include <cstdint>
+
+#include "bitpack/binary_ops.hpp"
+#include "tensor/shape.hpp"
+
+namespace phonebit::core {
+
+/// Tunable engine behaviour (all paper defaults ON).
+struct EngineOptions {
+  /// §V-B layer integration: fuse binary-conv + batch-norm + binarization
+  /// into a single kernel using the folded threshold ξ.
+  bool fuse_bn_binarize = true;
+
+  /// §VI-C: use the Karnaugh-reduced branch-free Eqn 9 instead of the
+  /// divergent four-way Eqn 8.
+  bool branch_free_binarize = true;
+
+  /// §VI-B workload optimization: one work item computes 8 filters and packs
+  /// their bits into one byte in private memory (Fig. 4).
+  bool integrate_packing = true;
+
+  /// §VI-B: channel threshold above which packing runs as a separate kernel
+  /// (private memory cannot hold the 8-filter working set).
+  std::int64_t packing_channel_threshold = 256;
+
+  /// §V-A.2: pick xor/popcount vector granularity per layer from its channel
+  /// count. When false, `fixed_pack_width` is used everywhere.
+  bool auto_pack_width = true;
+  bitpack::PackWidth fixed_pack_width = bitpack::PackWidth::k64;
+
+  /// §VI-A.1 vectorized load/store. Turning this off models scalar loads:
+  /// worse effective bandwidth and extra per-access overhead.
+  bool vectorized_loads = true;
+
+  /// §V-A.1 data layout. kNCHW models the Caffe/Torch default for the layout
+  /// ablation (bit packing then walks a strided channel dimension).
+  Layout layout = Layout::kNHWC;
+
+  /// Resolves the pack width for a layer with `channels` input channels.
+  bitpack::PackWidth pack_width_for(std::int64_t channels) const {
+    return auto_pack_width ? bitpack::select_pack_width(channels)
+                           : fixed_pack_width;
+  }
+};
+
+}  // namespace phonebit::core

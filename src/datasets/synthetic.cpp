@@ -1,0 +1,121 @@
+#include "datasets/synthetic.hpp"
+
+#include <cmath>
+
+#include "common/fixed_point.hpp"
+#include "common/rng.hpp"
+
+namespace phonebit::datasets {
+
+U8Tensor random_image(const Shape& shape, std::uint64_t seed) {
+  Rng rng(seed);
+  U8Tensor img(shape, Layout::kNHWC);
+  for (std::int64_t i = 0; i < img.elems(); ++i) {
+    img.data()[i] = static_cast<std::uint8_t>(rng() & 0xff);
+  }
+  return img;
+}
+
+U8Tensor cifar_like_image(std::uint64_t seed) {
+  Rng rng(seed);
+  U8Tensor img(Shape{1, 32, 32, 3}, Layout::kNHWC);
+  const float fx = rng.uniform(0.1f, 0.5f);
+  const float fy = rng.uniform(0.1f, 0.5f);
+  const float phase = rng.uniform(0.0f, 6.28f);
+  for (std::int64_t h = 0; h < 32; ++h)
+    for (std::int64_t w = 0; w < 32; ++w)
+      for (std::int64_t c = 0; c < 3; ++c) {
+        const float base =
+            0.5f + 0.35f * std::sin(fx * static_cast<float>(w) +
+                                    fy * static_cast<float>(h) + phase +
+                                    0.8f * static_cast<float>(c));
+        const float noisy = base + 0.08f * (rng.uniform() - 0.5f);
+        img(0, h, w, c) = to_u8_pixel(noisy);
+      }
+  return img;
+}
+
+U8Tensor voc_like_image(std::int64_t hw, std::uint64_t seed) {
+  Rng rng(seed);
+  U8Tensor img(Shape{1, hw, hw, 3}, Layout::kNHWC);
+  // Textured background.
+  for (std::int64_t h = 0; h < hw; ++h)
+    for (std::int64_t w = 0; w < hw; ++w)
+      for (std::int64_t c = 0; c < 3; ++c) {
+        const float v = 0.35f +
+                        0.1f * std::sin(0.05f * static_cast<float>(h + w)) +
+                        0.05f * (rng.uniform() - 0.5f);
+        img(0, h, w, c) = to_u8_pixel(v);
+      }
+  // A few bright box-shaped "objects".
+  const int boxes = 3;
+  for (int b = 0; b < boxes; ++b) {
+    const std::int64_t bw = static_cast<std::int64_t>(rng.below(
+                                static_cast<std::uint64_t>(hw / 4))) +
+                            hw / 8;
+    const std::int64_t bh = static_cast<std::int64_t>(rng.below(
+                                static_cast<std::uint64_t>(hw / 4))) +
+                            hw / 8;
+    const std::int64_t x0 = static_cast<std::int64_t>(
+        rng.below(static_cast<std::uint64_t>(hw - bw)));
+    const std::int64_t y0 = static_cast<std::int64_t>(
+        rng.below(static_cast<std::uint64_t>(hw - bh)));
+    const float r = rng.uniform(0.6f, 1.0f);
+    const float g = rng.uniform(0.2f, 0.9f);
+    const float bl = rng.uniform(0.2f, 0.9f);
+    for (std::int64_t h = y0; h < y0 + bh; ++h)
+      for (std::int64_t w = x0; w < x0 + bw; ++w) {
+        img(0, h, w, 0) = to_u8_pixel(r);
+        img(0, h, w, 1) = to_u8_pixel(g);
+        img(0, h, w, 2) = to_u8_pixel(bl);
+      }
+  }
+  return img;
+}
+
+U8Tensor upscale(const U8Tensor& in, std::int64_t out_h, std::int64_t out_w) {
+  const Shape& is = in.shape();
+  U8Tensor out(Shape{is.n, out_h, out_w, is.c}, Layout::kNHWC);
+  for (std::int64_t n = 0; n < is.n; ++n)
+    for (std::int64_t h = 0; h < out_h; ++h)
+      for (std::int64_t w = 0; w < out_w; ++w) {
+        const std::int64_t sh = h * is.h / out_h;
+        const std::int64_t sw = w * is.w / out_w;
+        for (std::int64_t c = 0; c < is.c; ++c) {
+          out(n, h, w, c) = in(n, sh, sw, c);
+        }
+      }
+  return out;
+}
+
+PatternDataset PatternDataset::make(std::int64_t count, std::int64_t classes,
+                                    std::int64_t hw, std::uint64_t seed) {
+  Rng rng(seed);
+  PatternDataset ds;
+  ds.classes = classes;
+  ds.images.reserve(static_cast<std::size_t>(count));
+  ds.labels.reserve(static_cast<std::size_t>(count));
+  for (std::int64_t i = 0; i < count; ++i) {
+    const int label = static_cast<int>(
+        rng.below(static_cast<std::uint64_t>(classes)));
+    // Class-conditional orientation; frequency/phase jitter within class.
+    const float theta =
+        3.14159f * static_cast<float>(label) / static_cast<float>(classes);
+    const float freq = 0.6f + 0.1f * rng.uniform();
+    const float phase = rng.uniform(0.0f, 6.28f);
+    FloatTensor img(Shape{1, hw, hw, 1}, Layout::kNHWC);
+    for (std::int64_t h = 0; h < hw; ++h)
+      for (std::int64_t w = 0; w < hw; ++w) {
+        const float u = std::cos(theta) * static_cast<float>(w) +
+                        std::sin(theta) * static_cast<float>(h);
+        const float v = 0.5f + 0.4f * std::sin(freq * u + phase) +
+                        0.15f * (rng.uniform() - 0.5f);
+        img(0, h, w, 0) = v;
+      }
+    ds.images.push_back(std::move(img));
+    ds.labels.push_back(label);
+  }
+  return ds;
+}
+
+}  // namespace phonebit::datasets

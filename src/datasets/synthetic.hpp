@@ -1,0 +1,43 @@
+// PhoneBit — synthetic data generators.
+//
+// The environment has no CIFAR10/VOC2007 files, so every experiment runs on
+// deterministic synthetic inputs: runtime/energy results do not depend on
+// pixel content (the engines are data-oblivious), and the accuracy-gap
+// experiment uses a separable pattern-classification task the trainer can
+// actually learn (DESIGN.md §2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace phonebit::datasets {
+
+/// Deterministic pseudo-random 8-bit image of the given shape.
+U8Tensor random_image(const Shape& shape, std::uint64_t seed);
+
+/// CIFAR-like 32x32x3 image with smooth class-dependent structure.
+U8Tensor cifar_like_image(std::uint64_t seed);
+
+/// VOC-like image at the given extent: textured background plus a few
+/// box-shaped "objects" (exercises the detection example's decode path).
+U8Tensor voc_like_image(std::int64_t hw, std::uint64_t seed);
+
+/// Nearest-neighbour upscale (e.g. CIFAR 32x32 -> AlexNet 227x227).
+U8Tensor upscale(const U8Tensor& in, std::int64_t out_h, std::int64_t out_w);
+
+/// A labeled classification set over class-conditional oriented sinusoid
+/// patterns + noise; linearly inseparable in pixel space but easily learned
+/// by a small CNN. Used by the trainer to reproduce Table II's accuracy-gap
+/// shape.
+struct PatternDataset {
+  std::vector<FloatTensor> images;  ///< each (1,H,W,C), values in [0,1]
+  std::vector<int> labels;
+  std::int64_t classes = 0;
+
+  static PatternDataset make(std::int64_t count, std::int64_t classes,
+                             std::int64_t hw, std::uint64_t seed);
+};
+
+}  // namespace phonebit::datasets

@@ -1,0 +1,68 @@
+#include "energy/power_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "oclsim/cost_model.hpp"
+
+namespace phonebit::energy {
+
+using oclsim::DeviceProfile;
+using oclsim::ExecUnit;
+using oclsim::KernelEvent;
+
+double event_active_mw(const KernelEvent& ev, const DeviceProfile& profile) {
+  const auto& c = ev.cost;
+  // Cycle shares by arithmetic type decide the blended rail rate.
+  const double bit_cycles = oclsim::bitop_cycles(c);
+  const double scalar_cycles = c.scalar_ops;
+  const double total = bit_cycles + scalar_cycles;
+  if (total <= 0.0) return 0.0;
+
+  double fp_rate = 0.0, bit_rate = 0.0;
+  if (ev.unit == ExecUnit::kGpu) {
+    fp_rate = profile.gpu_fp_active_mw;
+    bit_rate = profile.gpu_bit_active_mw;
+  } else {
+    fp_rate =
+        c.int8_ops ? profile.cpu_int8_active_mw : profile.cpu_fp_active_mw;
+    // CPUs execute bit ops on the scalar pipes: cheaper than fp32 but not
+    // the GPU's wide-SIMD discount.
+    bit_rate = 0.4 * fp_rate;
+  }
+  const double blended =
+      (scalar_cycles * fp_rate + bit_cycles * bit_rate) / total;
+
+  // Inefficient execution keeps the unit switching without retiring work.
+  const double factor = std::min(
+      kMaxInefficiencyFactor,
+      std::pow(std::max(c.alu_efficiency, 1e-6), -kInefficiencyExponent));
+  return blended * factor;
+}
+
+PowerReport estimate_power(const std::vector<KernelEvent>& events,
+                           const DeviceProfile& profile, double frame_ms) {
+  PowerReport r;
+  double energy_uj = 0.0;  // mW * ms = microjoules
+  double busy_ms = 0.0;
+  for (const auto& ev : events) {
+    const double mw = event_active_mw(ev, profile);
+    energy_uj += mw * ev.modeled_ms;
+    busy_ms += ev.modeled_ms;
+  }
+
+  r.frame_ms = frame_ms > 0.0 ? frame_ms : busy_ms;
+  PB_CHECK(r.frame_ms > 0.0, "cannot report power for a zero-length frame");
+  // Idle draw persists across the whole frame window.
+  energy_uj += profile.idle_mw * r.frame_ms;
+  const double energy_mj = energy_uj * 1e-3;
+
+  r.energy_mj_per_frame = energy_mj;
+  r.avg_power_mw = energy_mj / r.frame_ms * 1e3;  // mJ/ms -> W -> mW
+  r.fps = 1000.0 / r.frame_ms;
+  r.fps_per_watt = r.fps / (r.avg_power_mw * 1e-3);
+  return r;
+}
+
+}  // namespace phonebit::energy

@@ -1,0 +1,46 @@
+// PhoneBit — power and energy model (the Trepn-profiler substitute behind
+// Table IV; see DESIGN.md §2 for the substitution rationale).
+//
+// Each profiled kernel event charges an active-power rate chosen by the
+// execution unit and its dominant arithmetic (fp32 / int8 / binary bit-ops)
+// for the event's modeled duration. Inefficient runtimes draw *more* power,
+// not less — stalled waves and uncoalesced replays keep silicon switching —
+// modeled as a mild inverse-efficiency factor. Average power over the
+// inference window plus the modeled frame time yields the Table IV columns:
+// mW and FPS/W.
+#pragma once
+
+#include <vector>
+
+#include "oclsim/device_profile.hpp"
+#include "oclsim/runtime.hpp"
+
+namespace phonebit::energy {
+
+/// Power/energy summary of one inference run.
+struct PowerReport {
+  double avg_power_mw = 0.0;       ///< Trepn-style average during inference
+  double energy_mj_per_frame = 0.0;
+  double frame_ms = 0.0;
+  double fps = 0.0;
+  double fps_per_watt = 0.0;
+};
+
+/// Exponent of the inverse-efficiency activity factor:
+/// P_active *= alu_efficiency^(-kInefficiencyExponent), clamped to
+/// [1, kMaxInefficiencyFactor]. Zero would mean "stalls are free".
+inline constexpr double kInefficiencyExponent = 0.08;
+inline constexpr double kMaxInefficiencyFactor = 2.2;
+
+/// Active power (above idle) a single kernel event draws on `profile`.
+double event_active_mw(const oclsim::KernelEvent& ev,
+                       const oclsim::DeviceProfile& profile);
+
+/// Aggregates a run's profiling events into the Table IV quantities.
+/// `frame_ms` defaults to the sum of event modeled times; pass the whole-
+/// pipeline time when it differs.
+PowerReport estimate_power(const std::vector<oclsim::KernelEvent>& events,
+                           const oclsim::DeviceProfile& profile,
+                           double frame_ms = 0.0);
+
+}  // namespace phonebit::energy

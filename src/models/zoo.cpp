@@ -1,0 +1,197 @@
+#include "models/zoo.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace phonebit::models {
+
+using core::Activation;
+using core::ConvLayerSpec;
+using core::DenseLayerSpec;
+using core::NetworkSpec;
+using core::PoolLayerSpec;
+
+namespace {
+
+std::int64_t shrink_channels(std::int64_t c, int log2) {
+  // Keep multiples of 8 so the byte-packed workload strategy stays legal.
+  return std::max<std::int64_t>(8, (c >> log2) & ~std::int64_t{7});
+}
+
+// Every architecture has a minimum input extent below which its pooling
+// chain underflows; shrunken variants clamp there.
+std::int64_t shrink_extent(std::int64_t e, int log2, std::int64_t floor) {
+  return std::max<std::int64_t>(floor, e >> log2);
+}
+
+ConvLayerSpec conv(std::string name, std::int64_t c_in, std::int64_t c_out,
+                   std::int64_t k, std::int64_t stride, std::int64_t pad,
+                   bool bn, Activation act, bool lrn = false) {
+  ConvLayerSpec c;
+  c.name = std::move(name);
+  c.c_in = c_in;
+  c.c_out = c_out;
+  c.geom.kernel_h = c.geom.kernel_w = k;
+  c.geom.stride_h = c.geom.stride_w = stride;
+  c.geom.pad_h = c.geom.pad_w = pad;
+  c.batch_norm = bn;
+  c.act = act;
+  c.lrn_after = lrn;
+  return c;
+}
+
+PoolLayerSpec pool(std::string name, std::int64_t size, std::int64_t stride,
+                   bool tail_pad = false) {
+  PoolLayerSpec p;
+  p.name = std::move(name);
+  p.geom.size = size;
+  p.geom.stride = stride;
+  p.geom.pad = 0;
+  p.geom.tail_pad = tail_pad;
+  return p;
+}
+
+DenseLayerSpec dense(std::string name, std::int64_t in, std::int64_t out,
+                     bool bn, Activation act) {
+  DenseLayerSpec d;
+  d.name = std::move(name);
+  d.in_features = in;
+  d.out_features = out;
+  d.batch_norm = bn;
+  d.act = act;
+  return d;
+}
+
+}  // namespace
+
+NetworkSpec alexnet(const ZooOptions& opts) {
+  const int s = opts.shrink_log2;
+  const bool bn = opts.bnn_batch_norm;
+  // LRN only survives in the classic (non-BN) form; a BNN training run
+  // replaces it with batch-norm (and the TFLite GPU delegate gate keys on
+  // its presence in the float graph).
+  const bool lrn = !bn;
+  NetworkSpec net;
+  net.name = "alexnet";
+  // 227 input so conv1 (11x11, stride 4, pad 0) lands exactly on 55.
+  // Floor 67: the smallest input that survives conv1 + three 3/2 pools.
+  const std::int64_t in_hw = s == 0 ? 227 : shrink_extent(227, s, 67);
+  net.input = Shape{1, in_hw, in_hw, 3};
+
+  const std::int64_t c1 = shrink_channels(96, s);
+  const std::int64_t c2 = shrink_channels(256, s);
+  const std::int64_t c3 = shrink_channels(384, s);
+  const std::int64_t c5 = shrink_channels(256, s);
+
+  net.layers.push_back(conv("conv1", 3, c1, 11, 4, 0, bn, Activation::kRelu, lrn));
+  net.layers.push_back(pool("pool1", 3, 2));
+  net.layers.push_back(conv("conv2", c1, c2, 5, 1, 2, bn, Activation::kRelu, lrn));
+  net.layers.push_back(pool("pool2", 3, 2));
+  net.layers.push_back(conv("conv3", c2, c3, 3, 1, 1, bn, Activation::kRelu));
+  net.layers.push_back(conv("conv4", c3, c3, 3, 1, 1, bn, Activation::kRelu));
+  net.layers.push_back(conv("conv5", c3, c5, 3, 1, 1, bn, Activation::kRelu));
+  net.layers.push_back(pool("pool5", 3, 2));
+
+  // Feature extent after the three 3/2 pools (55 -> 27 -> 13 -> 6 at full
+  // size); computed generically so shrunken variants stay consistent.
+  std::int64_t hw = ConvGeometry{11, 11, 4, 4, 0, 0}.out_h(in_hw);
+  hw = core::PoolGeometry{3, 2, 0, false}.out_dim(hw);
+  hw = core::PoolGeometry{3, 2, 0, false}.out_dim(hw);
+  hw = core::PoolGeometry{3, 2, 0, false}.out_dim(hw);
+
+  const std::int64_t fc = shrink_channels(4096, s);
+  net.layers.push_back(dense("fc6", hw * hw * c5, fc, bn, Activation::kRelu));
+  net.layers.push_back(dense("fc7", fc, fc, bn, Activation::kRelu));
+  net.layers.push_back(dense("fc8", fc, 1000, false, Activation::kNone));
+  return net;
+}
+
+NetworkSpec yolov2_tiny(const ZooOptions& opts) {
+  const int s = opts.shrink_log2;
+  const bool bn = opts.bnn_batch_norm;
+  NetworkSpec net;
+  net.name = "yolov2-tiny";
+  // Floor 35: five stride-2 pools + the stride-1 pool6 need >= 2^5.
+  const std::int64_t in_hw = s == 0 ? 416 : shrink_extent(416, s, 35);
+  net.input = Shape{1, in_hw, in_hw, 3};
+
+  const std::int64_t ch[8] = {
+      shrink_channels(16, s),   shrink_channels(32, s),
+      shrink_channels(64, s),   shrink_channels(128, s),
+      shrink_channels(256, s),  shrink_channels(512, s),
+      shrink_channels(1024, s), shrink_channels(1024, s)};
+
+  std::int64_t c_in = 3;
+  for (int i = 0; i < 6; ++i) {
+    net.layers.push_back(conv("conv" + std::to_string(i + 1), c_in, ch[i], 3,
+                              1, 1, bn, Activation::kLeakyRelu));
+    // pool6 is the darknet stride-1 "same" pool that keeps 13x13.
+    const bool last = i == 5;
+    net.layers.push_back(pool("pool" + std::to_string(i + 1), 2,
+                              last ? 1 : 2, last));
+    c_in = ch[i];
+  }
+  net.layers.push_back(
+      conv("conv7", ch[5], ch[6], 3, 1, 1, bn, Activation::kLeakyRelu));
+  net.layers.push_back(
+      conv("conv8", ch[6], ch[7], 3, 1, 1, bn, Activation::kLeakyRelu));
+  // Detection head: 125 = 5 boxes x (4 + 1 + 20 VOC classes), full precision.
+  net.layers.push_back(
+      conv("conv9", ch[7], 125, 1, 1, 0, false, Activation::kNone));
+  return net;
+}
+
+NetworkSpec vgg16(const ZooOptions& opts) {
+  const int s = opts.shrink_log2;
+  const bool bn = opts.bnn_batch_norm;
+  NetworkSpec net;
+  net.name = "vgg16";
+  // Floor 35: five stride-2 pools need >= 2^5.
+  const std::int64_t in_hw = s == 0 ? 224 : shrink_extent(224, s, 35);
+  net.input = Shape{1, in_hw, in_hw, 3};
+
+  const std::int64_t stage_c[5] = {
+      shrink_channels(64, s), shrink_channels(128, s), shrink_channels(256, s),
+      shrink_channels(512, s), shrink_channels(512, s)};
+  const int stage_n[5] = {2, 2, 3, 3, 3};
+
+  std::int64_t c_in = 3;
+  int idx = 1;
+  std::int64_t hw = in_hw;
+  for (int stage = 0; stage < 5; ++stage) {
+    for (int i = 0; i < stage_n[stage]; ++i) {
+      net.layers.push_back(conv("conv" + std::to_string(idx), c_in,
+                                stage_c[stage], 3, 1, 1, bn,
+                                Activation::kRelu));
+      c_in = stage_c[stage];
+      ++idx;
+    }
+    net.layers.push_back(pool("pool" + std::to_string(stage + 1), 2, 2));
+    hw = core::PoolGeometry{2, 2, 0, false}.out_dim(hw);
+  }
+
+  const std::int64_t fc = shrink_channels(4096, s);
+  net.layers.push_back(dense("fc1", hw * hw * c_in, fc, bn, Activation::kRelu));
+  net.layers.push_back(dense("fc2", fc, fc, bn, Activation::kRelu));
+  net.layers.push_back(dense("fc3", fc, 1000, false, Activation::kNone));
+  return net;
+}
+
+NetworkSpec quicknet(std::int64_t classes) {
+  PB_CHECK(classes > 0, "quicknet needs at least one class");
+  NetworkSpec net;
+  net.name = "quicknet";
+  net.input = Shape{1, 32, 32, 3};
+  net.layers.push_back(conv("conv1", 3, 32, 3, 1, 1, true, Activation::kRelu));
+  net.layers.push_back(pool("pool1", 2, 2));
+  net.layers.push_back(conv("conv2", 32, 64, 3, 1, 1, true, Activation::kRelu));
+  net.layers.push_back(pool("pool2", 2, 2));
+  net.layers.push_back(conv("conv3", 64, 64, 3, 1, 1, true, Activation::kRelu));
+  net.layers.push_back(pool("pool3", 2, 2));
+  net.layers.push_back(dense("fc1", 4 * 4 * 64, 128, true, Activation::kRelu));
+  net.layers.push_back(dense("fc2", 128, classes, false, Activation::kNone));
+  return net;
+}
+
+}  // namespace phonebit::models

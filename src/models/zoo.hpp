@@ -1,0 +1,43 @@
+// PhoneBit — the benchmark model zoo (the paper's three networks).
+//
+// Architecture definitions for AlexNet, YOLOv2-Tiny (VOC) and VGG16, plus a
+// small quickstart CNN. The float-parameter counts reproduce the paper's
+// Table II full-precision sizes exactly for YOLOv2-Tiny (63.4 MB) and VGG16
+// (553.4 MB), and AlexNet with its 1000-way fc8 (249.5 MB) — the counts
+// only match the paper's numbers with the original ImageNet-shape heads,
+// which is evidence the authors benchmarked the unmodified architectures.
+//
+// `scale` shrinks channel counts and input resolution by powers of two for
+// fast tests (1 = paper-size). Channel counts never drop below 8 so the
+// 8-filters-per-thread packing stays legal.
+#pragma once
+
+#include <cstdint>
+
+#include "core/float_model.hpp"
+
+namespace phonebit::models {
+
+/// Scaling for fast test variants: divide channels and input extent by
+/// 2^shrink_log2 (0 = the paper's full-size network).
+struct ZooOptions {
+  int shrink_log2 = 0;
+  /// Add batch-norm to every hidden layer (what a BNN training run would
+  /// produce). The classic float baselines keep their original form when
+  /// false.
+  bool bnn_batch_norm = true;
+};
+
+/// AlexNet, 227x227x3 input, LRN after conv1/conv2, 1000-way fc8.
+core::NetworkSpec alexnet(const ZooOptions& opts = {});
+
+/// YOLOv2-Tiny for VOC: 416x416x3 input, 9 convs, 125-channel 1x1 head.
+core::NetworkSpec yolov2_tiny(const ZooOptions& opts = {});
+
+/// VGG16: 224x224x3 input, 13 convs + 3 fc, 1000-way head.
+core::NetworkSpec vgg16(const ZooOptions& opts = {});
+
+/// A small CIFAR-sized CNN for the quickstart example and the trainer.
+core::NetworkSpec quicknet(std::int64_t classes = 10);
+
+}  // namespace phonebit::models

@@ -1,0 +1,85 @@
+#include "oclsim/cost_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bitops.hpp"
+#include "common/error.hpp"
+
+namespace phonebit::oclsim {
+
+KernelCost& KernelCost::operator+=(const KernelCost& o) {
+  // Aggregation keeps the weighted character of the slower component:
+  // rates (coalescing, efficiency) are averaged weighted by their traffic.
+  const double total_bytes = bytes_read + bytes_written + o.bytes_read + o.bytes_written;
+  if (total_bytes > 0) {
+    coalescing = ((bytes_read + bytes_written) * coalescing +
+                  (o.bytes_read + o.bytes_written) * o.coalescing) /
+                 total_bytes;
+  }
+  const double total_ops = scalar_ops + bitop_bits + o.scalar_ops + o.bitop_bits;
+  if (total_ops > 0) {
+    alu_efficiency = ((scalar_ops + bitop_bits) * alu_efficiency +
+                      (o.scalar_ops + o.bitop_bits) * o.alu_efficiency) /
+                     total_ops;
+  }
+  scalar_ops += o.scalar_ops;
+  bitop_bits += o.bitop_bits;
+  bytes_read += o.bytes_read;
+  bytes_written += o.bytes_written;
+  launches += o.launches;
+  overlap_mem = overlap_mem && o.overlap_mem;
+  int8_ops = int8_ops || o.int8_ops;
+  pack_width_bits = std::max(pack_width_bits, o.pack_width_bits);
+  return *this;
+}
+
+double bitop_cycles(const KernelCost& c) {
+  if (c.bitop_bits <= 0) return 0.0;
+  PB_CHECK(c.pack_width_bits >= 8 && c.pack_width_bits <= 1024,
+           "pack width must be in [8,1024] bits, got " << c.pack_width_bits);
+  const double instructions = c.bitop_bits / c.pack_width_bits;
+  const double cycles_per_instr =
+      static_cast<double>(ceil_div(c.pack_width_bits, 32)) +
+      c.instr_overhead_cycles;
+  return instructions * cycles_per_instr;
+}
+
+double modeled_ms(const KernelCost& c, const DeviceProfile& profile,
+                  ExecUnit unit) {
+  PB_CHECK(c.alu_efficiency > 0 && c.alu_efficiency <= 1.0,
+           "alu_efficiency must be in (0,1]");
+  PB_CHECK(c.coalescing > 0 && c.coalescing <= 1.0,
+           "coalescing must be in (0,1]");
+
+  double compute_s = 0.0;
+  double memory_s = 0.0;
+  double overhead_s = 0.0;
+
+  if (unit == ExecUnit::kGpu) {
+    const double cycles = c.scalar_ops + bitop_cycles(c);
+    compute_s = cycles / (profile.gpu_cycles_per_sec() * c.alu_efficiency);
+    memory_s = (c.bytes_read + c.bytes_written) /
+               (profile.mem_bandwidth_gbps * 1e9 * c.coalescing);
+    overhead_s = c.launches * profile.gpu_launch_overhead_ms * 1e-3;
+  } else {
+    // CPU path: NEON gives cpu_simd_fp32_lanes fp32-equivalent ops/cycle per
+    // core; bit ops run on 64-bit scalar registers (2x32-bit lanes/cycle).
+    const double fp_s =
+        c.scalar_ops / (profile.cpu_ops_per_sec() * c.alu_efficiency);
+    const double bit_cycles = bitop_cycles(c) / 2.0;
+    const double bit_s = bit_cycles / (profile.cpu_cores *
+                                       profile.cpu_clock_ghz * 1e9 *
+                                       c.alu_efficiency);
+    compute_s = fp_s + bit_s;
+    memory_s = (c.bytes_read + c.bytes_written) /
+               (profile.mem_bandwidth_gbps * 1e9 * c.coalescing);
+    overhead_s = c.launches * profile.cpu_layer_overhead_ms * 1e-3;
+  }
+
+  const double body_s =
+      c.overlap_mem ? std::max(compute_s, memory_s) : compute_s + memory_s;
+  return (body_s + overhead_s) * 1e3;
+}
+
+}  // namespace phonebit::oclsim

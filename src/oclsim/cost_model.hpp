@@ -1,0 +1,85 @@
+// PhoneBit — roofline cost model for simulated kernel dispatches.
+//
+// Every kernel enqueued on the simulated device carries a KernelCost that
+// counts the work the kernel *actually performs* (the engines derive it from
+// layer geometry, not from tuning). Device time is the classic roofline
+//
+//     t = max(t_compute, t_memory) + launch_overhead        (latency hiding)
+// or  t = t_compute + t_memory + launch_overhead            (no hiding)
+//
+// with
+//     t_compute = (scalar cycles + bit-op cycles) / (ALUs * clock * eff)
+//     t_memory  = bytes / (bandwidth * coalescing)
+//
+// Bit-op cycles model the paper's packing-granularity argument (§V-A.2):
+// a W-bit vector instruction occupies ceil(W/32) cycles of a 32-bit ALU plus
+// a fixed per-instruction overhead, so 8-bit packing wastes most of each
+// cycle while 1024-bit packing (ulong16) approaches 32 bit-lanes/cycle.
+#pragma once
+
+#include <cstdint>
+
+#include "oclsim/device_profile.hpp"
+
+namespace phonebit::oclsim {
+
+/// Which execution resource of the SoC a dispatch runs on.
+enum class ExecUnit {
+  kGpu,  ///< the OpenCL device (Adreno)
+  kCpu,  ///< the Kryo CPU cluster (baseline frameworks' CPU paths)
+};
+
+/// Work performed by one kernel dispatch, as counted by the issuing engine.
+struct KernelCost {
+  /// 32-bit ALU operations: one fp32 MAC, one int32 add/compare, one
+  /// float->bit binarization each count 1. Engines running at reduced
+  /// precision scale this (int8 MAC = 0.25) — see DESIGN.md §2.
+  double scalar_ops = 0;
+
+  /// Total bit-lanes of xor/xnor/and/popcount work (pre-packing count:
+  /// one binary MAC over 64-packed channels contributes 64 here).
+  double bitop_bits = 0;
+
+  /// Vector width used for the bit ops (8..1024); fixes the cycles/bit rate.
+  int pack_width_bits = 64;
+
+  /// Fixed instruction overhead per vector bit-op (loop/address bookkeeping),
+  /// in ALU cycles. The packing ablation leaves this constant while varying
+  /// pack_width_bits.
+  double instr_overhead_cycles = 1.0;
+
+  /// DRAM traffic in bytes (after modeling cache reuse, which the engine
+  /// chooses per its blocking strategy).
+  double bytes_read = 0;
+  double bytes_written = 0;
+
+  /// Fraction of peak bandwidth achieved (NHWC unit-stride ~0.85,
+  /// NCHW scattered ~0.25; §VI-A.2).
+  double coalescing = 0.85;
+
+  /// Fraction of peak ALU throughput achieved (occupancy, divergence).
+  double alu_efficiency = 0.5;
+
+  /// Whether the kernel overlaps memory with compute (§VI-A.3). Engines
+  /// without latency hiding pay the sum instead of the max.
+  bool overlap_mem = true;
+
+  /// Scalar ops are int8 arithmetic (TFLite quantized path); the power
+  /// model charges the int8 rail instead of the fp32 rail.
+  bool int8_ops = false;
+
+  /// Number of device kernel launches this dispatch represents.
+  int launches = 1;
+
+  /// Sum of component costs (used when fusing per-layer costs).
+  KernelCost& operator+=(const KernelCost& o);
+};
+
+/// ALU cycles the bit-op portion of `c` occupies (before efficiency).
+double bitop_cycles(const KernelCost& c);
+
+/// Modeled execution time in milliseconds on `unit` of `profile`.
+double modeled_ms(const KernelCost& c, const DeviceProfile& profile,
+                  ExecUnit unit);
+
+}  // namespace phonebit::oclsim

@@ -1,0 +1,68 @@
+#include "oclsim/device_profile.hpp"
+
+namespace phonebit::oclsim {
+
+DeviceProfile DeviceProfile::snapdragon820() {
+  DeviceProfile p;
+  p.device_name = "Xiaomi 5";
+  p.soc_name = "Snapdragon 820";
+  p.gpu_name = "Adreno 530";
+  p.cpu_name = "Kryo";
+  p.os_version = "Android 7.0";
+  p.opencl_version = "2.0";
+  p.ram_mb = 3 * 1024;
+
+  // Adreno 530: 256 ALUs (Table I), organized as 4 CUs x 64, 624 MHz.
+  p.compute_units = 4;
+  p.alus_per_cu = 64;
+  p.gpu_clock_ghz = 0.624;
+  p.mem_bandwidth_gbps = 25.6;  // LPDDR4 2x32 @ 1803 MHz
+  p.gpu_launch_overhead_ms = 0.04;
+
+  p.cpu_cores = 4;  // 2x2.15 + 2x1.6 GHz Kryo; modeled at the mean
+  p.cpu_clock_ghz = 1.9;
+  p.cpu_simd_fp32_lanes = 4;
+  p.cpu_layer_overhead_ms = 0.015;
+
+  // Power calibration (see src/energy/power_model.*): chosen so the modeled
+  // Table IV column lands in the paper's measured range on this SoC.
+  p.idle_mw = 120.0;
+  p.gpu_fp_active_mw = 360.0;
+  p.gpu_bit_active_mw = 95.0;
+  p.cpu_fp_active_mw = 500.0;
+  p.cpu_int8_active_mw = 330.0;
+  return p;
+}
+
+DeviceProfile DeviceProfile::snapdragon855() {
+  DeviceProfile p;
+  p.device_name = "Xiaomi 9";
+  p.soc_name = "Snapdragon 855";
+  p.gpu_name = "Adreno 640";
+  p.cpu_name = "Kryo 485";
+  p.os_version = "Android 9.0";
+  p.opencl_version = "2.0";
+  p.ram_mb = 8 * 1024;
+
+  // Adreno 640: 2 CUs x 192 ALUs = 384 ALUs (paper Fig. 1 / Table I), 585 MHz.
+  p.compute_units = 2;
+  p.alus_per_cu = 192;
+  p.gpu_clock_ghz = 0.585;
+  p.mem_bandwidth_gbps = 34.1;  // LPDDR4X 4x16 @ 2133 MHz
+  p.gpu_launch_overhead_ms = 0.025;
+
+  p.cpu_cores = 8;  // 1+3+4 Kryo 485; modeled at the mean
+  p.cpu_clock_ghz = 2.2;
+  p.cpu_simd_fp32_lanes = 4;
+  p.cpu_layer_overhead_ms = 0.01;
+
+  // 7 nm process: lower rails across the board.
+  p.idle_mw = 100.0;
+  p.gpu_fp_active_mw = 320.0;
+  p.gpu_bit_active_mw = 80.0;
+  p.cpu_fp_active_mw = 420.0;
+  p.cpu_int8_active_mw = 280.0;
+  return p;
+}
+
+}  // namespace phonebit::oclsim

@@ -1,0 +1,75 @@
+// PhoneBit — simulated mobile SoC profiles.
+//
+// These encode Table I of the paper plus the public microarchitectural
+// parameters needed by the roofline time model and the power model:
+//
+//   Device    SoC             Memory  OS           OpenCL  ALUs in GPU
+//   Xiaomi 5  Snapdragon 820  3GB     Android 7.0  2.0     256   (Adreno 530)
+//   Xiaomi 9  Snapdragon 855  8GB     Android 9.0  2.0     384   (Adreno 640)
+//
+// Clocks and bandwidths are the published values for the SoCs; they are the
+// only "hardware" this reproduction has, per the substitution note in
+// DESIGN.md §2.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace phonebit::oclsim {
+
+/// Static description of a simulated phone SoC (CPU + GPU + memory).
+struct DeviceProfile {
+  // --- identity (Table I columns) ---
+  std::string device_name;      ///< e.g. "Xiaomi 5"
+  std::string soc_name;         ///< e.g. "Snapdragon 820"
+  std::string gpu_name;         ///< e.g. "Adreno 530"
+  std::string cpu_name;         ///< e.g. "Kryo"
+  std::string os_version;       ///< e.g. "Android 7.0"
+  std::string opencl_version;   ///< e.g. "2.0"
+  std::int64_t ram_mb = 0;      ///< system memory
+
+  // --- GPU microarchitecture ---
+  int compute_units = 1;        ///< parallel CUs (Fig. 1)
+  int alus_per_cu = 1;          ///< SIMD ALUs per CU
+  double gpu_clock_ghz = 0.5;   ///< shader clock
+  double mem_bandwidth_gbps = 10.0;  ///< LPDDR bandwidth, GB/s
+  double gpu_launch_overhead_ms = 0.03;  ///< per-kernel dispatch cost
+
+  // --- CPU ---
+  int cpu_cores = 4;
+  double cpu_clock_ghz = 2.0;
+  int cpu_simd_fp32_lanes = 4;  ///< NEON: 128-bit = 4 fp32 lanes
+  double cpu_layer_overhead_ms = 0.01;  ///< per-op interpreter dispatch
+
+  // --- power model parameters (see src/energy/power_model.hpp) ---
+  // Active-power rates by execution unit and dominant arithmetic: what the
+  // rail draws above idle while that kind of kernel occupies the unit.
+  // Binary (xor/popcount) kernels switch far less silicon per cycle than
+  // fp32 MACs — the root of the paper's Table IV power gap.
+  double idle_mw = 80.0;            ///< platform baseline during inference
+  double gpu_fp_active_mw = 400.0;  ///< GPU running float kernels
+  double gpu_bit_active_mw = 90.0;  ///< GPU running bit-op kernels
+  double cpu_fp_active_mw = 450.0;  ///< CPU running float kernels
+  double cpu_int8_active_mw = 300.0;  ///< CPU running int8 kernels
+
+  /// Total GPU ALUs (the Table I "ALUs in GPU" column).
+  int total_alus() const noexcept { return compute_units * alus_per_cu; }
+
+  /// Peak 32-bit ALU cycles per second across the whole GPU.
+  double gpu_cycles_per_sec() const noexcept {
+    return static_cast<double>(total_alus()) * gpu_clock_ghz * 1e9;
+  }
+
+  /// Peak fp32-equivalent CPU ops per second (all cores, NEON lanes).
+  double cpu_ops_per_sec() const noexcept {
+    return static_cast<double>(cpu_cores) * cpu_clock_ghz * 1e9 *
+           cpu_simd_fp32_lanes;
+  }
+
+  /// Xiaomi 5 / Snapdragon 820 / Adreno 530 (Table I row 1).
+  static DeviceProfile snapdragon820();
+  /// Xiaomi 9 / Snapdragon 855 / Adreno 640 (Table I row 2, Fig. 1).
+  static DeviceProfile snapdragon855();
+};
+
+}  // namespace phonebit::oclsim

@@ -1,0 +1,202 @@
+// PhoneBit — portable OpenCL-style vector types.
+//
+// PhoneBit's kernels are written against the OpenCL C vector vocabulary
+// (uchar16, uint4, ulong16, popcount, select, isless/isgreater/isequal,
+// vloadN/vstoreN). On a phone these map to Adreno SIMD lanes; in this
+// reproduction they are value types the host compiler auto-vectorizes.
+// The widest type, ulong16, gives the paper's 1024-bit packing granularity.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+#include "common/bitops.hpp"
+#include "common/error.hpp"
+
+namespace phonebit::simd {
+
+/// Fixed-width vector of N lanes of T (N in {2,4,8,16} like OpenCL).
+/// Aggregate, trivially copyable; all lane operations are elementwise.
+template <typename T, int N>
+struct vec {
+  static_assert(N == 2 || N == 4 || N == 8 || N == 16,
+                "OpenCL vector widths are 2, 4, 8, 16");
+  using lane_type = T;
+  static constexpr int lanes = N;
+
+  std::array<T, N> v{};
+
+  constexpr vec() = default;
+
+  /// Broadcast constructor (OpenCL scalar widening).
+  constexpr explicit vec(T s) {
+    for (auto& x : v) x = s;
+  }
+
+  /// Lane-list constructor.
+  template <typename... Ts>
+    requires(sizeof...(Ts) == N)
+  constexpr vec(Ts... lanes_) : v{static_cast<T>(lanes_)...} {}
+
+  constexpr T& operator[](int i) { return v[static_cast<std::size_t>(i)]; }
+  constexpr const T& operator[](int i) const {
+    return v[static_cast<std::size_t>(i)];
+  }
+
+  friend constexpr bool operator==(const vec& a, const vec& b) {
+    return a.v == b.v;
+  }
+};
+
+// --- elementwise arithmetic / bitwise operators ---------------------------
+
+#define PB_SIMD_BINOP(op)                                            \
+  template <typename T, int N>                                       \
+  constexpr vec<T, N> operator op(const vec<T, N>& a,                \
+                                  const vec<T, N>& b) {              \
+    vec<T, N> r;                                                     \
+    for (int i = 0; i < N; ++i) r[i] = static_cast<T>(a[i] op b[i]); \
+    return r;                                                        \
+  }                                                                  \
+  template <typename T, int N>                                       \
+  constexpr vec<T, N> operator op(const vec<T, N>& a, T s) {         \
+    vec<T, N> r;                                                     \
+    for (int i = 0; i < N; ++i) r[i] = static_cast<T>(a[i] op s);    \
+    return r;                                                        \
+  }
+
+PB_SIMD_BINOP(+)
+PB_SIMD_BINOP(-)
+PB_SIMD_BINOP(*)
+#undef PB_SIMD_BINOP
+
+#define PB_SIMD_INT_BINOP(op)                                        \
+  template <typename T, int N>                                       \
+    requires std::is_integral_v<T>                                   \
+  constexpr vec<T, N> operator op(const vec<T, N>& a,                \
+                                  const vec<T, N>& b) {              \
+    vec<T, N> r;                                                     \
+    for (int i = 0; i < N; ++i) r[i] = static_cast<T>(a[i] op b[i]); \
+    return r;                                                        \
+  }
+
+PB_SIMD_INT_BINOP(^)
+PB_SIMD_INT_BINOP(&)
+PB_SIMD_INT_BINOP(|)
+#undef PB_SIMD_INT_BINOP
+
+/// Elementwise bitwise NOT (integral lanes only).
+template <typename T, int N>
+  requires std::is_integral_v<T>
+constexpr vec<T, N> operator~(const vec<T, N>& a) {
+  vec<T, N> r;
+  for (int i = 0; i < N; ++i) r[i] = static_cast<T>(~a[i]);
+  return r;
+}
+
+// --- OpenCL built-ins ------------------------------------------------------
+
+/// OpenCL popcount: per-lane set-bit count, returned in the same lane type.
+template <typename T, int N>
+  requires std::is_unsigned_v<T>
+constexpr vec<T, N> popcount(const vec<T, N>& a) {
+  vec<T, N> r;
+  for (int i = 0; i < N; ++i) r[i] = static_cast<T>(phonebit::popcount(a[i]));
+  return r;
+}
+
+/// Horizontal add of all lanes into a wide accumulator.
+template <typename T, int N>
+constexpr std::int64_t reduce_add(const vec<T, N>& a) {
+  std::int64_t s = 0;
+  for (int i = 0; i < N; ++i) s += static_cast<std::int64_t>(a[i]);
+  return s;
+}
+
+/// Total set bits across all lanes: popcount + horizontal add fused.
+template <typename T, int N>
+  requires std::is_unsigned_v<T>
+constexpr int popcount_total(const vec<T, N>& a) {
+  int s = 0;
+  for (int i = 0; i < N; ++i) s += phonebit::popcount(a[i]);
+  return s;
+}
+
+/// OpenCL select(a, b, c): per lane, c ? b : a (MSB semantics reduced to
+/// boolean lanes here since our masks are 0/1).
+template <typename T, int N, typename M>
+constexpr vec<T, N> select(const vec<T, N>& a, const vec<T, N>& b,
+                           const vec<M, N>& c) {
+  vec<T, N> r;
+  for (int i = 0; i < N; ++i) r[i] = (c[i] != 0) ? b[i] : a[i];
+  return r;
+}
+
+// --- scalar relational built-ins (used by the Eqn 9 branch-free path) ------
+
+/// OpenCL isless for scalars: 1 if a < b else 0.
+constexpr int isless(float a, float b) noexcept { return a < b ? 1 : 0; }
+/// OpenCL isgreater: 1 if a > b else 0.
+constexpr int isgreater(float a, float b) noexcept { return a > b ? 1 : 0; }
+/// OpenCL isequal: 1 if a == b else 0.
+constexpr int isequal(float a, float b) noexcept { return a == b ? 1 : 0; }
+
+// --- vloadN / vstoreN -------------------------------------------------------
+
+/// OpenCL vloadN(offset, p): reads lanes from p + offset*N.
+template <typename T, int N>
+inline vec<T, N> vload(std::size_t offset, const T* p) {
+  vec<T, N> r;
+  std::memcpy(r.v.data(), p + offset * N, sizeof(T) * N);
+  return r;
+}
+
+/// OpenCL vstoreN(x, offset, p): writes lanes to p + offset*N.
+template <typename T, int N>
+inline void vstore(const vec<T, N>& x, std::size_t offset, T* p) {
+  std::memcpy(p + offset * N, x.v.data(), sizeof(T) * N);
+}
+
+// --- OpenCL type aliases ----------------------------------------------------
+
+using uchar = std::uint8_t;
+using ushort = std::uint16_t;
+using uint = std::uint32_t;
+using ulong = std::uint64_t;
+
+using uchar2 = vec<uchar, 2>;
+using uchar4 = vec<uchar, 4>;
+using uchar8 = vec<uchar, 8>;
+using uchar16 = vec<uchar, 16>;
+using ushort2 = vec<ushort, 2>;
+using ushort4 = vec<ushort, 4>;
+using ushort8 = vec<ushort, 8>;
+using ushort16 = vec<ushort, 16>;
+using uint2 = vec<uint, 2>;
+using uint4 = vec<uint, 4>;
+using uint8 = vec<uint, 8>;
+using uint16 = vec<uint, 16>;
+using ulong2 = vec<ulong, 2>;
+using ulong4 = vec<ulong, 4>;
+using ulong8 = vec<ulong, 8>;
+using ulong16 = vec<ulong, 16>;
+using float2 = vec<float, 2>;
+using float4 = vec<float, 4>;
+using float8 = vec<float, 8>;
+using float16 = vec<float, 16>;
+
+/// OpenCL dot built-in for float4 (used by the full-precision last layer,
+/// Section VII "conv9 ... using SIMD operation on build-in dot product").
+constexpr float dot(const float4& a, const float4& b) {
+  return a[0] * b[0] + a[1] * b[1] + a[2] * b[2] + a[3] * b[3];
+}
+
+/// Bit width of a vector type (e.g. 1024 for ulong16).
+template <typename V>
+constexpr int bit_width() {
+  return static_cast<int>(sizeof(typename V::lane_type)) * 8 * V::lanes;
+}
+
+}  // namespace phonebit::simd

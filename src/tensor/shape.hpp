@@ -1,0 +1,71 @@
+// PhoneBit — tensor shapes and data layouts.
+//
+// The paper's locality argument (§V-A.1) is about NHWC vs NCHW: channel-
+// direction bit packing needs the channel dimension innermost so packed words
+// are unit-stride in memory. Both layouts are first-class here so the layout
+// ablation can measure the difference.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace phonebit {
+
+/// Memory order of a rank-4 activation tensor.
+enum class Layout {
+  kNHWC,  ///< channels innermost — PhoneBit's locality-friendly layout
+  kNCHW,  ///< Caffe/Torch default — used by the CNNdroid-like baseline
+};
+
+/// Human-readable layout name.
+inline const char* to_string(Layout l) {
+  return l == Layout::kNHWC ? "NHWC" : "NCHW";
+}
+
+/// Logical dimensions of a rank-4 tensor (batch, height, width, channels).
+/// The logical shape is layout-independent; Layout only fixes memory order.
+struct Shape {
+  std::int64_t n = 1;
+  std::int64_t h = 1;
+  std::int64_t w = 1;
+  std::int64_t c = 1;
+
+  std::int64_t elems() const noexcept { return n * h * w * c; }
+
+  friend bool operator==(const Shape&, const Shape&) = default;
+
+  std::string str() const {
+    return "[" + std::to_string(n) + "," + std::to_string(h) + "," +
+           std::to_string(w) + "," + std::to_string(c) + "]";
+  }
+};
+
+/// Convolution geometry shared by every engine in the repo.
+struct ConvGeometry {
+  std::int64_t kernel_h = 3;
+  std::int64_t kernel_w = 3;
+  std::int64_t stride_h = 1;
+  std::int64_t stride_w = 1;
+  std::int64_t pad_h = 0;
+  std::int64_t pad_w = 0;
+
+  /// Output spatial size for an input extent.
+  std::int64_t out_dim(std::int64_t in, std::int64_t kernel, std::int64_t stride,
+                       std::int64_t pad) const {
+    PB_CHECK(stride > 0, "stride must be positive");
+    const std::int64_t span = in + 2 * pad - kernel;
+    PB_CHECK(span >= 0, "kernel " << kernel << " larger than padded input " << in + 2 * pad);
+    return span / stride + 1;
+  }
+
+  std::int64_t out_h(std::int64_t in_h) const {
+    return out_dim(in_h, kernel_h, stride_h, pad_h);
+  }
+  std::int64_t out_w(std::int64_t in_w) const {
+    return out_dim(in_w, kernel_w, stride_w, pad_w);
+  }
+};
+
+}  // namespace phonebit

@@ -1,0 +1,155 @@
+// PhoneBit — dense rank-4 host tensors.
+//
+// A Tensor<T> owns contiguous storage in either NHWC or NCHW order. The
+// logical index (n, h, w, c) is layout-independent; at()/operator() map it to
+// the right linear offset, and to_layout() converts between orders (used by
+// the layout ablation and the NCHW baseline).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "tensor/shape.hpp"
+
+namespace phonebit {
+
+template <typename T>
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Allocates zero-initialized storage for `shape` in `layout` order.
+  explicit Tensor(Shape shape, Layout layout = Layout::kNHWC)
+      : shape_(shape), layout_(layout),
+        data_(checked_size(shape), T{}) {}
+
+  const Shape& shape() const noexcept { return shape_; }
+  Layout layout() const noexcept { return layout_; }
+  std::int64_t elems() const noexcept { return shape_.elems(); }
+  std::int64_t bytes() const noexcept {
+    return elems() * static_cast<std::int64_t>(sizeof(T));
+  }
+
+  T* data() noexcept { return data_.data(); }
+  const T* data() const noexcept { return data_.data(); }
+
+  /// Linear offset of logical index (n,h,w,c) under this tensor's layout.
+  std::int64_t offset(std::int64_t n, std::int64_t h, std::int64_t w,
+                      std::int64_t c) const noexcept {
+    if (layout_ == Layout::kNHWC) {
+      return ((n * shape_.h + h) * shape_.w + w) * shape_.c + c;
+    }
+    return ((n * shape_.c + c) * shape_.h + h) * shape_.w + w;
+  }
+
+  /// Checked element access.
+  T& at(std::int64_t n, std::int64_t h, std::int64_t w, std::int64_t c) {
+    check_index(n, h, w, c);
+    return data_[static_cast<std::size_t>(offset(n, h, w, c))];
+  }
+  const T& at(std::int64_t n, std::int64_t h, std::int64_t w,
+              std::int64_t c) const {
+    check_index(n, h, w, c);
+    return data_[static_cast<std::size_t>(offset(n, h, w, c))];
+  }
+
+  /// Unchecked element access (hot loops).
+  T& operator()(std::int64_t n, std::int64_t h, std::int64_t w,
+                std::int64_t c) noexcept {
+    return data_[static_cast<std::size_t>(offset(n, h, w, c))];
+  }
+  const T& operator()(std::int64_t n, std::int64_t h, std::int64_t w,
+                      std::int64_t c) const noexcept {
+    return data_[static_cast<std::size_t>(offset(n, h, w, c))];
+  }
+
+  /// Fills every element with `v`.
+  void fill(T v) { std::fill(data_.begin(), data_.end(), v); }
+
+  /// Fills with deterministic pseudo-random values (float: N(0, sigma)).
+  void fill_random(Rng& rng, float sigma = 1.0f) {
+    for (auto& x : data_) {
+      if constexpr (std::is_floating_point_v<T>) {
+        x = static_cast<T>(rng.normal() * sigma);
+      } else {
+        x = static_cast<T>(rng());
+      }
+    }
+  }
+
+  /// Returns a copy of this tensor converted to `target` layout.
+  Tensor<T> to_layout(Layout target) const {
+    if (target == layout_) return *this;
+    Tensor<T> out(shape_, target);
+    for (std::int64_t n = 0; n < shape_.n; ++n)
+      for (std::int64_t h = 0; h < shape_.h; ++h)
+        for (std::int64_t w = 0; w < shape_.w; ++w)
+          for (std::int64_t c = 0; c < shape_.c; ++c)
+            out(n, h, w, c) = (*this)(n, h, w, c);
+    return out;
+  }
+
+  /// Spatially zero-pads (pad_h rows top+bottom, pad_w cols left+right).
+  Tensor<T> pad_spatial(std::int64_t pad_h, std::int64_t pad_w,
+                        T value = T{}) const {
+    PB_CHECK(pad_h >= 0 && pad_w >= 0, "negative padding");
+    Tensor<T> out(
+        Shape{shape_.n, shape_.h + 2 * pad_h, shape_.w + 2 * pad_w, shape_.c},
+        layout_);
+    out.fill(value);
+    for (std::int64_t n = 0; n < shape_.n; ++n)
+      for (std::int64_t h = 0; h < shape_.h; ++h)
+        for (std::int64_t w = 0; w < shape_.w; ++w)
+          for (std::int64_t c = 0; c < shape_.c; ++c)
+            out(n, h + pad_h, w + pad_w, c) = (*this)(n, h, w, c);
+    return out;
+  }
+
+ private:
+  static std::size_t checked_size(const Shape& shape) {
+    PB_CHECK(shape.n > 0 && shape.h > 0 && shape.w > 0 && shape.c > 0,
+             "tensor dims must be positive: " << shape.str());
+    return static_cast<std::size_t>(shape.elems());
+  }
+
+  void check_index(std::int64_t n, std::int64_t h, std::int64_t w,
+                   std::int64_t c) const {
+    PB_CHECK(n >= 0 && n < shape_.n && h >= 0 && h < shape_.h && w >= 0 &&
+                 w < shape_.w && c >= 0 && c < shape_.c,
+             "index (" << n << "," << h << "," << w << "," << c
+                       << ") out of range for " << shape_.str());
+  }
+
+  Shape shape_{};
+  Layout layout_ = Layout::kNHWC;
+  std::vector<T> data_;
+};
+
+using FloatTensor = Tensor<float>;
+using U8Tensor = Tensor<std::uint8_t>;
+
+/// Max absolute elementwise difference between two same-shaped tensors.
+inline float max_abs_diff(const FloatTensor& a, const FloatTensor& b) {
+  PB_CHECK(a.shape() == b.shape(), "shape mismatch: " << a.shape().str()
+                                                      << " vs " << b.shape().str());
+  float m = 0.0f;
+  const Shape& s = a.shape();
+  for (std::int64_t n = 0; n < s.n; ++n)
+    for (std::int64_t h = 0; h < s.h; ++h)
+      for (std::int64_t w = 0; w < s.w; ++w)
+        for (std::int64_t c = 0; c < s.c; ++c)
+          m = std::max(m, std::fabs(a(n, h, w, c) - b(n, h, w, c)));
+  return m;
+}
+
+/// True when tensors match within `tol` everywhere.
+inline bool allclose(const FloatTensor& a, const FloatTensor& b,
+                     float tol = 1e-5f) {
+  return a.shape() == b.shape() && max_abs_diff(a, b) <= tol;
+}
+
+}  // namespace phonebit

@@ -1,0 +1,225 @@
+#include "train/trainer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace phonebit::train {
+
+namespace {
+
+/// Row-major matrix with simple SGD update.
+struct Mat {
+  std::int64_t rows = 0, cols = 0;
+  std::vector<float> v;
+
+  Mat() = default;
+  Mat(std::int64_t r, std::int64_t c, Rng* rng = nullptr, float scale = 0.0f)
+      : rows(r), cols(c), v(static_cast<std::size_t>(r * c), 0.0f) {
+    if (rng != nullptr) {
+      for (auto& x : v) x = rng->normal() * scale;
+    }
+  }
+  float& at(std::int64_t r, std::int64_t c) {
+    return v[static_cast<std::size_t>(r * cols + c)];
+  }
+  float at(std::int64_t r, std::int64_t c) const {
+    return v[static_cast<std::size_t>(r * cols + c)];
+  }
+};
+
+std::vector<float> flatten(const FloatTensor& t) {
+  std::vector<float> out(static_cast<std::size_t>(t.elems()));
+  std::copy(t.data(), t.data() + t.elems(), out.begin());
+  return out;
+}
+
+/// y = W x + b (W: out x in).
+std::vector<float> affine(const Mat& w, const std::vector<float>& b,
+                          const std::vector<float>& x) {
+  std::vector<float> y(static_cast<std::size_t>(w.rows));
+  for (std::int64_t r = 0; r < w.rows; ++r) {
+    float acc = b[static_cast<std::size_t>(r)];
+    for (std::int64_t c = 0; c < w.cols; ++c) {
+      acc += w.at(r, c) * x[static_cast<std::size_t>(c)];
+    }
+    y[static_cast<std::size_t>(r)] = acc;
+  }
+  return y;
+}
+
+/// Per-row XNOR-style binarization: sign(w) * mean(|w_row|).
+Mat binarize_rows(const Mat& w) {
+  Mat b(w.rows, w.cols);
+  for (std::int64_t r = 0; r < w.rows; ++r) {
+    float alpha = 0.0f;
+    for (std::int64_t c = 0; c < w.cols; ++c) alpha += std::fabs(w.at(r, c));
+    alpha /= static_cast<float>(w.cols);
+    for (std::int64_t c = 0; c < w.cols; ++c) {
+      b.at(r, c) = w.at(r, c) >= 0.0f ? alpha : -alpha;
+    }
+  }
+  return b;
+}
+
+std::vector<float> softmax(const std::vector<float>& z) {
+  const float m = *std::max_element(z.begin(), z.end());
+  std::vector<float> p(z.size());
+  float sum = 0.0f;
+  for (std::size_t i = 0; i < z.size(); ++i) {
+    p[i] = std::exp(z[i] - m);
+    sum += p[i];
+  }
+  for (auto& x : p) x /= sum;
+  return p;
+}
+
+struct Model {
+  Mat w1, w2, w3;
+  std::vector<float> b1, b2, b3;
+};
+
+struct ForwardCache {
+  std::vector<float> x, z1, a1, ab, z2, a2, logits, probs;
+};
+
+void forward(const Model& m, const Mat& w2_eff, const std::vector<float>& x,
+             bool binarize, ForwardCache& f) {
+  f.x = x;
+  f.z1 = affine(m.w1, m.b1, x);
+  f.a1.resize(f.z1.size());
+  f.ab.resize(f.z1.size());
+  for (std::size_t i = 0; i < f.z1.size(); ++i) {
+    f.a1[i] = std::max(0.0f, f.z1[i]);
+    // Binarized activations: sign over the hardtanh window.
+    f.ab[i] = binarize ? (f.a1[i] >= 0.5f ? 1.0f : -1.0f) : f.a1[i];
+  }
+  f.z2 = affine(w2_eff, m.b2, f.ab);
+  f.a2.resize(f.z2.size());
+  for (std::size_t i = 0; i < f.z2.size(); ++i) {
+    f.a2[i] = std::max(0.0f, f.z2[i]);
+  }
+  f.logits = affine(m.w3, m.b3, f.a2);
+  f.probs = softmax(f.logits);
+}
+
+}  // namespace
+
+TrainResult train_mlp(const datasets::PatternDataset& train_set,
+                      const datasets::PatternDataset& test_set,
+                      const TrainConfig& config) {
+  PB_CHECK(!train_set.images.empty() && !test_set.images.empty(),
+           "empty dataset");
+  const std::int64_t in_features = train_set.images.front().elems();
+  const std::int64_t classes = train_set.classes;
+  const std::int64_t hidden = config.hidden;
+
+  Rng rng(config.seed);
+  Model m;
+  m.w1 = Mat(hidden, in_features, &rng,
+             1.0f / std::sqrt(static_cast<float>(in_features)));
+  m.w2 = Mat(hidden, hidden, &rng,
+             1.0f / std::sqrt(static_cast<float>(hidden)));
+  m.w3 = Mat(classes, hidden, &rng,
+             1.0f / std::sqrt(static_cast<float>(hidden)));
+  m.b1.assign(static_cast<std::size_t>(hidden), 0.0f);
+  m.b2.assign(static_cast<std::size_t>(hidden), 0.0f);
+  m.b3.assign(static_cast<std::size_t>(classes), 0.0f);
+
+  TrainResult result;
+  std::vector<std::size_t> order(train_set.images.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  ForwardCache f;
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    // Deterministic shuffle.
+    for (std::size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[rng.below(i)]);
+    }
+    const float lr = config.lr / (1.0f + 0.05f * static_cast<float>(epoch));
+    double loss_sum = 0.0;
+    int correct = 0;
+
+    for (const std::size_t idx : order) {
+      const Mat w2_eff = config.binarize ? binarize_rows(m.w2) : m.w2;
+      forward(m, w2_eff, flatten(train_set.images[idx]), config.binarize, f);
+      const int label = train_set.labels[idx];
+      loss_sum += -std::log(std::max(
+          f.probs[static_cast<std::size_t>(label)], 1e-12f));
+      const int pred = static_cast<int>(
+          std::max_element(f.probs.begin(), f.probs.end()) - f.probs.begin());
+      if (pred == label) ++correct;
+
+      // --- backward ---
+      std::vector<float> dlogits = f.probs;
+      dlogits[static_cast<std::size_t>(label)] -= 1.0f;
+
+      // Layer 3 (full precision).
+      std::vector<float> da2(static_cast<std::size_t>(hidden), 0.0f);
+      for (std::int64_t r = 0; r < classes; ++r) {
+        const float g = dlogits[static_cast<std::size_t>(r)];
+        for (std::int64_t c = 0; c < hidden; ++c) {
+          da2[static_cast<std::size_t>(c)] += g * m.w3.at(r, c);
+          m.w3.at(r, c) -= lr * g * f.a2[static_cast<std::size_t>(c)];
+        }
+        m.b3[static_cast<std::size_t>(r)] -= lr * g;
+      }
+
+      // Layer 2 (binarized in BNN mode; STE through sign(w)).
+      std::vector<float> dab(static_cast<std::size_t>(hidden), 0.0f);
+      for (std::int64_t r = 0; r < hidden; ++r) {
+        const float relu_g = f.z2[static_cast<std::size_t>(r)] > 0.0f ? 1.0f : 0.0f;
+        const float g = da2[static_cast<std::size_t>(r)] * relu_g;
+        if (g == 0.0f) continue;
+        for (std::int64_t c = 0; c < hidden; ++c) {
+          dab[static_cast<std::size_t>(c)] += g * w2_eff.at(r, c);
+          // STE: gradient wrt the binarized weight applied to the latent
+          // float weight, clipped to the hardtanh window.
+          if (!config.binarize || std::fabs(m.w2.at(r, c)) <= 1.0f) {
+            m.w2.at(r, c) -= lr * g * f.ab[static_cast<std::size_t>(c)];
+          }
+        }
+        m.b2[static_cast<std::size_t>(r)] -= lr * g;
+      }
+
+      // Layer 1 (full precision; STE through the activation sign).
+      for (std::int64_t r = 0; r < hidden; ++r) {
+        float g = dab[static_cast<std::size_t>(r)];
+        if (config.binarize) {
+          // Pass-through window around the 0.5 threshold.
+          if (std::fabs(f.a1[static_cast<std::size_t>(r)] - 0.5f) > 1.0f) g = 0.0f;
+        }
+        const float relu_g = f.z1[static_cast<std::size_t>(r)] > 0.0f ? 1.0f : 0.0f;
+        g *= relu_g;
+        if (g == 0.0f) continue;
+        for (std::int64_t c = 0; c < in_features; ++c) {
+          m.w1.at(r, c) -= lr * g * f.x[static_cast<std::size_t>(c)];
+        }
+        m.b1[static_cast<std::size_t>(r)] -= lr * g;
+      }
+    }
+
+    result.loss_curve.push_back(
+        static_cast<float>(loss_sum / static_cast<double>(order.size())));
+    result.train_accuracy =
+        static_cast<float>(correct) / static_cast<float>(order.size());
+  }
+
+  // --- evaluation ---
+  const Mat w2_eff = config.binarize ? binarize_rows(m.w2) : m.w2;
+  int correct = 0;
+  for (std::size_t i = 0; i < test_set.images.size(); ++i) {
+    forward(m, w2_eff, flatten(test_set.images[i]), config.binarize, f);
+    const int pred = static_cast<int>(
+        std::max_element(f.probs.begin(), f.probs.end()) - f.probs.begin());
+    if (pred == test_set.labels[i]) ++correct;
+  }
+  result.test_accuracy =
+      static_cast<float>(correct) / static_cast<float>(test_set.images.size());
+  return result;
+}
+
+}  // namespace phonebit::train

@@ -1,0 +1,40 @@
+// PhoneBit — minimal training substrate for the Table II accuracy column.
+//
+// The paper consumes checkpoints trained elsewhere; its accuracy claim is
+// that binarization costs a few points, not tens. Without CIFAR10/VOC or a
+// training budget we reproduce that *shape* with a small MLP trained from
+// scratch on the synthetic pattern task: one run at full precision and one
+// with the middle layer binarized Courbariaux-style (sign weights + sign
+// activations, straight-through estimator, hardtanh gradient clipping,
+// XNOR-style per-row weight scaling). First and last layers stay full
+// precision, exactly like the paper's deployed networks.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "datasets/synthetic.hpp"
+
+namespace phonebit::train {
+
+struct TrainConfig {
+  int epochs = 40;
+  float lr = 0.05f;
+  std::int64_t hidden = 128;
+  bool binarize = false;   ///< binarize the middle layer (weights + acts)
+  std::uint64_t seed = 7;
+};
+
+struct TrainResult {
+  float train_accuracy = 0.0f;
+  float test_accuracy = 0.0f;
+  std::vector<float> loss_curve;  ///< mean cross-entropy per epoch
+};
+
+/// Trains a 3-layer MLP (in -> hidden -> hidden -> classes) on the dataset
+/// and evaluates on `test`.
+TrainResult train_mlp(const datasets::PatternDataset& train_set,
+                      const datasets::PatternDataset& test_set,
+                      const TrainConfig& config);
+
+}  // namespace phonebit::train

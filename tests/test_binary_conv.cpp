@@ -1,0 +1,180 @@
+// BinaryConv2d vs the float-domain reference, across geometries, channel
+// widths (straddling the 8-filter packing threshold), execution paths and
+// option toggles.
+#include <gtest/gtest.h>
+
+#include "baselines/float_ops.hpp"
+#include "bitpack/pack.hpp"
+#include "core/phonebit.hpp"
+#include "test_util.hpp"
+
+namespace phonebit {
+namespace {
+
+using baselines::conv2d_ref;
+using core::BinaryConv2d;
+using core::EngineOptions;
+using core::ExecContext;
+
+/// Reference: ±1 conv (pad -1), folded BN, Eqn 8 -> ±1 tensor.
+FloatTensor reference_bconv(const FloatTensor& in, const FloatTensor& w,
+                            const std::vector<core::BatchNormParams>& bn,
+                            const std::vector<float>& bias,
+                            const ConvGeometry& g) {
+  const FloatTensor x1 = conv2d_ref(in, w, {}, g, -1.0f);
+  const auto folded = core::fold_batch_norm(bn, bias);
+  FloatTensor out(x1.shape(), Layout::kNHWC);
+  const Shape& s = x1.shape();
+  for (std::int64_t n = 0; n < s.n; ++n)
+    for (std::int64_t h = 0; h < s.h; ++h)
+      for (std::int64_t wd = 0; wd < s.w; ++wd)
+        for (std::int64_t c = 0; c < s.c; ++c) {
+          const std::size_t ci = static_cast<std::size_t>(c);
+          out(n, h, wd, c) =
+              core::binarize_eqn8(x1(n, h, wd, c), folded.xi[ci],
+                                  folded.gamma_pos[ci] != 0)
+                  ? 1.0f
+                  : -1.0f;
+        }
+  return out;
+}
+
+struct ConvCase {
+  std::int64_t c_in, c_out, hw, k, stride, pad;
+};
+
+class BinaryConvParam : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(BinaryConvParam, MatchesFloatReference) {
+  const ConvCase p = GetParam();
+  const std::uint64_t seed = 1000 + static_cast<std::uint64_t>(
+                                        p.c_in * 31 + p.c_out * 7 + p.k);
+  const FloatTensor in =
+      testing::random_sign_tensor(Shape{1, p.hw, p.hw, p.c_in}, seed);
+  const FloatTensor w = testing::random_sign_tensor(
+      Shape{p.c_out, p.k, p.k, p.c_in}, seed + 1);
+  const auto bn = testing::random_bn(p.c_out, seed + 2);
+  const auto bias = testing::random_bias(p.c_out, seed + 3);
+  ConvGeometry g;
+  g.kernel_h = g.kernel_w = p.k;
+  g.stride_h = g.stride_w = p.stride;
+  g.pad_h = g.pad_w = p.pad;
+
+  core::Engine engine(testing::test_device());
+  auto ctx = engine.context();
+  BinaryConv2d conv("conv", bitpack::pack_filter_signs(w), bn, bias, g);
+  const auto out = conv.forward(ctx, core::Blob{bitpack::pack_signs(in)});
+  const auto& packed = std::get<bitpack::PackedTensor>(out);
+
+  const FloatTensor ref = reference_bconv(in, w, bn, bias, g);
+  EXPECT_TRUE(testing::packed_equals_signs(packed, ref))
+      << "c_in=" << p.c_in << " c_out=" << p.c_out << " k=" << p.k
+      << " stride=" << p.stride << " pad=" << p.pad;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, BinaryConvParam,
+    ::testing::Values(
+        // channel widths straddling word and threshold boundaries
+        ConvCase{8, 8, 6, 3, 1, 1}, ConvCase{16, 24, 7, 3, 1, 1},
+        ConvCase{32, 16, 8, 3, 1, 0}, ConvCase{48, 8, 6, 3, 1, 1},
+        ConvCase{64, 32, 6, 3, 1, 1}, ConvCase{96, 16, 5, 3, 1, 1},
+        ConvCase{128, 8, 5, 3, 1, 1}, ConvCase{200, 16, 5, 3, 1, 1},
+        ConvCase{256, 16, 4, 3, 1, 1},
+        // > 256 input channels: separate packing path (B)
+        ConvCase{320, 16, 4, 3, 1, 1}, ConvCase{512, 8, 3, 3, 1, 1},
+        // kernel/stride/pad variations
+        ConvCase{16, 16, 9, 1, 1, 0}, ConvCase{16, 16, 9, 5, 1, 2},
+        ConvCase{16, 16, 9, 3, 2, 1}, ConvCase{16, 16, 11, 3, 3, 0},
+        ConvCase{24, 40, 8, 2, 2, 0}));
+
+TEST(BinaryConv, AllExecutionPathsAgree) {
+  const Shape ishape{2, 9, 9, 40};
+  const FloatTensor in = testing::random_sign_tensor(ishape, 42);
+  const FloatTensor w = testing::random_sign_tensor(Shape{16, 3, 3, 40}, 43);
+  const auto bn = testing::random_bn(16, 44);
+  const auto bias = testing::random_bias(16, 45);
+  ConvGeometry g;
+  g.pad_h = g.pad_w = 1;
+
+  auto run = [&](EngineOptions opts) {
+    core::Engine engine(testing::test_device(), opts);
+    auto ctx = engine.context();
+    BinaryConv2d conv("conv", bitpack::pack_filter_signs(w), bn, bias, g);
+    auto out = conv.forward(ctx, core::Blob{bitpack::pack_signs(in)});
+    return bitpack::unpack_signs(std::get<bitpack::PackedTensor>(out));
+  };
+
+  EngineOptions fused;                       // path A
+  EngineOptions separate_pack;               // path B
+  separate_pack.integrate_packing = false;
+  EngineOptions unfused;                     // path C
+  unfused.fuse_bn_binarize = false;
+  EngineOptions divergent;                   // Eqn 8 instead of Eqn 9
+  divergent.branch_free_binarize = false;
+
+  const FloatTensor a = run(fused);
+  EXPECT_TRUE(allclose(a, run(separate_pack), 0.0f));
+  EXPECT_TRUE(allclose(a, run(unfused), 0.0f));
+  EXPECT_TRUE(allclose(a, run(divergent), 0.0f));
+}
+
+TEST(BinaryConv, PackWidthDoesNotChangeResults) {
+  const FloatTensor in = testing::random_sign_tensor(Shape{1, 8, 8, 192}, 50);
+  const FloatTensor w = testing::random_sign_tensor(Shape{8, 3, 3, 192}, 51);
+  const auto bn = testing::random_bn(8, 52);
+  ConvGeometry g;
+  g.pad_h = g.pad_w = 1;
+
+  FloatTensor first;
+  bool have_first = false;
+  for (const auto pw :
+       {bitpack::PackWidth::k8, bitpack::PackWidth::k16, bitpack::PackWidth::k32,
+        bitpack::PackWidth::k64, bitpack::PackWidth::k128,
+        bitpack::PackWidth::k256, bitpack::PackWidth::k512,
+        bitpack::PackWidth::k1024}) {
+    EngineOptions opts;
+    opts.auto_pack_width = false;
+    opts.fixed_pack_width = pw;
+    core::Engine engine(testing::test_device(), opts);
+    auto ctx = engine.context();
+    BinaryConv2d conv("conv", bitpack::pack_filter_signs(w), bn, {}, g);
+    auto out = conv.forward(ctx, core::Blob{bitpack::pack_signs(in)});
+    FloatTensor got = bitpack::unpack_signs(std::get<bitpack::PackedTensor>(out));
+    if (!have_first) {
+      first = std::move(got);
+      have_first = true;
+    } else {
+      EXPECT_TRUE(allclose(first, got, 0.0f))
+          << "pack width " << bitpack::bits(pw);
+    }
+  }
+}
+
+TEST(BinaryConv, RejectsWrongChannelCount) {
+  const FloatTensor w = testing::random_sign_tensor(Shape{8, 3, 3, 16}, 60);
+  const auto bn = testing::random_bn(8, 61);
+  core::Engine engine(testing::test_device());
+  auto ctx = engine.context();
+  core::BinaryConv2d conv("conv", bitpack::pack_filter_signs(w), bn, {},
+                          ConvGeometry{});
+  const FloatTensor in = testing::random_sign_tensor(Shape{1, 6, 6, 24}, 62);
+  EXPECT_THROW(conv.forward(ctx, core::Blob{bitpack::pack_signs(in)}),
+               InvalidArgument);
+}
+
+TEST(BinaryConv, RejectsFloatInput) {
+  const FloatTensor w = testing::random_sign_tensor(Shape{8, 3, 3, 16}, 63);
+  const auto bn = testing::random_bn(8, 64);
+  core::Engine engine(testing::test_device());
+  auto ctx = engine.context();
+  core::BinaryConv2d conv("conv", bitpack::pack_filter_signs(w), bn, {},
+                          ConvGeometry{});
+  EXPECT_THROW(
+      conv.forward(ctx, core::Blob{testing::random_float_tensor(
+                            Shape{1, 6, 6, 16}, 65)}),
+      InvalidArgument);
+}
+
+}  // namespace
+}  // namespace phonebit

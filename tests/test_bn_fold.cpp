@@ -1,0 +1,113 @@
+// Batch-norm folding (Eqns 3–6) and the binarization decision (Eqns 7–9).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "core/binarize.hpp"
+#include "core/bn_fold.hpp"
+
+namespace phonebit::core {
+namespace {
+
+TEST(BnFold, XiMatchesEqn6) {
+  // xi = mu - beta*sigma/gamma - b.
+  std::vector<BatchNormParams> bn{{2.0f, 0.5f, 3.0f, 4.0f}};
+  std::vector<float> bias{0.25f};
+  const auto f = fold_batch_norm(bn, bias);
+  ASSERT_EQ(f.channels(), 1);
+  EXPECT_FLOAT_EQ(f.xi[0], 3.0f - 0.5f * 4.0f / 2.0f - 0.25f);
+  EXPECT_EQ(f.gamma_pos[0], 1);
+
+  bn[0].gamma = -2.0f;
+  const auto g = fold_batch_norm(bn, bias);
+  EXPECT_FLOAT_EQ(g.xi[0], 3.0f + 0.5f * 4.0f / 2.0f - 0.25f);
+  EXPECT_EQ(g.gamma_pos[0], 0);
+}
+
+TEST(BnFold, RejectsZeroGammaAndBadSigma) {
+  std::vector<BatchNormParams> bn{{0.0f, 0.0f, 0.0f, 1.0f}};
+  EXPECT_THROW(fold_batch_norm(bn, {}), InvalidArgument);
+  bn[0] = {1.0f, 0.0f, 0.0f, 0.0f};
+  EXPECT_THROW(fold_batch_norm(bn, {}), InvalidArgument);
+  bn[0] = {1.0f, 0.0f, 0.0f, -1.0f};
+  EXPECT_THROW(fold_batch_norm(bn, {}), InvalidArgument);
+}
+
+TEST(BnFold, BiasCountMismatchRejected) {
+  std::vector<BatchNormParams> bn(4);
+  EXPECT_THROW(fold_batch_norm(bn, std::vector<float>(3)), InvalidArgument);
+  EXPECT_NO_THROW(fold_batch_norm(bn, std::vector<float>(4)));
+  EXPECT_NO_THROW(fold_batch_norm(bn, {}));
+}
+
+TEST(BnFold, FoldedSignEqualsReferenceBnSign) {
+  // Property: sign(BN(x1 + b)) == Eqn 8 over folded constants.
+  Rng rng(5);
+  for (int trial = 0; trial < 2000; ++trial) {
+    BatchNormParams p;
+    p.gamma = rng.uniform(0.2f, 2.0f) * rng.sign();
+    p.beta = rng.normal();
+    p.mu = rng.normal() * 3.0f;
+    p.sigma = rng.uniform(0.3f, 3.0f);
+    const float bias = rng.normal();
+    const float x1 = std::floor(rng.normal() * 20.0f);  // integer conv sums
+
+    const auto f = fold_batch_norm({p}, {bias});
+    const float x3 = batch_norm_reference(x1, p, bias);
+    const bool ref = x3 >= 0.0f;
+    const bool got = binarize_eqn8(x1, f.xi[0], f.gamma_pos[0] != 0);
+    // Knife-edge cases (|x3| ~ 0) are legitimately ambiguous in float.
+    if (std::fabs(x3) > 1e-4f) {
+      EXPECT_EQ(got, ref) << "gamma=" << p.gamma << " x1=" << x1
+                          << " xi=" << f.xi[0];
+    }
+  }
+}
+
+TEST(Binarize, Eqn9EqualsEqn8Everywhere) {
+  // Exhaustive truth table plus random sweep: the Karnaugh-reduced
+  // (A xor B) or C must equal the four-way branch for all inputs.
+  const float values[] = {-2.0f, -1.0f, -0.5f, 0.0f, 0.5f, 1.0f, 2.0f};
+  for (const float x1 : values)
+    for (const float xi : values)
+      for (const bool gpos : {true, false}) {
+        EXPECT_EQ(binarize_eqn9(x1, xi, gpos), binarize_eqn8(x1, xi, gpos))
+            << "x1=" << x1 << " xi=" << xi << " gpos=" << gpos;
+      }
+  Rng rng(6);
+  for (int trial = 0; trial < 5000; ++trial) {
+    const float x1 = rng.normal() * 10.0f;
+    const float xi = rng.normal() * 10.0f;
+    const bool gpos = rng.sign() > 0;
+    EXPECT_EQ(binarize_eqn9(x1, xi, gpos), binarize_eqn8(x1, xi, gpos));
+  }
+}
+
+TEST(Binarize, Eqn8Semantics) {
+  // gamma > 0: 1 iff x1 >= xi; gamma < 0: 1 iff x1 <= xi (Eqn 8).
+  EXPECT_TRUE(binarize_eqn8(2.0f, 1.0f, true));
+  EXPECT_TRUE(binarize_eqn8(1.0f, 1.0f, true));
+  EXPECT_FALSE(binarize_eqn8(0.5f, 1.0f, true));
+  EXPECT_TRUE(binarize_eqn8(0.5f, 1.0f, false));
+  EXPECT_TRUE(binarize_eqn8(1.0f, 1.0f, false));
+  EXPECT_FALSE(binarize_eqn8(2.0f, 1.0f, false));
+}
+
+TEST(Binarize, SignRule) {
+  EXPECT_TRUE(binarize_sign(0.0f));
+  EXPECT_TRUE(binarize_sign(3.0f));
+  EXPECT_FALSE(binarize_sign(-0.001f));
+}
+
+TEST(BnFold, IdentityFold) {
+  const auto f = FoldedBatchNorm::identity(5);
+  EXPECT_EQ(f.channels(), 5);
+  for (int c = 0; c < 5; ++c) {
+    EXPECT_EQ(f.xi[static_cast<std::size_t>(c)], 0.0f);
+    EXPECT_EQ(f.gamma_pos[static_cast<std::size_t>(c)], 1);
+  }
+}
+
+}  // namespace
+}  // namespace phonebit::core

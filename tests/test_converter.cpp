@@ -1,0 +1,119 @@
+// The Fig. 2 converter: structural mapping from float models to PhoneBit
+// networks, and its error handling.
+#include <gtest/gtest.h>
+
+#include "core/phonebit.hpp"
+#include "models/zoo.hpp"
+#include "test_util.hpp"
+
+namespace phonebit {
+namespace {
+
+using core::FloatModel;
+
+TEST(Converter, LayerKindMapping) {
+  const auto model = FloatModel::random(models::quicknet(10), 1);
+  auto net = core::convert_to_phonebit(model);
+  ASSERT_EQ(net->size(), model.spec.layers.size());
+  const auto& layers = net->layers();
+  // quicknet: conv-pool-conv-pool-conv-pool-fc-fc.
+  EXPECT_NE(dynamic_cast<core::InputConv2d*>(layers[0].get()), nullptr)
+      << "first conv must take the 8-bit bit-plane path";
+  EXPECT_NE(dynamic_cast<core::MaxPool2d*>(layers[1].get()), nullptr);
+  EXPECT_NE(dynamic_cast<core::BinaryConv2d*>(layers[2].get()), nullptr);
+  EXPECT_NE(dynamic_cast<core::BinaryConv2d*>(layers[4].get()), nullptr);
+  EXPECT_NE(dynamic_cast<core::BinaryDense*>(layers[6].get()), nullptr);
+  EXPECT_NE(dynamic_cast<core::FloatDense*>(layers[7].get()), nullptr)
+      << "last layer must stay full precision";
+}
+
+TEST(Converter, YoloLastConvStaysFloat) {
+  models::ZooOptions zoo;
+  zoo.shrink_log2 = 3;
+  const auto model = FloatModel::random(models::yolov2_tiny(zoo), 2);
+  auto net = core::convert_to_phonebit(model);
+  EXPECT_NE(dynamic_cast<core::FloatConv2d*>(net->layers().back().get()),
+            nullptr)
+      << "conv9 (detection head) must stay full precision";
+  // And conv8 (the one before) is binary.
+  EXPECT_NE(
+      dynamic_cast<core::BinaryConv2d*>(
+          net->layers()[net->size() - 2].get()),
+      nullptr);
+}
+
+TEST(Converter, EmptyModelRejected) {
+  FloatModel model;
+  model.spec.name = "empty";
+  EXPECT_THROW(core::convert_to_phonebit(model), InvalidArgument);
+}
+
+TEST(Converter, MismatchedWeightListRejected) {
+  auto model = FloatModel::random(models::quicknet(10), 3);
+  model.weights.pop_back();
+  EXPECT_THROW(core::convert_to_phonebit(model), InvalidArgument);
+}
+
+TEST(Converter, NonlinearLastLayerRejected) {
+  // The full-precision output layer must be linear (its activation cannot
+  // be folded into a binarization threshold).
+  auto spec = models::quicknet(10);
+  std::get<core::DenseLayerSpec>(spec.layers.back()).act =
+      core::Activation::kRelu;
+  const auto model = FloatModel::random(spec, 4);
+  EXPECT_THROW(core::convert_to_phonebit(model), InvalidArgument);
+}
+
+TEST(Converter, BnFreeLayersGetIdentityFold) {
+  // A model without BN converts fine: thresholds reduce to -bias.
+  auto spec = models::quicknet(10);
+  for (auto& layer : spec.layers) {
+    if (auto* c = std::get_if<core::ConvLayerSpec>(&layer)) {
+      c->batch_norm = false;
+    }
+    if (auto* d = std::get_if<core::DenseLayerSpec>(&layer)) {
+      d->batch_norm = false;
+    }
+  }
+  const auto model = FloatModel::random(spec, 5);
+  auto net = core::convert_to_phonebit(model);
+  const auto* conv2 = dynamic_cast<core::BinaryConv2d*>(net->layers()[2].get());
+  ASSERT_NE(conv2, nullptr);
+  const auto& w = std::get<core::ConvWeights>(model.weights[2]);
+  for (std::size_t c = 0; c < w.bias.size(); ++c) {
+    EXPECT_FLOAT_EQ(conv2->folded_bn().xi[c], -w.bias[c]);
+    EXPECT_EQ(conv2->folded_bn().gamma_pos[c], 1);
+  }
+}
+
+TEST(Converter, WeightSignsSurviveConversion) {
+  const auto model = FloatModel::random(models::quicknet(10), 6);
+  auto net = core::convert_to_phonebit(model);
+  const auto* conv2 = dynamic_cast<core::BinaryConv2d*>(net->layers()[2].get());
+  ASSERT_NE(conv2, nullptr);
+  const auto& w = std::get<core::ConvWeights>(model.weights[2]);
+  const Shape& s = w.w.shape();
+  for (std::int64_t co = 0; co < s.n; ++co)
+    for (std::int64_t kh = 0; kh < s.h; ++kh)
+      for (std::int64_t kw = 0; kw < s.w; ++kw)
+        for (std::int64_t c = 0; c < s.c; ++c) {
+          ASSERT_EQ(conv2->weights().get(co, kh, kw, c),
+                    w.w(co, kh, kw, c) >= 0.0f)
+              << "weight sign lost at (" << co << "," << kh << "," << kw
+              << "," << c << ")";
+        }
+}
+
+TEST(Converter, ParamAccountingConsistent) {
+  const auto model = FloatModel::random(models::quicknet(10), 7);
+  auto net = core::convert_to_phonebit(model);
+  // Binary weights count 1 bit each; the converted model must be far
+  // smaller than fp32 but larger than weights/32 alone (thresholds, last
+  // layer).
+  const auto full = model.spec.float_param_bytes();
+  EXPECT_LT(net->param_bytes(), full / 4);
+  EXPECT_GT(net->param_bytes(), full / 64);
+}
+
+}  // namespace
+}  // namespace phonebit

@@ -1,0 +1,114 @@
+// The power/energy model behind Table IV.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "energy/power_model.hpp"
+
+namespace phonebit::energy {
+namespace {
+
+using oclsim::DeviceProfile;
+using oclsim::ExecUnit;
+using oclsim::KernelCost;
+using oclsim::KernelEvent;
+
+KernelEvent make_event(ExecUnit unit, double scalar_ops, double bitop_bits,
+                       double ms, double eff = 0.3, bool int8 = false) {
+  KernelEvent ev;
+  ev.unit = unit;
+  ev.cost.scalar_ops = scalar_ops;
+  ev.cost.bitop_bits = bitop_bits;
+  ev.cost.pack_width_bits = 64;
+  ev.cost.alu_efficiency = eff;
+  ev.cost.int8_ops = int8;
+  ev.modeled_ms = ms;
+  return ev;
+}
+
+TEST(PowerModel, BitKernelsDrawLessThanFloatKernels) {
+  const auto p = DeviceProfile::snapdragon820();
+  const auto fp = make_event(ExecUnit::kGpu, 1e9, 0, 10.0);
+  const auto bin = make_event(ExecUnit::kGpu, 0, 1e9, 10.0);
+  EXPECT_GT(event_active_mw(fp, p), event_active_mw(bin, p));
+}
+
+TEST(PowerModel, Int8DrawsLessThanFp32OnCpu) {
+  const auto p = DeviceProfile::snapdragon820();
+  const auto fp = make_event(ExecUnit::kCpu, 1e9, 0, 10.0, 0.3, false);
+  const auto q = make_event(ExecUnit::kCpu, 1e9, 0, 10.0, 0.3, true);
+  EXPECT_GT(event_active_mw(fp, p), event_active_mw(q, p));
+}
+
+TEST(PowerModel, InefficiencyRaisesPowerBoundedly) {
+  const auto p = DeviceProfile::snapdragon820();
+  const auto eff = make_event(ExecUnit::kGpu, 1e9, 0, 10.0, 0.5);
+  const auto ineff = make_event(ExecUnit::kGpu, 1e9, 0, 10.0, 0.01);
+  EXPECT_GT(event_active_mw(ineff, p), event_active_mw(eff, p));
+  EXPECT_LT(event_active_mw(ineff, p),
+            event_active_mw(eff, p) * kMaxInefficiencyFactor);
+}
+
+TEST(PowerModel, ReportArithmetic) {
+  const auto p = DeviceProfile::snapdragon820();
+  std::vector<KernelEvent> events{make_event(ExecUnit::kGpu, 0, 1e9, 20.0)};
+  const PowerReport r = estimate_power(events, p);
+  EXPECT_DOUBLE_EQ(r.frame_ms, 20.0);
+  EXPECT_DOUBLE_EQ(r.fps, 50.0);
+  EXPECT_GT(r.avg_power_mw, p.idle_mw);  // idle + something
+  EXPECT_NEAR(r.fps_per_watt, r.fps / (r.avg_power_mw * 1e-3), 1e-9);
+  EXPECT_NEAR(r.energy_mj_per_frame,
+              r.avg_power_mw * 1e-3 * r.frame_ms, 1e-9);
+}
+
+TEST(PowerModel, AbsolutePowerIsIdlePlusBlendedRail) {
+  // One GPU event busy for the entire frame: average power must be exactly
+  // idle + rail * inefficiency-factor — this pins the unit conversions.
+  const auto p = DeviceProfile::snapdragon820();
+  const auto ev = make_event(ExecUnit::kGpu, 1e9, 0, 20.0, 0.3);
+  const double expected_active =
+      p.gpu_fp_active_mw * std::pow(0.3, -kInefficiencyExponent);
+  EXPECT_NEAR(event_active_mw(ev, p), expected_active, 1e-9);
+  const PowerReport r = estimate_power({ev}, p);
+  EXPECT_NEAR(r.avg_power_mw, p.idle_mw + expected_active, 1e-6);
+  // Sanity: a float-busy phone draws hundreds of mW, not ~idle.
+  EXPECT_GT(r.avg_power_mw, 300.0);
+}
+
+TEST(PowerModel, IdleDominatesEmptyFrames) {
+  const auto p = DeviceProfile::snapdragon820();
+  std::vector<KernelEvent> events;
+  const PowerReport r = estimate_power(events, p, 100.0);
+  EXPECT_NEAR(r.avg_power_mw, p.idle_mw, 1e-9);
+}
+
+TEST(PowerModel, ZeroFrameRejected) {
+  const auto p = DeviceProfile::snapdragon820();
+  std::vector<KernelEvent> events;
+  EXPECT_THROW(estimate_power(events, p, 0.0), InvalidArgument);
+}
+
+TEST(PowerModel, BinaryEngineShapeBeatsFloatEngine) {
+  // A PhoneBit-shaped run (short, bit-dominated) must beat a CNNdroid-shaped
+  // run (long, float, inefficient) on both power and FPS/W by a wide margin —
+  // the Table IV claim.
+  const auto p = DeviceProfile::snapdragon820();
+  std::vector<KernelEvent> bnn{
+      make_event(ExecUnit::kGpu, 5e7, 7e9, 42.0, 0.18)};
+  std::vector<KernelEvent> cnndroid{
+      make_event(ExecUnit::kGpu, 3.5e9, 0, 1483.0, 0.02)};
+  const PowerReport a = estimate_power(bnn, p);
+  const PowerReport b = estimate_power(cnndroid, p);
+  EXPECT_LT(a.avg_power_mw, b.avg_power_mw);
+  EXPECT_GT(a.fps_per_watt / b.fps_per_watt, 20.0);
+}
+
+TEST(PowerModel, Sd855MoreEfficientThanSd820) {
+  const auto ev = make_event(ExecUnit::kGpu, 1e9, 0, 10.0);
+  EXPECT_LT(event_active_mw(ev, DeviceProfile::snapdragon855()),
+            event_active_mw(ev, DeviceProfile::snapdragon820()));
+}
+
+}  // namespace
+}  // namespace phonebit::energy

@@ -1,0 +1,180 @@
+// Reference float operators: hand-computed values and structural edge cases.
+// These ops are the ground truth the whole suite leans on, so they get their
+// own direct checks.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/float_ops.hpp"
+#include "test_util.hpp"
+
+namespace phonebit {
+namespace {
+
+using namespace baselines;
+
+TEST(Conv2dRef, HandComputed1x1) {
+  // 1x1 conv is a per-pixel matmul.
+  FloatTensor in(Shape{1, 1, 2, 2});
+  in(0, 0, 0, 0) = 1;
+  in(0, 0, 0, 1) = 2;
+  in(0, 0, 1, 0) = 3;
+  in(0, 0, 1, 1) = 4;
+  FloatTensor w(Shape{1, 1, 1, 2});
+  w(0, 0, 0, 0) = 10;
+  w(0, 0, 0, 1) = -1;
+  ConvGeometry g;
+  g.kernel_h = g.kernel_w = 1;
+  const FloatTensor out = conv2d_ref(in, w, {5.0f}, g);
+  EXPECT_FLOAT_EQ(out(0, 0, 0, 0), 5 + 10 * 1 - 2);   // 13
+  EXPECT_FLOAT_EQ(out(0, 0, 1, 0), 5 + 10 * 3 - 4);   // 31
+}
+
+TEST(Conv2dRef, HandComputed3x3SumFilter) {
+  // All-ones 3x3 filter with pad 1 = windowed sum.
+  FloatTensor in(Shape{1, 3, 3, 1});
+  float v = 1.0f;
+  for (std::int64_t h = 0; h < 3; ++h)
+    for (std::int64_t w = 0; w < 3; ++w) in(0, h, w, 0) = v++;
+  FloatTensor w(Shape{1, 3, 3, 1});
+  w.fill(1.0f);
+  ConvGeometry g;
+  g.pad_h = g.pad_w = 1;
+  const FloatTensor out = conv2d_ref(in, w, {}, g);
+  // Center output = sum 1..9 = 45; corner (0,0) covers {1,2,4,5} = 12.
+  EXPECT_FLOAT_EQ(out(0, 1, 1, 0), 45.0f);
+  EXPECT_FLOAT_EQ(out(0, 0, 0, 0), 12.0f);
+}
+
+TEST(Conv2dRef, PadValueChangesBorders) {
+  FloatTensor in(Shape{1, 2, 2, 1});
+  in.fill(0.0f);
+  FloatTensor w(Shape{1, 3, 3, 1});
+  w.fill(1.0f);
+  ConvGeometry g;
+  g.pad_h = g.pad_w = 1;
+  const FloatTensor zero_pad = conv2d_ref(in, w, {}, g, 0.0f);
+  const FloatTensor neg_pad = conv2d_ref(in, w, {}, g, -1.0f);
+  EXPECT_FLOAT_EQ(zero_pad(0, 0, 0, 0), 0.0f);
+  // Corner window has 5 padded taps at -1 each.
+  EXPECT_FLOAT_EQ(neg_pad(0, 0, 0, 0), -5.0f);
+}
+
+TEST(Conv2dRef, StrideSkipsPositions) {
+  FloatTensor in(Shape{1, 4, 4, 1});
+  for (std::int64_t h = 0; h < 4; ++h)
+    for (std::int64_t w = 0; w < 4; ++w)
+      in(0, h, w, 0) = static_cast<float>(h * 4 + w);
+  FloatTensor w(Shape{1, 1, 1, 1});
+  w(0, 0, 0, 0) = 1.0f;
+  ConvGeometry g;
+  g.kernel_h = g.kernel_w = 1;
+  g.stride_h = g.stride_w = 2;
+  const FloatTensor out = conv2d_ref(in, w, {}, g);
+  EXPECT_EQ(out.shape().h, 2);
+  EXPECT_FLOAT_EQ(out(0, 0, 0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(out(0, 0, 1, 0), 2.0f);
+  EXPECT_FLOAT_EQ(out(0, 1, 0, 0), 8.0f);
+}
+
+TEST(Conv2dRef, ChannelMismatchRejected) {
+  FloatTensor in(Shape{1, 2, 2, 3});
+  FloatTensor w(Shape{1, 1, 1, 4});
+  ConvGeometry g;
+  g.kernel_h = g.kernel_w = 1;
+  EXPECT_THROW(conv2d_ref(in, w, {}, g), InvalidArgument);
+}
+
+TEST(MaxPoolRef, BasicAndTailPad) {
+  FloatTensor in(Shape{1, 3, 3, 1});
+  float v = 1.0f;
+  for (std::int64_t h = 0; h < 3; ++h)
+    for (std::int64_t w = 0; w < 3; ++w) in(0, h, w, 0) = v++;
+  core::PoolGeometry g{2, 1, 0, false};
+  const FloatTensor out = maxpool_ref(in, g);
+  EXPECT_EQ(out.shape().h, 2);
+  EXPECT_FLOAT_EQ(out(0, 0, 0, 0), 5.0f);  // max{1,2,4,5}
+  EXPECT_FLOAT_EQ(out(0, 1, 1, 0), 9.0f);
+
+  core::PoolGeometry tail{2, 1, 0, true};
+  const FloatTensor same = maxpool_ref(in, tail);
+  EXPECT_EQ(same.shape().h, 3);  // extent preserved
+  EXPECT_FLOAT_EQ(same(0, 2, 2, 0), 9.0f);  // window clipped to the corner
+}
+
+TEST(DenseRef, FlattensNhwcOrder) {
+  FloatTensor in(Shape{1, 1, 2, 2});
+  in(0, 0, 0, 0) = 1;
+  in(0, 0, 0, 1) = 2;
+  in(0, 0, 1, 0) = 3;
+  in(0, 0, 1, 1) = 4;
+  // Unit weight on feature index 2 == (w=1, c=0) in NHWC order == 3.
+  FloatTensor w(Shape{1, 1, 1, 4});
+  w(0, 0, 0, 2) = 1.0f;
+  const FloatTensor out = dense_ref(in, w, {});
+  EXPECT_FLOAT_EQ(out(0, 0, 0, 0), 3.0f);
+}
+
+TEST(BatchNormRef, HandComputed) {
+  FloatTensor in(Shape{1, 1, 1, 2});
+  in(0, 0, 0, 0) = 4.0f;
+  in(0, 0, 0, 1) = 4.0f;
+  std::vector<core::BatchNormParams> bn{
+      {2.0f, 1.0f, 2.0f, 2.0f},   // 2*(4-2)/2+1 = 3
+      {-1.0f, 0.0f, 0.0f, 4.0f},  // -1*(4-0)/4 = -1
+  };
+  const FloatTensor out = batch_norm_ref(in, bn);
+  EXPECT_FLOAT_EQ(out(0, 0, 0, 0), 3.0f);
+  EXPECT_FLOAT_EQ(out(0, 0, 0, 1), -1.0f);
+}
+
+TEST(ActivateRef, ReluAndLeaky) {
+  FloatTensor in(Shape{1, 1, 1, 2});
+  in(0, 0, 0, 0) = -2.0f;
+  in(0, 0, 0, 1) = 3.0f;
+  const FloatTensor relu = activate_ref(in, core::Activation::kRelu);
+  EXPECT_FLOAT_EQ(relu(0, 0, 0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(relu(0, 0, 0, 1), 3.0f);
+  const FloatTensor leaky = activate_ref(in, core::Activation::kLeakyRelu);
+  EXPECT_FLOAT_EQ(leaky(0, 0, 0, 0), -0.2f);
+  EXPECT_FLOAT_EQ(leaky(0, 0, 0, 1), 3.0f);
+  const FloatTensor none = activate_ref(in, core::Activation::kNone);
+  EXPECT_FLOAT_EQ(none(0, 0, 0, 0), -2.0f);
+}
+
+TEST(LrnRef, NormalizesByNeighborhood) {
+  FloatTensor in(Shape{1, 1, 1, 8});
+  in.fill(2.0f);
+  const FloatTensor out = lrn_ref(in);
+  // Middle channels: denom = (2 + 1e-4/5 * 5*4)^0.75.
+  const float denom = std::pow(2.0f + 1e-4f / 5.0f * 20.0f, 0.75f);
+  EXPECT_NEAR(out(0, 0, 0, 4), 2.0f / denom, 1e-5f);
+  // Edge channel has fewer neighbours -> smaller denom -> larger output.
+  EXPECT_GT(out(0, 0, 0, 0), out(0, 0, 0, 4));
+}
+
+TEST(U8ToFloat, PixelDomain) {
+  U8Tensor img(Shape{1, 1, 1, 3});
+  img(0, 0, 0, 0) = 0;
+  img(0, 0, 0, 1) = 128;
+  img(0, 0, 0, 2) = 255;
+  const FloatTensor f = u8_to_float(img);
+  EXPECT_FLOAT_EQ(f(0, 0, 0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(f(0, 0, 0, 1), 128.0f);
+  EXPECT_FLOAT_EQ(f(0, 0, 0, 2), 255.0f);
+}
+
+TEST(Conv2dRef, LayoutInvariance) {
+  // NCHW input gives identical logical outputs (accessor abstraction).
+  const FloatTensor in = testing::random_float_tensor(Shape{1, 5, 5, 6}, 1);
+  const FloatTensor w = testing::random_float_tensor(Shape{4, 3, 3, 6}, 2);
+  ConvGeometry g;
+  g.pad_h = g.pad_w = 1;
+  const FloatTensor a = conv2d_ref(in, w, {}, g);
+  const FloatTensor b =
+      conv2d_ref(in.to_layout(Layout::kNCHW), w, {}, g);
+  EXPECT_TRUE(allclose(a, b.to_layout(Layout::kNHWC), 1e-5f));
+}
+
+}  // namespace
+}  // namespace phonebit

@@ -1,0 +1,138 @@
+// Baseline framework cost/time properties: the structural relationships the
+// Table III comparisons rest on, checked at small scale where every engine
+// really executes.
+#include <gtest/gtest.h>
+
+#include "baselines/framework.hpp"
+#include "core/phonebit.hpp"
+#include "datasets/synthetic.hpp"
+#include "models/zoo.hpp"
+#include "test_util.hpp"
+
+namespace phonebit {
+namespace {
+
+using baselines::FloatFramework;
+using core::FloatModel;
+
+class FrameworkCosts : public ::testing::Test {
+ protected:
+  static const FloatModel& model() {
+    static const FloatModel m = [] {
+      models::ZooOptions zoo;
+      zoo.shrink_log2 = 4;
+      zoo.bnn_batch_norm = false;
+      return FloatModel::random(models::yolov2_tiny(zoo), 40);
+    }();
+    return m;
+  }
+  static const U8Tensor& image() {
+    static const U8Tensor img =
+        datasets::random_image(model().spec.input, 41);
+    return img;
+  }
+  static double run_ms(const FloatFramework& fw,
+                       const oclsim::DeviceProfile& profile) {
+    oclsim::Device dev(profile, 2);
+    return fw.run(dev, model(), image()).modeled_ms;
+  }
+};
+
+TEST_F(FrameworkCosts, QuantFasterThanFloatCpu) {
+  const auto p = oclsim::DeviceProfile::snapdragon855();
+  EXPECT_LT(run_ms(FloatFramework::tflite_quant(), p),
+            run_ms(FloatFramework::tflite_cpu(), p));
+}
+
+TEST_F(FrameworkCosts, CnndroidCpuIsSlowest) {
+  const auto p = oclsim::DeviceProfile::snapdragon855();
+  const double cnndroid_cpu = run_ms(FloatFramework::cnndroid_cpu(), p);
+  EXPECT_GT(cnndroid_cpu, run_ms(FloatFramework::cnndroid_gpu(), p));
+  EXPECT_GT(cnndroid_cpu, run_ms(FloatFramework::tflite_cpu(), p));
+  EXPECT_GT(cnndroid_cpu, run_ms(FloatFramework::tflite_quant(), p));
+}
+
+TEST_F(FrameworkCosts, Sd855BeatsSd820EveryFramework) {
+  for (const auto& fw :
+       {FloatFramework::cnndroid_cpu(), FloatFramework::cnndroid_gpu(),
+        FloatFramework::tflite_cpu(), FloatFramework::tflite_gpu(),
+        FloatFramework::tflite_quant()}) {
+    EXPECT_LT(run_ms(fw, oclsim::DeviceProfile::snapdragon855()),
+              run_ms(fw, oclsim::DeviceProfile::snapdragon820()))
+        << fw.name();
+  }
+}
+
+TEST_F(FrameworkCosts, SeparateBiasKernelsAddLaunches) {
+  // CNNdroid issues bias as its own kernel; TFLite fuses it.
+  oclsim::Device dev(oclsim::DeviceProfile::snapdragon855(), 2);
+  const auto cnndroid = FloatFramework::cnndroid_gpu().run(dev, model(), image());
+  const auto tflite = FloatFramework::tflite_cpu().run(dev, model(), image());
+  int cnndroid_launches = 0, tflite_launches = 0;
+  for (const auto& l : cnndroid.layers) cnndroid_launches += l.launches;
+  for (const auto& l : tflite.layers) tflite_launches += l.launches;
+  EXPECT_GT(cnndroid_launches, tflite_launches);
+}
+
+TEST_F(FrameworkCosts, PerLayerReportsCoverAllLayers) {
+  oclsim::Device dev(oclsim::DeviceProfile::snapdragon855(), 2);
+  const auto result = FloatFramework::tflite_cpu().run(dev, model(), image());
+  ASSERT_EQ(result.layers.size(), model().spec.layers.size());
+  double sum = 0;
+  for (const auto& l : result.layers) {
+    EXPECT_FALSE(l.name.empty());
+    sum += l.modeled_ms;
+  }
+  EXPECT_NEAR(sum, result.modeled_ms, 1e-9);
+}
+
+TEST_F(FrameworkCosts, GateOrderMemoryBeforeExecution) {
+  // The OOM gate must fire during graph preparation, before any kernel runs:
+  // a full-size spec with deliberately absent weights still OOMs (it would
+  // fault on the weights if execution started).
+  FloatModel hollow;
+  hollow.spec = models::yolov2_tiny({0, false});
+  hollow.weights.resize(hollow.spec.layers.size());  // all monostate
+  baselines::FrameworkTraits traits = FloatFramework::cnndroid_gpu().traits();
+  traits.app_budget_mb = 1;
+  FloatFramework tiny("tiny-budget", traits);
+  oclsim::Device dev(oclsim::DeviceProfile::snapdragon855(), 1);
+  EXPECT_THROW(tiny.run(dev, hollow, U8Tensor(Shape{1, 4, 4, 3})),
+               OutOfMemoryError);
+}
+
+TEST_F(FrameworkCosts, QuantizedOutputTracksFloatOutput) {
+  // Our quant executor shares float numerics (cost differs); outputs agree.
+  oclsim::Device dev(oclsim::DeviceProfile::snapdragon855(), 2);
+  const auto f = FloatFramework::tflite_cpu().run(dev, model(), image());
+  const auto q = FloatFramework::tflite_quant().run(dev, model(), image());
+  EXPECT_TRUE(allclose(f.output, q.output, 1e-3f));
+}
+
+TEST(FrameworkCostsUnit, JavaStyleDividesThroughput) {
+  // CNNdroid-CPU's single-threaded scalar model: modeled time scales with
+  // cores x lanes relative to an identical non-java engine.
+  models::ZooOptions zoo;
+  zoo.shrink_log2 = 4;
+  zoo.bnn_batch_norm = false;
+  const auto model = FloatModel::random(models::alexnet(zoo), 42);
+  const auto image = datasets::random_image(model.spec.input, 43);
+  baselines::FrameworkTraits java = FloatFramework::cnndroid_cpu().traits();
+  java.app_budget_mb = 0;
+  baselines::FrameworkTraits vec = java;
+  vec.java_style = false;
+  oclsim::Device dev(oclsim::DeviceProfile::snapdragon855(), 2);
+  const double tj =
+      FloatFramework("java", java).run(dev, model, image).modeled_ms;
+  const double tv =
+      FloatFramework("vec", vec).run(dev, model, image).modeled_ms;
+  const auto& p = dev.profile();
+  // Compute-bound layers dominate, so the ratio approaches cores x lanes
+  // (diluted by per-layer dispatch overhead and memory time).
+  EXPECT_GT(tj / tv, p.cpu_cores * p.cpu_simd_fp32_lanes * 0.4);
+  EXPECT_LT(tj / tv,
+            static_cast<double>(p.cpu_cores) * p.cpu_simd_fp32_lanes);
+}
+
+}  // namespace
+}  // namespace phonebit

@@ -1,0 +1,130 @@
+// First-layer bit-plane convolution (Eqn 2) vs the integer-domain reference.
+#include <gtest/gtest.h>
+
+#include "baselines/float_ops.hpp"
+#include "bitpack/pack.hpp"
+#include "core/phonebit.hpp"
+#include "datasets/synthetic.hpp"
+#include "test_util.hpp"
+
+namespace phonebit {
+namespace {
+
+using core::InputConv2d;
+
+FloatTensor reference_input_conv(const U8Tensor& img, const FloatTensor& w,
+                                 const std::vector<core::BatchNormParams>& bn,
+                                 const std::vector<float>& bias,
+                                 const ConvGeometry& g) {
+  // Integer pixels, ±1 weights, zero padding; then folded BN + Eqn 8.
+  FloatTensor wsign(w.shape(), Layout::kNHWC);
+  for (std::int64_t i = 0; i < w.elems(); ++i) {
+    wsign.data()[i] = w.data()[i] >= 0.0f ? 1.0f : -1.0f;
+  }
+  const FloatTensor x1 =
+      baselines::conv2d_ref(baselines::u8_to_float(img), wsign, {}, g, 0.0f);
+  const auto folded = core::fold_batch_norm(bn, bias);
+  FloatTensor out(x1.shape(), Layout::kNHWC);
+  const Shape& s = x1.shape();
+  for (std::int64_t n = 0; n < s.n; ++n)
+    for (std::int64_t h = 0; h < s.h; ++h)
+      for (std::int64_t wd = 0; wd < s.w; ++wd)
+        for (std::int64_t c = 0; c < s.c; ++c) {
+          const std::size_t ci = static_cast<std::size_t>(c);
+          out(n, h, wd, c) =
+              core::binarize_eqn8(x1(n, h, wd, c), folded.xi[ci],
+                                  folded.gamma_pos[ci] != 0)
+                  ? 1.0f
+                  : -1.0f;
+        }
+  return out;
+}
+
+struct InputCase {
+  std::int64_t c_in, c_out, hw, k, stride, pad;
+};
+
+class InputConvParam : public ::testing::TestWithParam<InputCase> {};
+
+TEST_P(InputConvParam, MatchesIntegerReference) {
+  const InputCase p = GetParam();
+  const std::uint64_t seed =
+      2000 + static_cast<std::uint64_t>(p.c_in * 13 + p.c_out + p.k);
+  const U8Tensor img =
+      datasets::random_image(Shape{1, p.hw, p.hw, p.c_in}, seed);
+  const FloatTensor w = testing::random_float_tensor(
+      Shape{p.c_out, p.k, p.k, p.c_in}, seed + 1);
+  const auto bn = testing::random_bn(p.c_out, seed + 2);
+  const auto bias = testing::random_bias(p.c_out, seed + 3);
+  ConvGeometry g;
+  g.kernel_h = g.kernel_w = p.k;
+  g.stride_h = g.stride_w = p.stride;
+  g.pad_h = g.pad_w = p.pad;
+
+  core::Engine engine(testing::test_device());
+  auto ctx = engine.context();
+  InputConv2d conv("conv1", bitpack::pack_filter_signs(w), bn, bias, g);
+  auto out = conv.forward(ctx, core::Blob{img});
+  const auto& packed = std::get<bitpack::PackedTensor>(out);
+  EXPECT_TRUE(testing::packed_equals_signs(
+      packed, reference_input_conv(img, w, bn, bias, g)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, InputConvParam,
+    ::testing::Values(InputCase{3, 16, 12, 3, 1, 1},  // RGB -> 16 (YOLO conv1)
+                      InputCase{3, 8, 11, 3, 2, 1},
+                      InputCase{3, 96, 23, 11, 4, 0},  // AlexNet conv1 shape
+                      InputCase{1, 8, 9, 3, 1, 1},     // grayscale
+                      InputCase{4, 24, 10, 5, 1, 2},
+                      InputCase{64, 8, 6, 3, 1, 1},    // many input channels
+                      InputCase{70, 8, 5, 3, 1, 1}));  // > one word of input
+
+TEST(InputConv, BatchedInput) {
+  const U8Tensor img = datasets::random_image(Shape{3, 9, 9, 3}, 30);
+  const FloatTensor w = testing::random_float_tensor(Shape{8, 3, 3, 3}, 31);
+  const auto bn = testing::random_bn(8, 32);
+  ConvGeometry g;
+  g.pad_h = g.pad_w = 1;
+  core::Engine engine(testing::test_device());
+  auto ctx = engine.context();
+  InputConv2d conv("conv1", bitpack::pack_filter_signs(w), bn, {}, g);
+  auto out = conv.forward(ctx, core::Blob{img});
+  EXPECT_TRUE(testing::packed_equals_signs(
+      std::get<bitpack::PackedTensor>(out),
+      reference_input_conv(img, w, bn, {}, g)));
+}
+
+TEST(InputConv, RejectsPackedInput) {
+  const FloatTensor w = testing::random_float_tensor(Shape{8, 3, 3, 3}, 33);
+  const auto bn = testing::random_bn(8, 34);
+  core::Engine engine(testing::test_device());
+  auto ctx = engine.context();
+  InputConv2d conv("conv1", bitpack::pack_filter_signs(w), bn, {},
+                   ConvGeometry{});
+  const FloatTensor x = testing::random_sign_tensor(Shape{1, 5, 5, 3}, 35);
+  EXPECT_THROW(conv.forward(ctx, core::Blob{bitpack::pack_signs(x)}),
+               InvalidArgument);
+}
+
+TEST(InputConv, EightBitEdgeValues) {
+  // All-0 and all-255 images exercise every bit plane boundary.
+  for (const std::uint8_t v : {std::uint8_t{0}, std::uint8_t{255}}) {
+    U8Tensor img(Shape{1, 6, 6, 3});
+    img.fill(v);
+    const FloatTensor w = testing::random_float_tensor(Shape{8, 3, 3, 3}, 36);
+    const auto bn = testing::random_bn(8, 37);
+    ConvGeometry g;
+    g.pad_h = g.pad_w = 1;
+    core::Engine engine(testing::test_device());
+    auto ctx = engine.context();
+    core::InputConv2d conv("conv1", bitpack::pack_filter_signs(w), bn, {}, g);
+    auto out = conv.forward(ctx, core::Blob{img});
+    EXPECT_TRUE(testing::packed_equals_signs(
+        std::get<bitpack::PackedTensor>(out),
+        reference_input_conv(img, w, bn, {}, g)));
+  }
+}
+
+}  // namespace
+}  // namespace phonebit

@@ -1,0 +1,145 @@
+// The model zoo: parameter counts must reproduce the paper's Table II
+// full-precision sizes, and the converted BNN sizes must land on the
+// paper's YOLOv2-Tiny / VGG16 numbers under the stated convention.
+#include <gtest/gtest.h>
+
+#include "core/phonebit.hpp"
+#include "models/zoo.hpp"
+
+namespace phonebit {
+namespace {
+
+double to_mb(std::int64_t bytes) { return static_cast<double>(bytes) / 1e6; }
+
+TEST(Zoo, AlexnetFullPrecisionSizeMatchesTable2) {
+  // Paper: 249.5 MB. Weights+biases only (BN-free classic form).
+  const auto spec = models::alexnet({0, false});
+  EXPECT_NEAR(to_mb(spec.float_param_bytes()), 249.5, 1.0);
+}
+
+TEST(Zoo, YoloFullPrecisionSizeMatchesTable2) {
+  // Paper: 63.4 MB.
+  const auto spec = models::yolov2_tiny({0, false});
+  EXPECT_NEAR(to_mb(spec.float_param_bytes()), 63.4, 0.7);
+}
+
+TEST(Zoo, Vgg16FullPrecisionSizeMatchesTable2) {
+  // Paper: 553.4 MB (the canonical 138.36M-parameter VGG16).
+  const auto spec = models::vgg16({0, false});
+  EXPECT_NEAR(to_mb(spec.float_param_bytes()), 553.4, 1.5);
+}
+
+TEST(Zoo, ConvertedYoloBnnSizeMatchesTable2) {
+  // Paper: 2.4 MB. 1-bit convs 1–8 + fp32 conv9 + per-channel thresholds.
+  const auto model = core::FloatModel::random(models::yolov2_tiny({0, true}), 1);
+  auto net = core::convert_to_phonebit(model);
+  EXPECT_NEAR(to_mb(net->param_bytes()), 2.4, 0.15);
+}
+
+TEST(Zoo, ConvertedVggBnnSizeNearTable2) {
+  // Paper: 32.1 MB; our convention gives ~33 MB (fc3 fp32 + 1-bit rest).
+  const auto model = core::FloatModel::random(models::vgg16({0, true}), 2);
+  auto net = core::convert_to_phonebit(model);
+  EXPECT_NEAR(to_mb(net->param_bytes()), 32.1, 2.0);
+}
+
+TEST(Zoo, ConvertedAlexnetBnnSizeDocumentedDeviation) {
+  // Paper: 16.3 MB. Under our convention (only the last layer full
+  // precision) AlexNet lands near 24 MB because its 1000-way fc8 alone is
+  // 16.4 MB of fp32 — see EXPERIMENTS.md "known deviations".
+  const auto model = core::FloatModel::random(models::alexnet({0, true}), 3);
+  auto net = core::convert_to_phonebit(model);
+  const double mb = to_mb(net->param_bytes());
+  EXPECT_GT(mb, 20.0);
+  EXPECT_LT(mb, 26.0);
+}
+
+TEST(Zoo, CompressionRatios) {
+  // Table II average: ~19.6x smaller. Per-model ratios:
+  // YOLO 63.4/2.4 = 26x, VGG 553.4/32.1 = 17x.
+  {
+    const auto spec = models::yolov2_tiny({0, false});
+    const auto model =
+        core::FloatModel::random(models::yolov2_tiny({0, true}), 4);
+    auto net = core::convert_to_phonebit(model);
+    const double ratio = static_cast<double>(spec.float_param_bytes()) /
+                         static_cast<double>(net->param_bytes());
+    EXPECT_GT(ratio, 22.0);
+    EXPECT_LT(ratio, 30.0);
+  }
+  {
+    const auto spec = models::vgg16({0, false});
+    const auto model = core::FloatModel::random(models::vgg16({0, true}), 5);
+    auto net = core::convert_to_phonebit(model);
+    const double ratio = static_cast<double>(spec.float_param_bytes()) /
+                         static_cast<double>(net->param_bytes());
+    EXPECT_GT(ratio, 14.0);
+    EXPECT_LT(ratio, 20.0);
+  }
+}
+
+TEST(Zoo, YoloLayerStructure) {
+  const auto spec = models::yolov2_tiny({0, false});
+  // 9 convs + 6 pools.
+  int convs = 0, pools = 0;
+  for (const auto& l : spec.layers) {
+    if (std::holds_alternative<core::ConvLayerSpec>(l)) ++convs;
+    if (std::holds_alternative<core::PoolLayerSpec>(l)) ++pools;
+  }
+  EXPECT_EQ(convs, 9);
+  EXPECT_EQ(pools, 6);
+  EXPECT_EQ(spec.input, (Shape{1, 416, 416, 3}));
+  // Detection head: 125 channels = 5 anchors x (4+1+20).
+  const auto& last = std::get<core::ConvLayerSpec>(spec.layers.back());
+  EXPECT_EQ(last.c_out, 125);
+  EXPECT_EQ(last.act, core::Activation::kNone);
+}
+
+TEST(Zoo, AlexnetHasLrnOnlyInClassicForm) {
+  const auto classic = models::alexnet({0, false});
+  const auto bnn = models::alexnet({0, true});
+  auto has_lrn = [](const core::NetworkSpec& s) {
+    for (const auto& l : s.layers) {
+      if (const auto* c = std::get_if<core::ConvLayerSpec>(&l)) {
+        if (c->lrn_after) return true;
+      }
+    }
+    return false;
+  };
+  EXPECT_TRUE(has_lrn(classic));
+  EXPECT_FALSE(has_lrn(bnn));
+}
+
+TEST(Zoo, ShrunkenVariantsKeepLegalChannels) {
+  for (int shrink = 1; shrink <= 4; ++shrink) {
+    for (const auto& spec :
+         {models::alexnet({shrink, true}), models::vgg16({shrink, true})}) {
+      for (const auto& l : spec.layers) {
+        if (const auto* c = std::get_if<core::ConvLayerSpec>(&l)) {
+          EXPECT_EQ(c->c_out % 8, 0) << spec.name << " shrink " << shrink;
+        }
+      }
+    }
+  }
+}
+
+TEST(Zoo, QuicknetConvertsAndCounts) {
+  const auto spec = models::quicknet(10);
+  EXPECT_GT(spec.float_param_count(), 0);
+  const auto model = core::FloatModel::random(spec, 6);
+  auto net = core::convert_to_phonebit(model);
+  EXPECT_EQ(net->size(), spec.layers.size());
+  EXPECT_GT(net->param_count(), 0);
+}
+
+TEST(Zoo, RandomModelIsDeterministic) {
+  const auto a = core::FloatModel::random(models::quicknet(10), 42);
+  const auto b = core::FloatModel::random(models::quicknet(10), 42);
+  const auto& wa = std::get<core::ConvWeights>(a.weights[0]);
+  const auto& wb = std::get<core::ConvWeights>(b.weights[0]);
+  EXPECT_TRUE(allclose(wa.w, wb.w, 0.0f));
+  EXPECT_EQ(wa.bn[0].gamma, wb.bn[0].gamma);
+}
+
+}  // namespace
+}  // namespace phonebit

@@ -1,0 +1,204 @@
+// The simulated OpenCL runtime: device profiles (Table I), the roofline
+// cost model's structural properties, NDRange dispatch, memory budgets.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "common/error.hpp"
+#include "common/threadpool.hpp"
+#include "oclsim/cost_model.hpp"
+#include "oclsim/runtime.hpp"
+
+namespace phonebit::oclsim {
+namespace {
+
+TEST(DeviceProfile, TableOneValues) {
+  const auto sd820 = DeviceProfile::snapdragon820();
+  EXPECT_EQ(sd820.soc_name, "Snapdragon 820");
+  EXPECT_EQ(sd820.total_alus(), 256);
+  EXPECT_EQ(sd820.ram_mb, 3 * 1024);
+  EXPECT_EQ(sd820.opencl_version, "2.0");
+
+  const auto sd855 = DeviceProfile::snapdragon855();
+  EXPECT_EQ(sd855.soc_name, "Snapdragon 855");
+  EXPECT_EQ(sd855.total_alus(), 384);
+  EXPECT_EQ(sd855.compute_units, 2);   // Fig. 1: 2 CUs x 192 ALUs
+  EXPECT_EQ(sd855.alus_per_cu, 192);
+  EXPECT_EQ(sd855.ram_mb, 8 * 1024);
+}
+
+TEST(CostModel, MoreWorkTakesLonger) {
+  const auto p = DeviceProfile::snapdragon855();
+  KernelCost a;
+  a.scalar_ops = 1e9;
+  KernelCost b = a;
+  b.scalar_ops = 2e9;
+  EXPECT_LT(modeled_ms(a, p, ExecUnit::kGpu), modeled_ms(b, p, ExecUnit::kGpu));
+}
+
+TEST(CostModel, WiderPackingIsFasterAndSaturates) {
+  const auto p = DeviceProfile::snapdragon855();
+  KernelCost c;
+  c.bitop_bits = 1e10;
+  double prev = 1e300;
+  for (const int w : {8, 16, 32, 64, 128, 256, 512, 1024}) {
+    c.pack_width_bits = w;
+    const double t = modeled_ms(c, p, ExecUnit::kGpu);
+    EXPECT_LT(t, prev) << "width " << w;
+    prev = t;
+  }
+  // Saturation: 512 -> 1024 gains less than 8 -> 16.
+  c.pack_width_bits = 8;
+  const double t8 = modeled_ms(c, p, ExecUnit::kGpu);
+  c.pack_width_bits = 16;
+  const double t16 = modeled_ms(c, p, ExecUnit::kGpu);
+  c.pack_width_bits = 512;
+  const double t512 = modeled_ms(c, p, ExecUnit::kGpu);
+  c.pack_width_bits = 1024;
+  const double t1024 = modeled_ms(c, p, ExecUnit::kGpu);
+  EXPECT_GT(t8 / t16, t512 / t1024);
+}
+
+TEST(CostModel, LatencyHidingOverlapsMemory) {
+  const auto p = DeviceProfile::snapdragon855();
+  KernelCost c;
+  c.scalar_ops = 1e9;
+  c.bytes_read = 1e8;
+  c.launches = 0;
+  c.overlap_mem = true;
+  const double overlapped = modeled_ms(c, p, ExecUnit::kGpu);
+  c.overlap_mem = false;
+  const double serial = modeled_ms(c, p, ExecUnit::kGpu);
+  EXPECT_LT(overlapped, serial);
+}
+
+TEST(CostModel, LaunchOverheadCounts) {
+  const auto p = DeviceProfile::snapdragon855();
+  KernelCost c;
+  c.scalar_ops = 1e6;
+  c.launches = 1;
+  const double one = modeled_ms(c, p, ExecUnit::kGpu);
+  c.launches = 10;
+  const double ten = modeled_ms(c, p, ExecUnit::kGpu);
+  EXPECT_NEAR(ten - one, 9 * p.gpu_launch_overhead_ms, 1e-9);
+}
+
+TEST(CostModel, CoalescingScalesMemoryTime) {
+  const auto p = DeviceProfile::snapdragon855();
+  KernelCost c;
+  c.bytes_read = 1e9;
+  c.launches = 0;
+  c.coalescing = 0.8;
+  const double fast = modeled_ms(c, p, ExecUnit::kGpu);
+  c.coalescing = 0.2;
+  const double slow = modeled_ms(c, p, ExecUnit::kGpu);
+  EXPECT_NEAR(slow / fast, 4.0, 1e-6);
+}
+
+TEST(CostModel, Sd855GpuOutrunsSd820) {
+  KernelCost c;
+  c.scalar_ops = 1e9;
+  c.bytes_read = 1e8;
+  EXPECT_LT(modeled_ms(c, DeviceProfile::snapdragon855(), ExecUnit::kGpu),
+            modeled_ms(c, DeviceProfile::snapdragon820(), ExecUnit::kGpu));
+}
+
+TEST(CostModel, InvalidEfficiencyRejected) {
+  const auto p = DeviceProfile::snapdragon855();
+  KernelCost c;
+  c.alu_efficiency = 0.0;
+  EXPECT_THROW(modeled_ms(c, p, ExecUnit::kGpu), InvalidArgument);
+  c.alu_efficiency = 0.5;
+  c.coalescing = 1.5;
+  EXPECT_THROW(modeled_ms(c, p, ExecUnit::kGpu), InvalidArgument);
+}
+
+TEST(CostModel, CostAggregation) {
+  KernelCost a;
+  a.scalar_ops = 100;
+  a.bytes_read = 1000;
+  a.coalescing = 0.8;
+  KernelCost b;
+  b.scalar_ops = 300;
+  b.bytes_read = 3000;
+  b.coalescing = 0.4;
+  a += b;
+  EXPECT_EQ(a.scalar_ops, 400);
+  EXPECT_EQ(a.bytes_read, 4000);
+  EXPECT_EQ(a.launches, 2);
+  // Traffic-weighted coalescing: (1000*0.8 + 3000*0.4) / 4000 = 0.5.
+  EXPECT_NEAR(a.coalescing, 0.5, 1e-9);
+}
+
+TEST(Runtime, NDRangeCoversEveryItemExactlyOnce) {
+  Device dev(DeviceProfile::snapdragon855(), 4);
+  CommandQueue q(dev, ExecUnit::kGpu);
+  const NDRange range{5, 4, 3};
+  std::vector<std::atomic<int>> hits(static_cast<std::size_t>(range.items()));
+  KernelCost cost;
+  q.enqueue("cover", range, cost, [&](const WorkItem& it) {
+    EXPECT_GE(it.x, 0);
+    EXPECT_LT(it.x, 5);
+    EXPECT_GE(it.y, 0);
+    EXPECT_LT(it.y, 4);
+    EXPECT_GE(it.z, 0);
+    EXPECT_LT(it.z, 3);
+    hits[static_cast<std::size_t>((it.z * 4 + it.y) * 5 + it.x)]++;
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  ASSERT_EQ(q.events().size(), 1u);
+  EXPECT_EQ(q.events()[0].range.items(), 60);
+  EXPECT_GT(q.events()[0].modeled_ms, 0.0);
+}
+
+TEST(Runtime, EventAccumulation) {
+  Device dev(DeviceProfile::snapdragon855(), 2);
+  CommandQueue q(dev, ExecUnit::kCpu);
+  KernelCost cost;
+  cost.scalar_ops = 1e6;
+  q.enqueue("a", NDRange{4, 1, 1}, cost, [](const WorkItem&) {});
+  q.enqueue("b", NDRange{4, 1, 1}, cost, [](const WorkItem&) {});
+  EXPECT_EQ(q.events().size(), 2u);
+  EXPECT_GT(q.total_modeled_ms(), 0.0);
+  q.reset_events();
+  EXPECT_TRUE(q.events().empty());
+}
+
+TEST(Runtime, MemoryBudgetThrows) {
+  Device dev(DeviceProfile::snapdragon820(), 1);
+  // Within RAM budget:
+  dev.allocate(1024);
+  EXPECT_EQ(dev.allocated_bytes(), 1024);
+  // Explicit budget exceeded:
+  EXPECT_THROW(dev.allocate(2ll * 1024 * 1024, 1024 * 1024), OutOfMemoryError);
+  // Device RAM exceeded (3 GB):
+  EXPECT_THROW(dev.allocate(4ll * 1024 * 1024 * 1024), OutOfMemoryError);
+  dev.release(1024);
+  EXPECT_EQ(dev.allocated_bytes(), 0);
+}
+
+TEST(ThreadPool, ParallelForCoversRange) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(1000, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) hits[static_cast<std::size_t>(i)]++;
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, SmallRangeRunsInline) {
+  ThreadPool pool(4);
+  int count = 0;
+  pool.parallel_for(3, [&](std::int64_t b, std::int64_t e) {
+    count += static_cast<int>(e - b);
+  });
+  EXPECT_EQ(count, 3);
+}
+
+TEST(ThreadPool, RejectsZeroThreads) {
+  EXPECT_THROW(ThreadPool(0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace phonebit::oclsim

@@ -1,0 +1,111 @@
+// Channel packing, bit-plane splitting (Eqn 2) and flattening.
+#include <gtest/gtest.h>
+
+#include "bitpack/flatten.hpp"
+#include "bitpack/pack.hpp"
+#include "common/rng.hpp"
+#include "datasets/synthetic.hpp"
+#include "test_util.hpp"
+
+namespace phonebit {
+namespace {
+
+using bitpack::PackedTensor;
+
+TEST(PackedTensor, GetSetAndWordLayout) {
+  PackedTensor p(Shape{1, 2, 2, 70});  // 2 words per pixel
+  EXPECT_EQ(p.words_per_pixel(), 2);
+  EXPECT_EQ(p.total_words(), 8);
+  p.set(0, 1, 1, 69, true);
+  EXPECT_TRUE(p.get(0, 1, 1, 69));
+  EXPECT_FALSE(p.get(0, 1, 1, 68));
+  // Bit 69 lives in word 1, bit 5 of the last pixel.
+  EXPECT_EQ(p.data()[p.word_offset(0, 1, 1, 1)], std::uint64_t{1} << 5);
+  p.set(0, 1, 1, 69, false);
+  EXPECT_FALSE(p.get(0, 1, 1, 69));
+}
+
+TEST(PackedTensor, OutOfRangeThrows) {
+  PackedTensor p(Shape{1, 2, 2, 8});
+  EXPECT_THROW(p.get(0, 0, 0, 8), InvalidArgument);
+  EXPECT_THROW(p.set(0, 2, 0, 0, true), InvalidArgument);
+}
+
+class PackRoundtrip : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(PackRoundtrip, SignsSurvive) {
+  const std::int64_t channels = GetParam();
+  const FloatTensor t =
+      testing::random_sign_tensor(Shape{2, 3, 4, channels},
+                                  static_cast<std::uint64_t>(channels));
+  const PackedTensor p = bitpack::pack_signs(t);
+  EXPECT_TRUE(allclose(bitpack::unpack_signs(p), t, 0.0f));
+  // Padding bits beyond the channel count stay zero (Eqn 1 relies on it).
+  if (channels % 64 != 0) {
+    const std::uint64_t last = p.data()[p.word_offset(1, 2, 3,
+                                                      p.words_per_pixel() - 1)];
+    const int used = static_cast<int>(channels % 64);
+    EXPECT_EQ(last & ~low_mask<std::uint64_t>(used), 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ChannelWidths, PackRoundtrip,
+                         ::testing::Values(1, 3, 8, 17, 63, 64, 65, 127, 128,
+                                           200, 256));
+
+TEST(Packing, ZeroBinarizesToPlusOne) {
+  FloatTensor t(Shape{1, 1, 1, 4});
+  t.fill(0.0f);
+  const PackedTensor p = bitpack::pack_signs(t);
+  for (int c = 0; c < 4; ++c) EXPECT_TRUE(p.get(0, 0, 0, c));
+}
+
+TEST(Packing, RequiresNhwc) {
+  FloatTensor t(Shape{1, 2, 2, 8}, Layout::kNCHW);
+  EXPECT_THROW(bitpack::pack_signs(t), InvalidArgument);
+}
+
+TEST(BitPlanes, ReconstructPixelValues) {
+  // Eqn 2: I = sum_k 2^k I_k.
+  const U8Tensor img = datasets::random_image(Shape{1, 5, 4, 7}, 77);
+  const auto planes = bitpack::split_bit_planes(img);
+  const Shape& s = img.shape();
+  for (std::int64_t h = 0; h < s.h; ++h)
+    for (std::int64_t w = 0; w < s.w; ++w)
+      for (std::int64_t c = 0; c < s.c; ++c) {
+        int v = 0;
+        for (int k = 0; k < 8; ++k) {
+          if (planes[static_cast<std::size_t>(k)].get(0, h, w, c)) {
+            v += 1 << k;
+          }
+        }
+        EXPECT_EQ(v, static_cast<int>(img(0, h, w, c)));
+      }
+}
+
+TEST(Flatten, FastPathMultipleOf64) {
+  const FloatTensor t = testing::random_sign_tensor(Shape{2, 3, 3, 64}, 9);
+  const PackedTensor p = bitpack::pack_signs(t);
+  const PackedTensor flat = bitpack::flatten_packed(p);
+  EXPECT_EQ(flat.shape(), (Shape{2, 1, 1, 3 * 3 * 64}));
+  std::int64_t bit = 0;
+  for (std::int64_t h = 0; h < 3; ++h)
+    for (std::int64_t w = 0; w < 3; ++w)
+      for (std::int64_t c = 0; c < 64; ++c, ++bit)
+        EXPECT_EQ(flat.get(0, 0, 0, bit), p.get(0, h, w, c));
+}
+
+TEST(Flatten, SlowPathClosesPaddingGaps) {
+  const FloatTensor t = testing::random_sign_tensor(Shape{1, 2, 2, 33}, 10);
+  const PackedTensor p = bitpack::pack_signs(t);
+  const PackedTensor flat = bitpack::flatten_packed(p);
+  EXPECT_EQ(flat.shape().c, 2 * 2 * 33);
+  std::int64_t bit = 0;
+  for (std::int64_t h = 0; h < 2; ++h)
+    for (std::int64_t w = 0; w < 2; ++w)
+      for (std::int64_t c = 0; c < 33; ++c, ++bit)
+        EXPECT_EQ(flat.get(0, 0, 0, bit), p.get(0, h, w, c));
+}
+
+}  // namespace
+}  // namespace phonebit

@@ -1,0 +1,93 @@
+// OpenCL-style vector types: operator surface, built-ins, load/store.
+#include <gtest/gtest.h>
+
+#include "simd/vec.hpp"
+
+namespace phonebit::simd {
+namespace {
+
+TEST(Simd, BroadcastAndLaneAccess) {
+  const uint4 v(7u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(v[i], 7u);
+  const uchar4 w(1, 2, 3, 4);
+  EXPECT_EQ(w[0], 1);
+  EXPECT_EQ(w[3], 4);
+}
+
+TEST(Simd, ElementwiseArithmetic) {
+  const float4 a(1.0f, 2.0f, 3.0f, 4.0f);
+  const float4 b(10.0f, 20.0f, 30.0f, 40.0f);
+  const float4 sum = a + b;
+  const float4 prod = a * b;
+  EXPECT_EQ(sum[2], 33.0f);
+  EXPECT_EQ(prod[3], 160.0f);
+  EXPECT_EQ((b - a)[0], 9.0f);
+}
+
+TEST(Simd, BitwiseOps) {
+  const ulong2 a(0xF0F0ull, 0x0F0Full);
+  const ulong2 b(0xFF00ull, 0x00FFull);
+  EXPECT_EQ((a ^ b)[0], 0x0FF0ull);
+  EXPECT_EQ((a & b)[1], 0x000Full);
+  EXPECT_EQ((a | b)[0], 0xFFF0ull);
+  EXPECT_EQ((~a)[0], ~0xF0F0ull);
+}
+
+TEST(Simd, PopcountPerLaneAndTotal) {
+  const ulong4 v(0xFFull, 0x0ull, 0x3ull, ~0ull);
+  const ulong4 pc = popcount(v);
+  EXPECT_EQ(pc[0], 8u);
+  EXPECT_EQ(pc[1], 0u);
+  EXPECT_EQ(pc[2], 2u);
+  EXPECT_EQ(pc[3], 64u);
+  EXPECT_EQ(popcount_total(v), 74);
+  EXPECT_EQ(reduce_add(pc), 74);
+}
+
+TEST(Simd, Select) {
+  const uint4 a(0u), b(9u);
+  const vec<int, 4> mask(0, 1, 0, 1);
+  const uint4 r = select(a, b, mask);
+  EXPECT_EQ(r[0], 0u);
+  EXPECT_EQ(r[1], 9u);
+  EXPECT_EQ(r[3], 9u);
+}
+
+TEST(Simd, RelationalBuiltins) {
+  EXPECT_EQ(isless(1.0f, 2.0f), 1);
+  EXPECT_EQ(isless(2.0f, 1.0f), 0);
+  EXPECT_EQ(isgreater(2.0f, 1.0f), 1);
+  EXPECT_EQ(isequal(1.5f, 1.5f), 1);
+  EXPECT_EQ(isequal(1.5f, 1.6f), 0);
+}
+
+TEST(Simd, VloadVstoreRoundtrip) {
+  const std::uint64_t src[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+  const auto v = vload<std::uint64_t, 4>(1, src);  // words 4..7
+  EXPECT_EQ(v[0], 5u);
+  EXPECT_EQ(v[3], 8u);
+  std::uint64_t dst[8] = {};
+  vstore(v, 0, dst);
+  EXPECT_EQ(dst[0], 5u);
+  EXPECT_EQ(dst[3], 8u);
+}
+
+TEST(Simd, DotFloat4) {
+  const float4 a(1.0f, 2.0f, 3.0f, 4.0f);
+  const float4 b(4.0f, 3.0f, 2.0f, 1.0f);
+  EXPECT_FLOAT_EQ(dot(a, b), 20.0f);
+}
+
+TEST(Simd, BitWidths) {
+  EXPECT_EQ((bit_width<uchar2>()), 16);
+  EXPECT_EQ((bit_width<uint4>()), 128);
+  EXPECT_EQ((bit_width<ulong16>()), 1024);  // the paper's widest granularity
+}
+
+TEST(Simd, Equality) {
+  EXPECT_EQ(uint4(3u), uint4(3u));
+  EXPECT_FALSE(uint4(3u) == uint4(4u));
+}
+
+}  // namespace
+}  // namespace phonebit::simd

@@ -1,0 +1,106 @@
+// Tensor layouts, indexing, conversion and padding.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace phonebit {
+namespace {
+
+TEST(Shape, ElemsAndEquality) {
+  const Shape s{2, 3, 4, 5};
+  EXPECT_EQ(s.elems(), 120);
+  EXPECT_EQ(s, (Shape{2, 3, 4, 5}));
+  EXPECT_NE(s, (Shape{2, 3, 4, 6}));
+  EXPECT_EQ(s.str(), "[2,3,4,5]");
+}
+
+TEST(ConvGeometry, OutputDims) {
+  ConvGeometry g;
+  g.kernel_h = g.kernel_w = 3;
+  g.stride_h = g.stride_w = 1;
+  g.pad_h = g.pad_w = 1;
+  EXPECT_EQ(g.out_h(32), 32);
+  g.stride_h = 2;
+  EXPECT_EQ(g.out_h(32), 16);
+  g.pad_h = 0;
+  EXPECT_EQ(g.out_h(32), 15);
+  // 11x11 stride 4 on 227 -> 55 (AlexNet conv1).
+  ConvGeometry a;
+  a.kernel_h = a.kernel_w = 11;
+  a.stride_h = a.stride_w = 4;
+  EXPECT_EQ(a.out_h(227), 55);
+  EXPECT_THROW(ConvGeometry{}.out_dim(1, 3, 1, 0), InvalidArgument);
+}
+
+TEST(Tensor, NhwcOffsetsAreChannelInnermost) {
+  FloatTensor t(Shape{1, 2, 2, 3}, Layout::kNHWC);
+  EXPECT_EQ(t.offset(0, 0, 0, 0), 0);
+  EXPECT_EQ(t.offset(0, 0, 0, 2), 2);
+  EXPECT_EQ(t.offset(0, 0, 1, 0), 3);
+  EXPECT_EQ(t.offset(0, 1, 0, 0), 6);
+}
+
+TEST(Tensor, NchwOffsetsAreSpatialInnermost) {
+  FloatTensor t(Shape{1, 2, 2, 3}, Layout::kNCHW);
+  EXPECT_EQ(t.offset(0, 0, 0, 0), 0);
+  EXPECT_EQ(t.offset(0, 0, 1, 0), 1);
+  EXPECT_EQ(t.offset(0, 1, 0, 0), 2);
+  EXPECT_EQ(t.offset(0, 0, 0, 1), 4);
+}
+
+TEST(Tensor, LayoutConversionRoundtrip) {
+  Rng rng(3);
+  FloatTensor t(Shape{2, 5, 4, 7}, Layout::kNHWC);
+  t.fill_random(rng);
+  const FloatTensor back = t.to_layout(Layout::kNCHW).to_layout(Layout::kNHWC);
+  EXPECT_TRUE(allclose(t, back, 0.0f));
+  // Logical values identical across layouts.
+  const FloatTensor nchw = t.to_layout(Layout::kNCHW);
+  EXPECT_EQ(t(1, 2, 3, 4), nchw(1, 2, 3, 4));
+}
+
+TEST(Tensor, PadSpatial) {
+  FloatTensor t(Shape{1, 2, 2, 1}, Layout::kNHWC);
+  t.fill(5.0f);
+  const FloatTensor p = t.pad_spatial(1, 2, -1.0f);
+  EXPECT_EQ(p.shape(), (Shape{1, 4, 6, 1}));
+  EXPECT_EQ(p(0, 0, 0, 0), -1.0f);
+  EXPECT_EQ(p(0, 1, 2, 0), 5.0f);
+  EXPECT_EQ(p(0, 3, 5, 0), -1.0f);
+}
+
+TEST(Tensor, CheckedAccessThrows) {
+  FloatTensor t(Shape{1, 2, 2, 2});
+  EXPECT_THROW(t.at(0, 2, 0, 0), InvalidArgument);
+  EXPECT_THROW(t.at(0, 0, 0, -1), InvalidArgument);
+  EXPECT_NO_THROW(t.at(0, 1, 1, 1));
+}
+
+TEST(Tensor, InvalidShapeRejected) {
+  EXPECT_THROW(FloatTensor(Shape{0, 1, 1, 1}), InvalidArgument);
+  EXPECT_THROW(FloatTensor(Shape{1, 1, 1, -3}), InvalidArgument);
+}
+
+TEST(Tensor, MaxAbsDiffAndAllclose) {
+  FloatTensor a(Shape{1, 1, 1, 4});
+  FloatTensor b(Shape{1, 1, 1, 4});
+  a.fill(1.0f);
+  b.fill(1.0f);
+  b(0, 0, 0, 2) = 1.5f;
+  EXPECT_FLOAT_EQ(max_abs_diff(a, b), 0.5f);
+  EXPECT_FALSE(allclose(a, b, 0.4f));
+  EXPECT_TRUE(allclose(a, b, 0.6f));
+  FloatTensor c(Shape{1, 1, 1, 5});
+  EXPECT_THROW(max_abs_diff(a, c), InvalidArgument);
+}
+
+TEST(Tensor, BytesAccounting) {
+  FloatTensor f(Shape{1, 4, 4, 8});
+  EXPECT_EQ(f.bytes(), 4 * 4 * 8 * 4);
+  U8Tensor u(Shape{1, 4, 4, 8});
+  EXPECT_EQ(u.bytes(), 4 * 4 * 8);
+}
+
+}  // namespace
+}  // namespace phonebit

@@ -1,0 +1,89 @@
+// Trainer extension: the Table II accuracy-gap shape — float learns the
+// task, STE-binarized learns it with a small gap.
+#include <gtest/gtest.h>
+
+#include "datasets/synthetic.hpp"
+#include "train/trainer.hpp"
+
+namespace phonebit {
+namespace {
+
+class TrainerTest : public ::testing::Test {
+ protected:
+  static constexpr std::int64_t kHw = 12;
+  static constexpr std::int64_t kClasses = 4;
+  datasets::PatternDataset train_ =
+      datasets::PatternDataset::make(600, kClasses, kHw, 123);
+  datasets::PatternDataset test_ =
+      datasets::PatternDataset::make(200, kClasses, kHw, 456);
+};
+
+TEST_F(TrainerTest, FloatModelLearnsTheTask) {
+  train::TrainConfig cfg;
+  cfg.epochs = 25;
+  const auto r = train::train_mlp(train_, test_, cfg);
+  EXPECT_GT(r.test_accuracy, 0.85f) << "float failed to learn";
+  // Loss decreases over training.
+  ASSERT_GE(r.loss_curve.size(), 2u);
+  EXPECT_LT(r.loss_curve.back(), r.loss_curve.front());
+}
+
+TEST_F(TrainerTest, BinarizedModelLearnsWithSmallGap) {
+  train::TrainConfig fp;
+  fp.epochs = 25;
+  const auto rf = train::train_mlp(train_, test_, fp);
+
+  train::TrainConfig bin = fp;
+  bin.binarize = true;
+  const auto rb = train::train_mlp(train_, test_, bin);
+
+  // The Table II shape: a few points of accuracy, not tens.
+  EXPECT_GT(rb.test_accuracy, 0.6f) << "binary collapsed";
+  EXPECT_GE(rf.test_accuracy + 0.02f, rb.test_accuracy)
+      << "binary should not beat float by a margin";
+  EXPECT_LT(rf.test_accuracy - rb.test_accuracy, 0.3f)
+      << "binary gap implausibly large";
+}
+
+TEST_F(TrainerTest, DeterministicGivenSeed) {
+  train::TrainConfig cfg;
+  cfg.epochs = 3;
+  const auto a = train::train_mlp(train_, test_, cfg);
+  const auto b = train::train_mlp(train_, test_, cfg);
+  EXPECT_EQ(a.test_accuracy, b.test_accuracy);
+  EXPECT_EQ(a.loss_curve, b.loss_curve);
+}
+
+TEST(TrainerErrors, EmptyDatasetRejected) {
+  datasets::PatternDataset empty;
+  datasets::PatternDataset ok =
+      datasets::PatternDataset::make(10, 2, 8, 1);
+  EXPECT_THROW(train::train_mlp(empty, ok, {}), InvalidArgument);
+}
+
+TEST(Datasets, PatternsAreClassConditional) {
+  const auto ds = datasets::PatternDataset::make(50, 4, 12, 9);
+  EXPECT_EQ(ds.images.size(), 50u);
+  EXPECT_EQ(ds.labels.size(), 50u);
+  for (const int l : ds.labels) {
+    EXPECT_GE(l, 0);
+    EXPECT_LT(l, 4);
+  }
+  for (const auto& img : ds.images) {
+    EXPECT_EQ(img.shape(), (Shape{1, 12, 12, 1}));
+  }
+}
+
+TEST(Datasets, GeneratorsDeterministic) {
+  const auto a = datasets::cifar_like_image(5);
+  const auto b = datasets::cifar_like_image(5);
+  for (std::int64_t i = 0; i < a.elems(); ++i) {
+    ASSERT_EQ(a.data()[i], b.data()[i]);
+  }
+  const auto up = datasets::upscale(a, 227, 227);
+  EXPECT_EQ(up.shape(), (Shape{1, 227, 227, 3}));
+  EXPECT_EQ(up(0, 0, 0, 0), a(0, 0, 0, 0));
+}
+
+}  // namespace
+}  // namespace phonebit

@@ -1,0 +1,70 @@
+// PhoneBit tests — shared fixtures and generators.
+#pragma once
+
+#include <memory>
+
+#include "bitpack/pack.hpp"
+#include "common/rng.hpp"
+#include "core/phonebit.hpp"
+#include "oclsim/runtime.hpp"
+#include "tensor/tensor.hpp"
+
+namespace phonebit::testing {
+
+/// Shared simulated device (SD855) for tests; host threads capped so unit
+/// tests stay cheap to spawn.
+inline std::shared_ptr<oclsim::Device> test_device() {
+  static auto device = std::make_shared<oclsim::Device>(
+      oclsim::DeviceProfile::snapdragon855(), 4);
+  return device;
+}
+
+/// Random ±1-valued float tensor (the binary activation domain).
+inline FloatTensor random_sign_tensor(const Shape& shape, std::uint64_t seed) {
+  Rng rng(seed);
+  FloatTensor t(shape, Layout::kNHWC);
+  for (std::int64_t i = 0; i < t.elems(); ++i) t.data()[i] = rng.sign();
+  return t;
+}
+
+/// Random float tensor ~N(0,1).
+inline FloatTensor random_float_tensor(const Shape& shape,
+                                       std::uint64_t seed) {
+  Rng rng(seed);
+  FloatTensor t(shape, Layout::kNHWC);
+  t.fill_random(rng);
+  return t;
+}
+
+/// Random batch-norm parameter vector with both gamma signs present.
+inline std::vector<core::BatchNormParams> random_bn(std::int64_t channels,
+                                                    std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<core::BatchNormParams> bn;
+  for (std::int64_t c = 0; c < channels; ++c) {
+    core::BatchNormParams p;
+    p.gamma = rng.uniform(0.3f, 1.5f) * (rng.uniform() < 0.3f ? -1.0f : 1.0f);
+    p.beta = rng.normal() * 0.5f;
+    p.mu = rng.normal() * 3.0f;
+    p.sigma = rng.uniform(0.5f, 2.0f);
+    bn.push_back(p);
+  }
+  return bn;
+}
+
+inline std::vector<float> random_bias(std::int64_t channels,
+                                      std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> b(static_cast<std::size_t>(channels));
+  for (auto& x : b) x = rng.normal() * 0.2f;
+  return b;
+}
+
+/// Expands a packed tensor and compares with a ±1 float reference.
+inline bool packed_equals_signs(const bitpack::PackedTensor& packed,
+                                const FloatTensor& ref) {
+  const FloatTensor got = bitpack::unpack_signs(packed);
+  return allclose(got, ref, 0.0f);
+}
+
+}  // namespace phonebit::testing
