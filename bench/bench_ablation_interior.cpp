@@ -1,0 +1,39 @@
+// Ablation — interior/border specialization and output-x tiling (DESIGN.md
+// §4): the interior output rectangle runs a branch-free row-fused window
+// (one strided xor+popcount per window) while borders resolve padding per
+// filter row. Turning the split off restores the pre-optimization per-tap
+// loop; the tile sweep sizes the column run each work item owns.
+#include "bench/ablation_util.hpp"
+
+namespace {
+
+using namespace phonebit;
+
+void BM_InteriorSplit(benchmark::State& state) {
+  static const auto fx = bench::ConvFixture::make(26, 256, 256);
+  core::EngineOptions opts;
+  opts.interior_split = true;  // the engine default
+  bench::run_ablation(state, fx, opts);
+}
+BENCHMARK(BM_InteriorSplit)->Unit(benchmark::kMillisecond);
+
+void BM_PerTapLoop(benchmark::State& state) {
+  static const auto fx = bench::ConvFixture::make(26, 256, 256);
+  core::EngineOptions opts;
+  opts.interior_split = false;  // pre-optimization inner loop
+  bench::run_ablation(state, fx, opts);
+}
+BENCHMARK(BM_PerTapLoop)->Unit(benchmark::kMillisecond);
+
+void BM_TileWidth(benchmark::State& state) {
+  static const auto fx = bench::ConvFixture::make(26, 256, 256);
+  core::EngineOptions opts;
+  opts.conv_tile_ow = state.range(0);  // 0 = whole output row per item
+  bench::run_ablation(state, fx, opts);
+}
+BENCHMARK(BM_TileWidth)->Arg(0)->Arg(2)->Arg(4)->Arg(8)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,19 +1,43 @@
 // Kernel micro-benchmarks — real host throughput of the primitive binary
-// operations (xor+popcount spans at every granularity, packing, bit-plane
-// splitting). These measure the actual C++ kernels google-benchmark style;
-// the table benches measure the modeled phone numbers.
-#include <benchmark/benchmark.h>
-
+// operations and of the BinaryConv2d layer itself. Unlike the table benches
+// (modeled phone numbers via google-benchmark), this binary uses its own
+// timing harness so it can emit a machine-readable BENCH_kernels.json whose
+// records are tracked in-repo as the perf baseline.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
 #include <vector>
 
+#include "bench/bench_util.hpp"
 #include "bitpack/binary_ops.hpp"
 #include "bitpack/pack.hpp"
 #include "common/rng.hpp"
+#include "core/phonebit.hpp"
 #include "datasets/synthetic.hpp"
 
 namespace {
 
 using namespace phonebit;
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Best-of-`reps` wall time of fn(), after one warm-up call.
+template <typename Fn>
+double best_ms(int reps, Fn&& fn) {
+  fn();
+  double best = 1e30;
+  for (int r = 0; r < reps; ++r) {
+    const double t0 = now_ms();
+    fn();
+    best = std::min(best, now_ms() - t0);
+  }
+  return best;
+}
 
 std::vector<std::uint64_t> random_words(std::int64_t n) {
   Rng rng(5);
@@ -22,61 +46,149 @@ std::vector<std::uint64_t> random_words(std::int64_t n) {
   return v;
 }
 
-void BM_XorPopcount(benchmark::State& state) {
+void bench_xor_popcount(std::vector<bench::BenchRecord>& out) {
   const std::int64_t nwords = 4096;
   const auto a = random_words(nwords);
   const auto b = random_words(nwords);
-  const auto pw = static_cast<bitpack::PackWidth>(state.range(0));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        bitpack::xor_popcount(a.data(), b.data(), nwords, pw));
+  volatile std::int64_t sink = 0;
+  for (const auto pw :
+       {bitpack::PackWidth::k8, bitpack::PackWidth::k16, bitpack::PackWidth::k32,
+        bitpack::PackWidth::k64, bitpack::PackWidth::k128,
+        bitpack::PackWidth::k256, bitpack::PackWidth::k512,
+        bitpack::PackWidth::k1024}) {
+    const double ms = best_ms(20, [&] {
+      std::int64_t total = 0;
+      for (int i = 0; i < 64; ++i) {
+        total += bitpack::xor_popcount(a.data(), b.data(), nwords, pw);
+      }
+      sink = total;
+    });
+    out.push_back({"xor_popcount",
+                   "4096w/k" + std::to_string(bitpack::bits(pw)), ms, 0.0});
   }
-  state.SetBytesProcessed(state.iterations() * nwords * 8 * 2);
+  (void)sink;
 }
-BENCHMARK(BM_XorPopcount)
-    ->Arg(8)
-    ->Arg(16)
-    ->Arg(32)
-    ->Arg(64)
-    ->Arg(128)
-    ->Arg(256)
-    ->Arg(512)
-    ->Arg(1024);
 
-void BM_BinaryDot(benchmark::State& state) {
-  const std::int64_t len = state.range(0);
-  const std::int64_t nwords = ceil_div(len, 64);
-  const auto a = random_words(nwords);
-  const auto b = random_words(nwords);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        bitpack::binary_dot(a.data(), b.data(), nwords, len));
+void bench_binary_dot(std::vector<bench::BenchRecord>& out) {
+  volatile std::int64_t sink = 0;
+  for (const std::int64_t len : {256, 1024, 9216, 25088}) {
+    const std::int64_t nwords = ceil_div(len, 64);
+    const auto a = random_words(nwords);
+    const auto b = random_words(nwords);
+    const double ms = best_ms(20, [&] {
+      std::int64_t total = 0;
+      for (int i = 0; i < 4096; ++i) {
+        total += bitpack::binary_dot(a.data(), b.data(), nwords, len);
+      }
+      sink = total;
+    });
+    out.push_back({"binary_dot", "len" + std::to_string(len), ms, 0.0});
   }
-  state.SetItemsProcessed(state.iterations() * len);
+  (void)sink;
 }
-BENCHMARK(BM_BinaryDot)->Arg(256)->Arg(1024)->Arg(9216)->Arg(25088);
 
-void BM_PackSigns(benchmark::State& state) {
-  Rng rng(6);
-  FloatTensor t(Shape{1, 32, 32, state.range(0)}, Layout::kNHWC);
-  t.fill_random(rng);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(bitpack::pack_signs(t));
+void bench_pack_signs(std::vector<bench::BenchRecord>& out) {
+  for (const std::int64_t c : {64, 256, 1024}) {
+    Rng rng(6);
+    FloatTensor t(Shape{1, 32, 32, c}, Layout::kNHWC);
+    t.fill_random(rng);
+    const double ms = best_ms(10, [&] {
+      const auto packed = bitpack::pack_signs(t);
+      (void)packed;
+    });
+    out.push_back({"pack_signs", "32x32/c" + std::to_string(c), ms, 0.0});
   }
-  state.SetItemsProcessed(state.iterations() * t.elems());
 }
-BENCHMARK(BM_PackSigns)->Arg(64)->Arg(256)->Arg(1024);
 
-void BM_BitPlaneSplit(benchmark::State& state) {
-  const U8Tensor img = datasets::random_image(
-      Shape{1, state.range(0), state.range(0), 3}, 7);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(bitpack::split_bit_planes(img));
+void bench_bit_plane_split(std::vector<bench::BenchRecord>& out) {
+  for (const std::int64_t hw : {32, 128, 416}) {
+    const U8Tensor img = datasets::random_image(Shape{1, hw, hw, 3}, 7);
+    const double ms = best_ms(10, [&] {
+      const auto planes = bitpack::split_bit_planes(img);
+      (void)planes;
+    });
+    out.push_back({"split_bit_planes",
+                   std::to_string(hw) + "x" + std::to_string(hw) + "/c3", ms,
+                   0.0});
   }
-  state.SetItemsProcessed(state.iterations() * img.elems());
 }
-BENCHMARK(BM_BitPlaneSplit)->Arg(32)->Arg(128)->Arg(416);
+
+struct ConvSpec {
+  std::string tag;
+  std::int64_t hw, c_in, c_out, k, stride, pad;
+};
+
+/// Times one BinaryConv2d layer: builds the engine once, then measures the
+/// per-forward host kernel time (min over reps) and the modeled device time.
+void bench_conv(const ConvSpec& spec, const core::EngineOptions& opts,
+                const std::string& variant,
+                std::vector<bench::BenchRecord>& out) {
+  Rng rng(99);
+  FloatTensor in(Shape{1, spec.hw, spec.hw, spec.c_in}, Layout::kNHWC);
+  FloatTensor w(Shape{spec.c_out, spec.k, spec.k, spec.c_in}, Layout::kNHWC);
+  for (std::int64_t i = 0; i < in.elems(); ++i) in.data()[i] = rng.sign();
+  for (std::int64_t i = 0; i < w.elems(); ++i) w.data()[i] = rng.sign();
+  std::vector<core::BatchNormParams> bn;
+  for (std::int64_t c = 0; c < spec.c_out; ++c) {
+    bn.push_back({rng.uniform(0.3f, 1.5f) * rng.sign(), rng.normal(),
+                  rng.normal() * 3.0f, rng.uniform(0.5f, 2.0f)});
+  }
+  ConvGeometry g;
+  g.kernel_h = g.kernel_w = spec.k;
+  g.stride_h = g.stride_w = spec.stride;
+  g.pad_h = g.pad_w = spec.pad;
+
+  auto device = std::make_shared<oclsim::Device>(
+      oclsim::DeviceProfile::snapdragon855());
+  core::Engine engine(device, opts);
+  auto ctx = engine.context();
+  core::BinaryConv2d conv("bench", bitpack::pack_filter_signs(w), bn, {}, g);
+  const core::Blob input{bitpack::pack_signs(in)};
+
+  double modeled = 0.0;
+  const double host = best_ms(15, [&] {
+    engine.reset_profile();
+    conv.forward(ctx, input);
+    modeled = engine.queue().total_modeled_ms();
+  });
+  // total_host_ms would exclude the enqueue-side setup; report the full
+  // forward wall time so host_ms reflects the real hot path.
+  out.push_back({"bconv", spec.tag + "/" + variant, host, modeled});
+}
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Output path as argv[1] so the tracked repo-root baseline can be updated
+  // directly (running from build/ otherwise writes a CWD-local copy).
+  const std::string json_path = argc > 1 ? argv[1] : "BENCH_kernels.json";
+  std::vector<bench::BenchRecord> records;
+  bench_xor_popcount(records);
+  bench_binary_dot(records);
+  bench_pack_signs(records);
+  bench_bit_plane_split(records);
+
+  const std::vector<ConvSpec> specs = {
+      {"3x3/s1/p1/26x26/c256->256", 26, 256, 256, 3, 1, 1},
+      {"3x3/s1/p1/26x26/c128->128", 26, 128, 128, 3, 1, 1},
+      {"1x1/s1/p0/26x26/c256->256", 26, 256, 256, 1, 1, 0},
+      {"7x7/s2/p3/56x56/c64->64", 56, 64, 64, 7, 2, 3},
+  };
+  for (const auto& spec : specs) {
+    core::EngineOptions fast;  // engine defaults: row-fused interior path
+    bench_conv(spec, fast, "fast", records);
+    core::EngineOptions taps;  // pre-tentpole inner loop, kept for ablation
+    taps.interior_split = false;
+    bench_conv(spec, taps, "taps", records);
+  }
+
+  std::printf("%-14s %-30s %12s %12s\n", "op", "geometry", "host_ms",
+              "modeled_ms");
+  for (const auto& r : records) {
+    std::printf("%-14s %-30s %12.4f %12.4f\n", r.op.c_str(),
+                r.geometry.c_str(), r.host_ms, r.modeled_ms);
+  }
+  if (!bench::write_bench_json(json_path, "kernels", records)) return 1;
+  std::printf("wrote %s\n", json_path.c_str());
+  return 0;
+}

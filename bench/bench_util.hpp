@@ -1,9 +1,11 @@
-// PhoneBit benches — shared table-printing and run helpers.
+// PhoneBit benches — shared table-printing, JSON-emission and run helpers.
 #pragma once
 
 #include <cstdio>
+#include <fstream>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "baselines/framework.hpp"
 #include "core/phonebit.hpp"
@@ -12,6 +14,49 @@
 #include "oclsim/runtime.hpp"
 
 namespace phonebit::bench {
+
+/// One machine-readable benchmark result row (see BENCH_kernels.json).
+struct BenchRecord {
+  std::string op;        ///< operation name, e.g. "bconv" or "xor_popcount"
+  std::string geometry;  ///< human/grep-able geometry tag
+  double host_ms = 0.0;    ///< measured wall time of the real host kernels
+  double modeled_ms = 0.0; ///< simulated device time (0 when not modeled)
+};
+
+/// Minimal JSON string escape (quotes and backslashes; tags are ASCII).
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// Writes benchmark records as a stable, diffable JSON document so the perf
+/// trajectory can be tracked in-repo (BENCH_kernels.json baseline).
+/// Returns false if the path is not writable.
+inline bool write_bench_json(const std::string& path, const std::string& bench,
+                             const std::vector<BenchRecord>& records) {
+  std::ofstream f(path);
+  if (!f) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  f << "{\n  \"bench\": \"" << json_escape(bench) << "\",\n  \"records\": [\n";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const BenchRecord& r = records[i];
+    char ms[64];
+    std::snprintf(ms, sizeof(ms), "\"host_ms\": %.6f, \"modeled_ms\": %.6f",
+                  r.host_ms, r.modeled_ms);
+    f << "    {\"op\": \"" << json_escape(r.op) << "\", \"geometry\": \""
+      << json_escape(r.geometry) << "\", " << ms << "}"
+      << (i + 1 < records.size() ? "," : "") << "\n";
+  }
+  f << "  ]\n}\n";
+  return f.good();
+}
 
 /// PHONEBIT_BENCH_FAST=1 shrinks networks for quick smoke runs; the default
 /// is the paper's full-size networks.

@@ -45,6 +45,20 @@ std::int64_t xor_popcount(const std::uint64_t* a, const std::uint64_t* b,
 std::int64_t and_popcount(const std::uint64_t* a, const std::uint64_t* b,
                           std::int64_t nwords, PackWidth w);
 
+/// Strided multi-span accumulate: popcount(xor) summed over `rows` spans of
+/// `row_words` words each, where consecutive spans of `a` start `a_stride`
+/// words apart and spans of `b` start `b_stride` words apart. In the
+/// NHWC-packed layout one binary-conv window is exactly this shape — the kw
+/// taps of a filter row are contiguous in both operands, so `a` walks kh
+/// input rows (stride = image row pitch) against kh contiguous weight rows —
+/// and the whole window reduces to ONE call instead of kh*kw short ones.
+/// Wide granularities keep a vector lane accumulator across all rows and
+/// reduce once at the end (simd::popcount_accumulate).
+std::int64_t xor_popcount_2d(const std::uint64_t* a, std::int64_t a_stride,
+                             const std::uint64_t* b, std::int64_t b_stride,
+                             std::int64_t row_words, std::int64_t rows,
+                             PackWidth w);
+
 /// popcount(a) over `nwords` words.
 std::int64_t popcount_words(const std::uint64_t* a, std::int64_t nwords);
 

@@ -46,7 +46,18 @@ void ThreadPool::parallel_for(
     fn(0, n);
     return;
   }
-  const std::int64_t chunk = (n + workers - 1) / workers;
+  // Over-decompose ~4 chunks per worker so one slow chunk rides alongside
+  // the rest instead of serializing the whole dispatch (with exactly one
+  // chunk per worker, the dispatch lasts as long as its unluckiest chunk).
+  // The minimum chunk size keeps queue traffic bounded for small ranges.
+  constexpr std::int64_t kChunksPerWorker = 4;
+  constexpr std::int64_t kMinChunk = 16;
+  // The floor never exceeds one chunk per worker, so small ranges that pass
+  // the inline threshold above still fan out across the whole pool.
+  const std::int64_t per_worker = (n + workers - 1) / workers;
+  const std::int64_t chunk = std::max(
+      std::min(kMinChunk, per_worker),
+      (n + workers * kChunksPerWorker - 1) / (workers * kChunksPerWorker));
   for (std::int64_t begin = 0; begin < n; begin += chunk) {
     const std::int64_t end = std::min(begin + chunk, n);
     submit([&fn, begin, end] { fn(begin, end); });

@@ -1,0 +1,91 @@
+// PhoneBit — reusable scratch arena for intermediate kernel buffers.
+//
+// Path B/C of the binary conv (and any layer needing a materialized
+// intermediate) used to heap-allocate activation-sized vectors on every
+// forward — exactly the hot-path overhead the fast mobile engines avoid by
+// reserving intermediates once per engine. The arena keeps one typed pool
+// per element kind, grown geometrically to the high-water mark of the
+// network and then reused verbatim across Network::forward calls. Growth is
+// accounted against the simulated device via Device::allocate so the OOM
+// behaviour of real GPU buffers is preserved, and growth events are counted
+// so tests can assert the hot path stops allocating after warm-up.
+//
+// Lifetime contract: a span returned by i32()/u8()/words() stays valid until
+// the *next* request of the same kind — layers grab their buffers up front
+// and kernels (eagerly executed) consume them within the same forward.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/error.hpp"
+#include "oclsim/runtime.hpp"
+
+namespace phonebit::core {
+
+class ScratchArena {
+ public:
+  /// `device` (optional) receives simulated-allocation accounting.
+  explicit ScratchArena(oclsim::Device* device = nullptr) : device_(device) {}
+
+  ScratchArena(const ScratchArena&) = delete;
+  ScratchArena& operator=(const ScratchArena&) = delete;
+
+  ~ScratchArena() {
+    if (device_ != nullptr) device_->release(accounted_bytes_);
+  }
+
+  /// int32 scratch of at least `n` elements (conv sums, pooling counts).
+  std::int32_t* i32(std::int64_t n) { return ensure(i32_, n); }
+
+  /// byte scratch of at least `n` elements (unpacked 0/1 bit maps).
+  std::uint8_t* u8(std::int64_t n) { return ensure(u8_, n); }
+
+  /// uint64 scratch of at least `n` words.
+  std::uint64_t* words(std::int64_t n) { return ensure(words_, n); }
+
+  /// uint64 scratch of `n` words, cleared to zero (the packed all-(-1)
+  /// padding span). The memset is O(words_per_pixel), not an allocation.
+  std::uint64_t* zero_words(std::int64_t n) {
+    std::uint64_t* p = ensure(words_, n);
+    std::memset(p, 0, static_cast<std::size_t>(n) * sizeof(std::uint64_t));
+    return p;
+  }
+
+  /// Number of times any pool had to grow since construction. Stable after
+  /// warm-up: the no-allocation-on-the-hot-path test asserts this does not
+  /// move across repeated forwards.
+  int growth_events() const noexcept { return growth_events_; }
+
+  /// Total bytes currently reserved across all pools.
+  std::int64_t capacity_bytes() const noexcept { return accounted_bytes_; }
+
+ private:
+  template <typename T>
+  T* ensure(std::vector<T>& pool, std::int64_t n) {
+    PB_CHECK(n >= 0, "negative scratch request");
+    const auto need = static_cast<std::size_t>(n);
+    if (pool.size() < need) {
+      // Geometric growth so a pyramid of layer sizes settles in O(log) grows.
+      std::size_t cap = pool.size() < 64 ? 64 : pool.size();
+      while (cap < need) cap *= 2;
+      const std::int64_t delta =
+          static_cast<std::int64_t>((cap - pool.size()) * sizeof(T));
+      if (device_ != nullptr) device_->allocate(delta);
+      accounted_bytes_ += delta;
+      pool.resize(cap);
+      ++growth_events_;
+    }
+    return pool.data();
+  }
+
+  oclsim::Device* device_;
+  std::vector<std::int32_t> i32_;
+  std::vector<std::uint8_t> u8_;
+  std::vector<std::uint64_t> words_;
+  std::int64_t accounted_bytes_ = 0;
+  int growth_events_ = 0;
+};
+
+}  // namespace phonebit::core

@@ -1,5 +1,6 @@
 #include "core/binary_conv.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cstring>
 
@@ -59,9 +60,12 @@ Blob BinaryConv2d::forward(ExecContext& ctx, const Blob& in) {
 
 namespace {
 
-/// Shared geometry snapshot the kernel bodies capture by value.
+/// Shared geometry snapshot the kernel bodies capture by value, including
+/// the interior output box [x0,x1) x [y0,y1): the output rectangle whose
+/// windows never touch padding, which runs the branch-free fast path.
 struct ConvDims {
   std::int64_t n, ih, iw, c_in, oh, ow, c_out, kh, kw, sh, sw, ph, pw, words;
+  std::int64_t y0, y1, x0, x1;
 };
 
 ConvDims make_dims(const PackedTensor& in, const PackedTensor& weights,
@@ -81,18 +85,26 @@ ConvDims make_dims(const PackedTensor& in, const PackedTensor& weights,
   d.ph = g.pad_h;
   d.pw = g.pad_w;
   d.words = in.words_per_pixel();
+  // Interior rows: oy*sh - ph >= 0 and oy*sh - ph + kh <= ih.
+  d.y0 = std::clamp<std::int64_t>(ceil_div(d.ph, d.sh), 0, d.oh);
+  const std::int64_t ymax = d.ih - d.kh + d.ph;
+  d.y1 = ymax < 0 ? d.y0 : std::clamp<std::int64_t>(ymax / d.sh + 1, d.y0, d.oh);
+  d.x0 = std::clamp<std::int64_t>(ceil_div(d.pw, d.sw), 0, d.ow);
+  const std::int64_t xmax = d.iw - d.kw + d.pw;
+  d.x1 = xmax < 0 ? d.x0 : std::clamp<std::int64_t>(xmax / d.sw + 1, d.x0, d.ow);
   return d;
 }
 
-/// xor-popcount accumulation of one filter over one output window;
+/// Pre-optimization inner loop, kept as the interior-split ablation arm:
+/// one short xor_popcount per kernel tap with a per-tap padding branch;
 /// out-of-bounds input pixels use the all-zero span (-1 padding).
-inline std::int64_t window_mismatches(const PackedTensor& in,
-                                      const PackedTensor& weights,
-                                      const ConvDims& d, std::int64_t n,
-                                      std::int64_t oy, std::int64_t ox,
-                                      std::int64_t co,
-                                      const std::uint64_t* zeros,
-                                      bitpack::PackWidth pw) {
+inline std::int64_t window_mismatches_taps(const PackedTensor& in,
+                                           const PackedTensor& weights,
+                                           const ConvDims& d, std::int64_t n,
+                                           std::int64_t oy, std::int64_t ox,
+                                           std::int64_t co,
+                                           const std::uint64_t* zeros,
+                                           bitpack::PackWidth pw) {
   std::int64_t mism = 0;
   for (std::int64_t kh = 0; kh < d.kh; ++kh) {
     const std::int64_t iy = oy * d.sh - d.ph + kh;
@@ -107,6 +119,108 @@ inline std::int64_t window_mismatches(const PackedTensor& in,
   return mism;
 }
 
+/// Fast path for windows fully inside the input: the kw taps of one filter
+/// row are contiguous in both operands (NHWC packing), so the whole window
+/// is one strided xor+popcount — kh input rows (pitch iw*words) against the
+/// contiguous filter (pitch kw*words). No bounds test, no zeros span.
+inline std::int64_t window_mismatches_interior(const PackedTensor& in,
+                                               const PackedTensor& weights,
+                                               const ConvDims& d,
+                                               std::int64_t n, std::int64_t iy0,
+                                               std::int64_t ix0,
+                                               std::int64_t co,
+                                               bitpack::PackWidth pw) {
+  return bitpack::xor_popcount_2d(in.pixel(n, iy0, ix0), d.iw * d.words,
+                                  weights.pixel(co, 0, 0), d.kw * d.words,
+                                  d.kw * d.words, d.kh, pw);
+}
+
+/// Border windows, still row-fused: each filter row splits into at most
+/// [left-pad | in-bounds run | right-pad]. A padding tap xors the all-zero
+/// span against the weights, so its mismatch count is just the popcount of
+/// the weight span — the pad segments need no zeros buffer at all.
+inline std::int64_t window_mismatches_border(const PackedTensor& in,
+                                             const PackedTensor& weights,
+                                             const ConvDims& d, std::int64_t n,
+                                             std::int64_t oy, std::int64_t ox,
+                                             std::int64_t co,
+                                             bitpack::PackWidth pw) {
+  const std::int64_t iy0 = oy * d.sh - d.ph;
+  const std::int64_t ix0 = ox * d.sw - d.pw;
+  const std::int64_t lo = std::clamp<std::int64_t>(-ix0, 0, d.kw);
+  const std::int64_t hi = std::clamp<std::int64_t>(d.iw - ix0, 0, d.kw);
+  std::int64_t mism = 0;
+  for (std::int64_t kh = 0; kh < d.kh; ++kh) {
+    const std::int64_t iy = iy0 + kh;
+    const std::uint64_t* wrow = weights.pixel(co, kh, 0);
+    if (iy < 0 || iy >= d.ih || hi <= lo) {
+      mism += bitpack::popcount_words(wrow, d.kw * d.words);
+      continue;
+    }
+    if (lo > 0) mism += bitpack::popcount_words(wrow, lo * d.words);
+    if (hi < d.kw) {
+      mism += bitpack::popcount_words(wrow + hi * d.words,
+                                      (d.kw - hi) * d.words);
+    }
+    mism += bitpack::xor_popcount(in.pixel(n, iy, ix0 + lo),
+                                  wrow + lo * d.words, (hi - lo) * d.words,
+                                  pw);
+  }
+  return mism;
+}
+
+/// Window accumulator honoring the interior-split option. `y_interior` is
+/// the hoisted per-row bounds test so the inner x loop pays one compare.
+inline std::int64_t window_mismatches(const PackedTensor& in,
+                                      const PackedTensor& weights,
+                                      const ConvDims& d, std::int64_t n,
+                                      std::int64_t oy, std::int64_t ox,
+                                      std::int64_t co,
+                                      const std::uint64_t* zeros,
+                                      bitpack::PackWidth pw, bool split,
+                                      bool y_interior) {
+  if (!split) {
+    return window_mismatches_taps(in, weights, d, n, oy, ox, co, zeros, pw);
+  }
+  if (y_interior && ox >= d.x0 && ox < d.x1) {
+    return window_mismatches_interior(in, weights, d, n, oy * d.sh - d.ph,
+                                      ox * d.sw - d.pw, co, pw);
+  }
+  return window_mismatches_border(in, weights, d, n, oy, ox, co, pw);
+}
+
+/// Output-x tile width for the conv kernels (0 = whole row per work item).
+inline std::int64_t tile_width(const ConvDims& d, const EngineOptions& opts) {
+  const std::int64_t t = opts.conv_tile_ow;
+  return t <= 0 ? d.ow : std::min(t, d.ow);
+}
+
+/// Work tally of the window-accumulation portion shared by every conv path
+/// (see costs.hpp). Row fusion shows up as fewer scalar bookkeeping ops and
+/// kh instead of kh*kw span setups per window; border windows pay up to one
+/// extra pad-popcount span per filter row.
+void charge_windows(KernelCost& cost, const ConvDims& d,
+                    const EngineOptions& opts, bool split) {
+  const double outputs = static_cast<double>(d.n) * d.oh * d.ow * d.c_out;
+  const double interior =
+      split ? static_cast<double>(d.n) * (d.y1 - d.y0) * (d.x1 - d.x0) *
+                  d.c_out
+            : 0.0;
+  const double border = outputs - interior;
+  const double kh = static_cast<double>(d.kh);
+  const double taps = static_cast<double>(d.kh * d.kw);
+  cost.span_setup_cycles = costs::kSpanSetupCycles;
+  if (split) {
+    cost.scalar_ops = interior * 1.0 + border * kh;
+    cost.span_count = interior * kh + border * 2.0 * kh;
+    cost.instr_overhead_cycles = costs::instr_overhead_fused(opts);
+  } else {
+    cost.scalar_ops = outputs * taps;
+    cost.span_count = outputs * taps;
+    cost.instr_overhead_cycles = costs::instr_overhead(opts);
+  }
+}
+
 }  // namespace
 
 PackedTensor BinaryConv2d::forward_fused(ExecContext& ctx,
@@ -114,90 +228,109 @@ PackedTensor BinaryConv2d::forward_fused(ExecContext& ctx,
                                          bool integrate_packing) {
   const ConvDims d = make_dims(in, weights_, geom_);
   PackedTensor out(Shape{d.n, d.oh, d.ow, d.c_out});
-  const std::vector<std::uint64_t> zeros(static_cast<std::size_t>(d.words), 0);
+  const bool split = ctx.opts.interior_split;
+  const std::uint64_t* zeros =
+      split ? nullptr : ctx.arena.zero_words(d.words);
   const auto pw = ctx.opts.pack_width_for(d.c_in);
   const bool branch_free = ctx.opts.branch_free_binarize;
   const std::int64_t len = d.kh * d.kw * d.c_in;
+  const std::int64_t tile = tile_width(d, ctx.opts);
+  const std::int64_t tiles_x = ceil_div(d.ow, tile);
   const FoldedBatchNorm& fb = folded_;
 
   // Work tally (see costs.hpp): xor + popcount bit-lanes per window tap,
   // padded to the processing vector width (narrow layers waste the tail
-  // lanes of one vector, not a whole 64-bit word), plus window accumulation
-  // and the threshold test per output value.
+  // lanes of one vector, not a whole 64-bit word), plus window accumulation,
+  // span setups and the threshold test per output value.
   const double outputs = static_cast<double>(d.n) * d.oh * d.ow * d.c_out;
   const double tap_bits = static_cast<double>(
       ceil_div(d.c_in, bitpack::bits(pw)) * bitpack::bits(pw));
   KernelCost cost;
   cost.bitop_bits =
       2.0 * outputs * static_cast<double>(d.kh * d.kw) * tap_bits;
-  cost.scalar_ops = outputs * static_cast<double>(d.kh * d.kw + 4);
+  charge_windows(cost, d, ctx.opts, split);
+  cost.scalar_ops += outputs * 4.0;  // threshold compare + byte/bit insert
   cost.pack_width_bits = bitpack::bits(pw);
-  cost.instr_overhead_cycles = costs::instr_overhead(ctx.opts);
   cost.bytes_read = static_cast<double>(in.bytes() + weights_.bytes()) +
                     static_cast<double>(d.c_out) * 5.0;
   cost.coalescing = costs::coalescing(ctx.opts);
   cost.alu_efficiency = costs::binary_kernel_eff(ctx.opts);
 
   if (integrate_packing) {
-    // Path A — Fig. 4: one work item owns 8 filters and stores one byte.
+    // Path A — Fig. 4: one work item owns a tile of output columns for 8
+    // filters and stores one byte per column.
     const std::int64_t groups = d.c_out / 8;
     cost.bytes_written = static_cast<double>(out.bytes());
     auto* out_bytes = reinterpret_cast<std::uint8_t*>(out.data());
     ctx.queue.enqueue(
-        name_ + ".bconv_fused", NDRange{d.ow, d.oh, d.n * groups}, cost,
-        [&, d, pw, branch_free, len, groups](const WorkItem& it) {
+        name_ + ".bconv_fused", NDRange{tiles_x, d.oh, d.n * groups}, cost,
+        [&, d, pw, branch_free, len, groups, split, tile,
+         zeros](const WorkItem& it) {
           const std::int64_t n = it.z / groups;
           const std::int64_t g = it.z % groups;
-          std::uint8_t byte = 0;
-          for (int f = 0; f < 8; ++f) {
-            const std::int64_t co = g * 8 + f;
-            const std::int64_t mism = window_mismatches(
-                in, weights_, d, n, it.y, it.x, co, zeros.data(), pw);
-            const float x1 = static_cast<float>(len - 2 * mism);
-            const std::size_t ci = static_cast<std::size_t>(co);
-            const bool bit =
-                branch_free
-                    ? binarize_eqn9(x1, fb.xi[ci], fb.gamma_pos[ci] != 0)
-                    : binarize_eqn8(x1, fb.xi[ci], fb.gamma_pos[ci] != 0);
-            if (bit) byte = static_cast<std::uint8_t>(byte | (1u << f));
+          const bool y_in = it.y >= d.y0 && it.y < d.y1;
+          const std::int64_t x_end =
+              std::min(d.ow, (it.x + 1) * tile);
+          for (std::int64_t ox = it.x * tile; ox < x_end; ++ox) {
+            std::uint8_t byte = 0;
+            for (int f = 0; f < 8; ++f) {
+              const std::int64_t co = g * 8 + f;
+              const std::int64_t mism =
+                  window_mismatches(in, weights_, d, n, it.y, ox, co, zeros,
+                                    pw, split, y_in);
+              const float x1 = static_cast<float>(len - 2 * mism);
+              const std::size_t ci = static_cast<std::size_t>(co);
+              const bool bit =
+                  branch_free
+                      ? binarize_eqn9(x1, fb.xi[ci], fb.gamma_pos[ci] != 0)
+                      : binarize_eqn8(x1, fb.xi[ci], fb.gamma_pos[ci] != 0);
+              if (bit) byte = static_cast<std::uint8_t>(byte | (1u << f));
+            }
+            out_bytes[out.word_offset(n, it.y, ox, 0) * 8 + g] = byte;
           }
-          out_bytes[out.word_offset(n, it.y, it.x, 0) * 8 + g] = byte;
         });
     return out;
   }
 
   // Path B — fused math, separate packing kernel (wide layers, §VI-B).
-  std::vector<std::uint8_t> bits(
-      static_cast<std::size_t>(d.n * d.oh * d.ow * d.c_out));
+  // The 0/1 byte map lives in the engine arena, not a per-forward vector.
+  const std::int64_t bit_count = d.n * d.oh * d.ow * d.c_out;
+  std::uint8_t* bits = ctx.arena.u8(bit_count);
   KernelCost conv_cost = cost;
-  conv_cost.bytes_written = static_cast<double>(bits.size());
+  conv_cost.bytes_written = static_cast<double>(bit_count);
   ctx.queue.enqueue(
-      name_ + ".bconv_nopack", NDRange{d.ow, d.oh, d.n * d.c_out}, conv_cost,
-      [&, d, pw, branch_free, len](const WorkItem& it) {
+      name_ + ".bconv_nopack", NDRange{tiles_x, d.oh, d.n * d.c_out},
+      conv_cost,
+      [&, d, pw, branch_free, len, split, tile, zeros,
+       bits](const WorkItem& it) {
         const std::int64_t n = it.z / d.c_out;
         const std::int64_t co = it.z % d.c_out;
-        const std::int64_t mism = window_mismatches(in, weights_, d, n, it.y,
-                                                    it.x, co, zeros.data(), pw);
-        const float x1 = static_cast<float>(len - 2 * mism);
-        const std::size_t ci = static_cast<std::size_t>(co);
-        const bool bit =
-            branch_free ? binarize_eqn9(x1, fb.xi[ci], fb.gamma_pos[ci] != 0)
-                        : binarize_eqn8(x1, fb.xi[ci], fb.gamma_pos[ci] != 0);
-        bits[static_cast<std::size_t>(
-            ((n * d.oh + it.y) * d.ow + it.x) * d.c_out + co)] = bit ? 1 : 0;
+        const bool y_in = it.y >= d.y0 && it.y < d.y1;
+        const std::int64_t x_end = std::min(d.ow, (it.x + 1) * tile);
+        for (std::int64_t ox = it.x * tile; ox < x_end; ++ox) {
+          const std::int64_t mism = window_mismatches(
+              in, weights_, d, n, it.y, ox, co, zeros, pw, split, y_in);
+          const float x1 = static_cast<float>(len - 2 * mism);
+          const std::size_t ci = static_cast<std::size_t>(co);
+          const bool bit =
+              branch_free ? binarize_eqn9(x1, fb.xi[ci], fb.gamma_pos[ci] != 0)
+                          : binarize_eqn8(x1, fb.xi[ci], fb.gamma_pos[ci] != 0);
+          bits[static_cast<std::size_t>(
+              ((n * d.oh + it.y) * d.ow + ox) * d.c_out + co)] = bit ? 1 : 0;
+        }
       });
 
   // Packing pass: one work item per output word.
   const std::int64_t owords = out.words_per_pixel();
   KernelCost pack_cost;
-  pack_cost.scalar_ops = static_cast<double>(d.n * d.oh * d.ow * d.c_out);
-  pack_cost.bytes_read = static_cast<double>(bits.size());
+  pack_cost.scalar_ops = static_cast<double>(bit_count);
+  pack_cost.bytes_read = static_cast<double>(bit_count);
   pack_cost.bytes_written = static_cast<double>(out.bytes());
   pack_cost.coalescing = costs::coalescing(ctx.opts);
   pack_cost.alu_efficiency = costs::kAuxKernelEff;
   ctx.queue.enqueue(
       name_ + ".pack", NDRange{d.ow, d.oh, d.n * owords}, pack_cost,
-      [&, d, owords](const WorkItem& it) {
+      [&, d, owords, bits](const WorkItem& it) {
         const std::int64_t n = it.z / owords;
         const std::int64_t j = it.z % owords;
         std::uint64_t word = 0;
@@ -217,54 +350,62 @@ PackedTensor BinaryConv2d::forward_fused(ExecContext& ctx,
 PackedTensor BinaryConv2d::forward_unfused(ExecContext& ctx,
                                            const PackedTensor& in) {
   // Path C — the pre-integration pipeline: three kernels and two
-  // materialized intermediates (what §V-B's fusion eliminates).
+  // materialized intermediates (what §V-B's fusion eliminates). Both
+  // intermediates live in the engine arena.
   const ConvDims d = make_dims(in, weights_, geom_);
   PackedTensor out(Shape{d.n, d.oh, d.ow, d.c_out});
-  const std::vector<std::uint64_t> zeros(static_cast<std::size_t>(d.words), 0);
+  const bool split = ctx.opts.interior_split;
+  const std::uint64_t* zeros =
+      split ? nullptr : ctx.arena.zero_words(d.words);
   const auto pw = ctx.opts.pack_width_for(d.c_in);
   const std::int64_t len = d.kh * d.kw * d.c_in;
+  const std::int64_t tile = tile_width(d, ctx.opts);
+  const std::int64_t tiles_x = ceil_div(d.ow, tile);
   const double outputs = static_cast<double>(d.n) * d.oh * d.ow * d.c_out;
+  const std::int64_t out_count = d.n * d.oh * d.ow * d.c_out;
 
   // Kernel 1: raw binary convolution, int32 sums out.
-  std::vector<std::int32_t> sums(static_cast<std::size_t>(
-      d.n * d.oh * d.ow * d.c_out));
+  std::int32_t* sums = ctx.arena.i32(out_count);
   KernelCost conv_cost;
   conv_cost.bitop_bits =
       2.0 * outputs * static_cast<double>(d.kh * d.kw) *
       static_cast<double>(ceil_div(d.c_in, bitpack::bits(pw)) *
                           bitpack::bits(pw));
-  conv_cost.scalar_ops = outputs * static_cast<double>(d.kh * d.kw);
+  charge_windows(conv_cost, d, ctx.opts, split);
   conv_cost.pack_width_bits = bitpack::bits(pw);
-  conv_cost.instr_overhead_cycles = costs::instr_overhead(ctx.opts);
   conv_cost.bytes_read = static_cast<double>(in.bytes() + weights_.bytes());
   conv_cost.bytes_written = outputs * 4.0;
   conv_cost.coalescing = costs::coalescing(ctx.opts);
   conv_cost.alu_efficiency = costs::binary_kernel_eff(ctx.opts);
   ctx.queue.enqueue(
-      name_ + ".bconv_raw", NDRange{d.ow, d.oh, d.n * d.c_out}, conv_cost,
-      [&, d, pw, len](const WorkItem& it) {
+      name_ + ".bconv_raw", NDRange{tiles_x, d.oh, d.n * d.c_out}, conv_cost,
+      [&, d, pw, len, split, tile, zeros, sums](const WorkItem& it) {
         const std::int64_t n = it.z / d.c_out;
         const std::int64_t co = it.z % d.c_out;
-        const std::int64_t mism = window_mismatches(in, weights_, d, n, it.y,
-                                                    it.x, co, zeros.data(), pw);
-        sums[static_cast<std::size_t>(
-            ((n * d.oh + it.y) * d.ow + it.x) * d.c_out + co)] =
-            static_cast<std::int32_t>(len - 2 * mism);
+        const bool y_in = it.y >= d.y0 && it.y < d.y1;
+        const std::int64_t x_end = std::min(d.ow, (it.x + 1) * tile);
+        for (std::int64_t ox = it.x * tile; ox < x_end; ++ox) {
+          const std::int64_t mism = window_mismatches(
+              in, weights_, d, n, it.y, ox, co, zeros, pw, split, y_in);
+          sums[static_cast<std::size_t>(
+              ((n * d.oh + it.y) * d.ow + ox) * d.c_out + co)] =
+              static_cast<std::int32_t>(len - 2 * mism);
+        }
       });
 
   // Kernel 2: full floating-point batch-norm + sign binarization.
-  std::vector<std::uint8_t> bits(sums.size());
+  std::uint8_t* bits = ctx.arena.u8(out_count);
   KernelCost bn_cost;
   bn_cost.scalar_ops = outputs * 6.0;  // add, sub, div, mul, add, compare
   bn_cost.bytes_read = outputs * 4.0 + static_cast<double>(d.c_out) * 20.0;
-  bn_cost.bytes_written = static_cast<double>(bits.size());
+  bn_cost.bytes_written = outputs;
   bn_cost.coalescing = costs::coalescing(ctx.opts);
   bn_cost.alu_efficiency = costs::kAuxKernelEff;
   const std::vector<BatchNormParams>& bn = bn_;
   const std::vector<float>& bias = bias_;
   ctx.queue.enqueue_chunked(
-      name_ + ".bn_binarize", NDRange{static_cast<std::int64_t>(sums.size())},
-      bn_cost, [&, d](std::int64_t begin, std::int64_t end) {
+      name_ + ".bn_binarize", NDRange{out_count}, bn_cost,
+      [&, d, sums, bits](std::int64_t begin, std::int64_t end) {
         for (std::int64_t i = begin; i < end; ++i) {
           const std::size_t ci = static_cast<std::size_t>(i % d.c_out);
           const float x3 = batch_norm_reference(
@@ -278,13 +419,13 @@ PackedTensor BinaryConv2d::forward_unfused(ExecContext& ctx,
   const std::int64_t owords = out.words_per_pixel();
   KernelCost pack_cost;
   pack_cost.scalar_ops = outputs;
-  pack_cost.bytes_read = static_cast<double>(bits.size());
+  pack_cost.bytes_read = outputs;
   pack_cost.bytes_written = static_cast<double>(out.bytes());
   pack_cost.coalescing = costs::coalescing(ctx.opts);
   pack_cost.alu_efficiency = costs::kAuxKernelEff;
   ctx.queue.enqueue(
       name_ + ".pack", NDRange{d.ow, d.oh, d.n * owords}, pack_cost,
-      [&, d, owords](const WorkItem& it) {
+      [&, d, owords, bits](const WorkItem& it) {
         const std::int64_t n = it.z / owords;
         const std::int64_t j = it.z % owords;
         std::uint64_t word = 0;

@@ -17,6 +17,15 @@
 // Binary-domain padding: the ±1 encoding has no zero, so padded positions
 // contribute -1 per channel (all-zero packed words), the standard BNN
 // convention. The float reference used by tests pads with -1 accordingly.
+//
+// All paths share a row-fused window accumulator (DESIGN.md §4): the kw taps
+// of one filter row are contiguous in the NHWC-packed layout, so an interior
+// window — precomputed as the output rectangle that never touches padding —
+// is ONE strided xor+popcount over the whole filter, and border windows
+// resolve padding per filter row (a padded tap's mismatches are just the
+// popcount of its weight span). EngineOptions::interior_split turns the
+// specialization off for ablation; conv_tile_ow sets the output-x tile each
+// work item owns. Intermediates live in the engine's ScratchArena.
 #pragma once
 
 #include <string>

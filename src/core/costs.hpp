@@ -45,6 +45,18 @@ inline constexpr double kScalarLoadPenalty = 0.45;
 /// across pack widths, which is why wide packing wins (§V-A.2).
 inline constexpr double kInstrOverheadCycles = 1.0;
 
+/// Fixed setup cost of one contiguous xor+popcount span: address arithmetic,
+/// loop prologue and the final lane reduction, in ALU cycles. Row fusion
+/// (DESIGN.md §4) wins by issuing kh spans per conv window instead of kh*kw,
+/// so each window amortizes this constant kw times better.
+inline constexpr double kSpanSetupCycles = 6.0;
+
+/// Per-vector-instruction overhead of the lane-accumulating row-fused inner
+/// loop: the horizontal popcount reduction is hoisted out of the loop
+/// (one reduce per span, charged in kSpanSetupCycles), leaving only the
+/// address increment per vector op.
+inline constexpr double kRowFusedInstrOverheadCycles = 0.5;
+
 /// Additional instruction overhead when vectorized loads are off (each
 /// operand arrives in pieces).
 inline constexpr double kScalarLoadInstrOverhead = 2.0;
@@ -71,6 +83,14 @@ inline double instr_overhead(const EngineOptions& o) {
   if (!o.vectorized_loads) cycles += kScalarLoadInstrOverhead;
   if (o.layout == Layout::kNCHW) cycles += kNchwGatherInstrOverhead;
   return cycles;
+}
+
+/// Instruction overhead of the row-fused conv inner loop: the base
+/// per-vector bookkeeping drops to the lane-accumulating rate, layout and
+/// load penalties still apply.
+inline double instr_overhead_fused(const EngineOptions& o) {
+  return instr_overhead(o) - (kInstrOverheadCycles -
+                              kRowFusedInstrOverheadCycles);
 }
 
 inline double binary_kernel_eff(const EngineOptions& o) {

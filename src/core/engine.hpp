@@ -17,12 +17,16 @@ class Engine {
   explicit Engine(std::shared_ptr<oclsim::Device> device,
                   EngineOptions opts = {})
       : device_(std::move(device)),
-        queue_(*device_, oclsim::ExecUnit::kGpu), opts_(opts) {
+        queue_(*device_, oclsim::ExecUnit::kGpu), opts_(opts),
+        arena_(device_.get()) {
     PB_CHECK(device_ != nullptr, "engine needs a device");
   }
 
   /// Execution context for Network::forward.
-  ExecContext context() { return ExecContext{queue_, opts_}; }
+  ExecContext context() { return ExecContext{queue_, opts_, arena_}; }
+
+  /// Engine-lifetime scratch arena (reused by every forward on this engine).
+  ScratchArena& arena() noexcept { return arena_; }
 
   oclsim::CommandQueue& queue() noexcept { return queue_; }
   const EngineOptions& options() const noexcept { return opts_; }
@@ -36,6 +40,7 @@ class Engine {
   std::shared_ptr<oclsim::Device> device_;
   oclsim::CommandQueue queue_;
   EngineOptions opts_;
+  ScratchArena arena_;
 };
 
 }  // namespace phonebit::core

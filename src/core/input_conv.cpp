@@ -123,7 +123,7 @@ Blob InputConv2d::forward(ExecContext& ctx, const Blob& in) {
   cost.alu_efficiency = costs::binary_kernel_eff(ctx.opts);
 
   auto* out_bytes = reinterpret_cast<std::uint8_t*>(out.data());
-  const std::vector<std::uint64_t> zeros(static_cast<std::size_t>(words), 0);
+  const std::uint64_t* zeros = ctx.arena.zero_words(words);
   ctx.queue.enqueue(
       name_ + ".bitplane_conv_fused", NDRange{ow, oh, is.n * groups}, cost,
       [&, oh, ow, kh, kw, words, groups, branch_free, pw](const WorkItem& it) {
@@ -162,7 +162,7 @@ Blob InputConv2d::forward(ExecContext& ctx, const Blob& in) {
                 const std::uint64_t* pspan =
                     inside
                         ? planes[static_cast<std::size_t>(k)].pixel(n, iy, ix)
-                        : zeros.data();
+                        : zeros;
                 weighted_and +=
                     (std::int64_t{1} << k) *
                     bitpack::and_popcount(pspan, wspan, words, pw);

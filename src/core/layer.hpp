@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "bitpack/packed_tensor.hpp"
+#include "core/arena.hpp"
 #include "core/options.hpp"
 #include "oclsim/runtime.hpp"
 #include "tensor/tensor.hpp"
@@ -29,10 +30,12 @@ inline const Shape& blob_shape(const Blob& b) {
   return std::get<bitpack::PackedTensor>(b).shape();
 }
 
-/// Execution state threaded through a forward pass.
+/// Execution state threaded through a forward pass. The arena is owned by
+/// the Engine, so scratch buffers persist across forward passes.
 struct ExecContext {
   oclsim::CommandQueue& queue;
   EngineOptions opts;
+  ScratchArena& arena;
 };
 
 /// Base class for all PhoneBit layers.

@@ -30,6 +30,18 @@ struct EngineOptions {
   /// (private memory cannot hold the 8-filter working set).
   std::int64_t packing_channel_threshold = 256;
 
+  /// Interior/border specialization of the binary conv (DESIGN.md §4): the
+  /// output rectangle whose windows never touch padding runs a branch-free
+  /// row-fused fast path (one strided xor+popcount per window); only border
+  /// rows/columns take the guarded path. When false, every window runs the
+  /// pre-optimization per-tap loop — kept as the ablation baseline.
+  bool interior_split = true;
+
+  /// Output-x tile width of the conv fast path: one work item owns a run of
+  /// `conv_tile_ow` consecutive output columns, amortizing per-item dispatch
+  /// and keeping the filter row hot. 0 means one tile spans the whole row.
+  std::int64_t conv_tile_ow = 8;
+
   /// §V-A.2: pick xor/popcount vector granularity per layer from its channel
   /// count. When false, `fixed_pack_width` is used everywhere.
   bool auto_pack_width = true;

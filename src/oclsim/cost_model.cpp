@@ -25,6 +25,8 @@ KernelCost& KernelCost::operator+=(const KernelCost& o) {
   }
   scalar_ops += o.scalar_ops;
   bitop_bits += o.bitop_bits;
+  span_setup_cycles = std::max(span_setup_cycles, o.span_setup_cycles);
+  span_count += o.span_count;
   bytes_read += o.bytes_read;
   bytes_written += o.bytes_written;
   launches += o.launches;
@@ -42,7 +44,7 @@ double bitop_cycles(const KernelCost& c) {
   const double cycles_per_instr =
       static_cast<double>(ceil_div(c.pack_width_bits, 32)) +
       c.instr_overhead_cycles;
-  return instructions * cycles_per_instr;
+  return instructions * cycles_per_instr + c.span_count * c.span_setup_cycles;
 }
 
 double modeled_ms(const KernelCost& c, const DeviceProfile& profile,

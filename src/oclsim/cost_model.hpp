@@ -48,6 +48,14 @@ struct KernelCost {
   /// pack_width_bits.
   double instr_overhead_cycles = 1.0;
 
+  /// Number of contiguous xor/popcount spans the kernel issues. Each span
+  /// pays `span_setup_cycles` of fixed setup (address arithmetic, loop
+  /// prologue, final lane reduction), which is what row fusion amortizes:
+  /// a fused conv window issues kh spans instead of kh*kw (DESIGN.md §4).
+  /// 0 disables span accounting (kernels that predate it).
+  double span_count = 0;
+  double span_setup_cycles = 0;
+
   /// DRAM traffic in bytes (after modeling cache reuse, which the engine
   /// chooses per its blocking strategy).
   double bytes_read = 0;

@@ -124,6 +124,19 @@ constexpr int popcount_total(const vec<T, N>& a) {
   return s;
 }
 
+/// Lane-wise popcount accumulation: acc[i] += popcount(a[i]). The counts
+/// stay vectorized across the whole span and the caller reduces once (per
+/// row, not per vector) with reduce_add — the accumulation schedule the
+/// row-fused conv kernels use. With 64-bit lanes each step adds at most 64,
+/// so overflow needs ~2^57 accumulations and is not a practical concern.
+template <typename T, int N>
+  requires std::is_unsigned_v<T>
+constexpr void popcount_accumulate(vec<T, N>& acc, const vec<T, N>& a) {
+  for (int i = 0; i < N; ++i) {
+    acc[i] = static_cast<T>(acc[i] + static_cast<T>(phonebit::popcount(a[i])));
+  }
+}
+
 /// OpenCL select(a, b, c): per lane, c ? b : a (MSB semantics reduced to
 /// boolean lanes here since our masks are 0/1).
 template <typename T, int N, typename M>
