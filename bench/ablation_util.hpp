@@ -46,10 +46,11 @@ inline double run_conv(const ConvFixture& fx, const core::EngineOptions& opts) {
   static auto device = std::make_shared<oclsim::Device>(
       oclsim::DeviceProfile::snapdragon855());
   core::Engine engine(device, opts);
-  auto ctx = engine.context();
+  auto session = engine.create_session();
+  auto ctx = session.context();
   core::BinaryConv2d conv("conv", fx.weights, fx.bn, {}, fx.geom);
   conv.forward(ctx, core::Blob{fx.input});
-  return engine.queue().total_modeled_ms();
+  return session.queue().total_modeled_ms();
 }
 
 /// Benchmark loop shared by every ablation binary.

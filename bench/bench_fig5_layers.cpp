@@ -36,10 +36,11 @@ int main() {
   // PhoneBit per-conv-layer modeled times.
   auto net = core::convert_to_phonebit(bnn_model);
   core::Engine engine(device);
-  auto ctx = engine.context();
-  net->forward_float(ctx, image);
+  auto session = engine.create_session();
+  auto ctx = session.context();
+  const auto result = net->forward(ctx, core::Blob{image});
   std::map<std::string, double> phonebit_ms;
-  for (const auto& r : net->last_report()) phonebit_ms[r.name] = r.modeled_ms;
+  for (const auto& r : result.report) phonebit_ms[r.name] = r.modeled_ms;
 
   // CNNdroid-GPU per-conv-layer modeled times.
   const auto baseline = baselines::FloatFramework::cnndroid_gpu().run(

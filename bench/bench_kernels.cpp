@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -141,27 +142,89 @@ void bench_conv(const ConvSpec& spec, const core::EngineOptions& opts,
   auto device = std::make_shared<oclsim::Device>(
       oclsim::DeviceProfile::snapdragon855());
   core::Engine engine(device, opts);
-  auto ctx = engine.context();
+  auto session = engine.create_session();
+  auto ctx = session.context();
   core::BinaryConv2d conv("bench", bitpack::pack_filter_signs(w), bn, {}, g);
   const core::Blob input{bitpack::pack_signs(in)};
 
   double modeled = 0.0;
   const double host = best_ms(15, [&] {
-    engine.reset_profile();
+    session.reset_profile();
     conv.forward(ctx, input);
-    modeled = engine.queue().total_modeled_ms();
+    modeled = session.queue().total_modeled_ms();
   });
   // total_host_ms would exclude the enqueue-side setup; report the full
   // forward wall time so host_ms reflects the real hot path.
   out.push_back({"bconv", spec.tag + "/" + variant, host, modeled});
 }
 
+/// CI regression gate (`--check baseline.json [tolerance_pct]`): re-runs the
+/// tracked records and fails when any fresh *modeled* time regresses beyond
+/// the noise threshold vs the checked-in baseline. Modeled time is a pure
+/// function of counted work and the device profile, so it is deterministic
+/// across machines — host_ms is wall-clock on whatever hardware runs the
+/// check and is reported but never gated.
+int compare_to_baseline(const std::vector<bench::BenchRecord>& fresh,
+                        const std::string& baseline_path,
+                        double tolerance_pct) {
+  std::vector<bench::BenchRecord> baseline;
+  if (!bench::read_bench_json(baseline_path, baseline)) return 2;
+  int regressions = 0, missing = 0, checked = 0;
+  for (const auto& b : baseline) {
+    const bench::BenchRecord* match = nullptr;
+    for (const auto& f : fresh) {
+      if (f.op == b.op && f.geometry == b.geometry) {
+        match = &f;
+        break;
+      }
+    }
+    if (match == nullptr) {
+      std::printf("MISSING    %-14s %-30s (tracked record no longer "
+                  "produced)\n",
+                  b.op.c_str(), b.geometry.c_str());
+      ++missing;
+      continue;
+    }
+    if (b.modeled_ms <= 0.0) continue;  // host-only record: not gated
+    ++checked;
+    const double limit = b.modeled_ms * (1.0 + tolerance_pct / 100.0);
+    const double delta_pct =
+        100.0 * (match->modeled_ms - b.modeled_ms) / b.modeled_ms;
+    if (match->modeled_ms > limit) {
+      std::printf("REGRESSED  %-14s %-30s modeled %.4f -> %.4f ms "
+                  "(%+.2f%% > %.1f%%)\n",
+                  b.op.c_str(), b.geometry.c_str(), b.modeled_ms,
+                  match->modeled_ms, delta_pct, tolerance_pct);
+      ++regressions;
+    } else {
+      std::printf("ok         %-14s %-30s modeled %.4f -> %.4f ms "
+                  "(%+.2f%%)\n",
+                  b.op.c_str(), b.geometry.c_str(), b.modeled_ms,
+                  match->modeled_ms, delta_pct);
+    }
+  }
+  std::printf("\nbench_compare: %d modeled records checked, %d regressed, "
+              "%d missing (tolerance %.1f%%)\n",
+              checked, regressions, missing, tolerance_pct);
+  return (regressions > 0 || missing > 0) ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Modes:
+  //   bench_kernels [out.json]                    write fresh records
+  //   bench_kernels --check baseline.json [pct]   CI regression gate
+  const bool check_mode = argc > 1 && std::string(argv[1]) == "--check";
+  if (check_mode && argc < 3) {
+    std::fprintf(stderr, "usage: %s --check baseline.json [tolerance_pct]\n",
+                 argv[0]);
+    return 2;
+  }
   // Output path as argv[1] so the tracked repo-root baseline can be updated
   // directly (running from build/ otherwise writes a CWD-local copy).
-  const std::string json_path = argc > 1 ? argv[1] : "BENCH_kernels.json";
+  const std::string json_path =
+      (!check_mode && argc > 1) ? argv[1] : "BENCH_kernels.json";
   std::vector<bench::BenchRecord> records;
   bench_xor_popcount(records);
   bench_binary_dot(records);
@@ -187,6 +250,10 @@ int main(int argc, char** argv) {
   for (const auto& r : records) {
     std::printf("%-14s %-30s %12.4f %12.4f\n", r.op.c_str(),
                 r.geometry.c_str(), r.host_ms, r.modeled_ms);
+  }
+  if (check_mode) {
+    const double tolerance = argc > 3 ? std::atof(argv[3]) : 2.0;
+    return compare_to_baseline(records, argv[2], tolerance);
   }
   if (!bench::write_bench_json(json_path, "kernels", records)) return 1;
   std::printf("wrote %s\n", json_path.c_str());

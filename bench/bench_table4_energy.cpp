@@ -81,10 +81,11 @@ int main() {
   {
     auto net = core::convert_to_phonebit(bnn_model);
     core::Engine engine(device);
-    auto ctx = engine.context();
-    net->forward_float(ctx, image);
-    const auto power = energy::estimate_power(engine.queue().events(),
-                                              profile, net->last_modeled_ms());
+    auto session = engine.create_session();
+    auto ctx = session.context();
+    const auto result = net->forward(ctx, core::Blob{image});
+    const auto power = energy::estimate_power(session.queue().events(),
+                                              profile, result.modeled_ms);
     rows.push_back(
         Row{"PhoneBit", power.avg_power_mw, power.fps_per_watt, false});
   }

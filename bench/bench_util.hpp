@@ -58,6 +58,41 @@ inline bool write_bench_json(const std::string& path, const std::string& bench,
   return f.good();
 }
 
+/// Reads records back from a write_bench_json document (the checked-in
+/// BENCH_kernels.json baseline). Parses only the line-per-record shape that
+/// write_bench_json emits; returns false on open/parse failure.
+inline bool read_bench_json(const std::string& path,
+                            std::vector<BenchRecord>& records) {
+  std::ifstream f(path);
+  if (!f) {
+    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    return false;
+  }
+  std::string line;
+  while (std::getline(f, line)) {
+    const auto op_pos = line.find("{\"op\": \"");
+    if (op_pos == std::string::npos) continue;
+    BenchRecord r;
+    std::size_t cur = op_pos + 8;
+    std::size_t end = line.find('"', cur);
+    if (end == std::string::npos) return false;
+    r.op = line.substr(cur, end - cur);
+    const auto geo_key = line.find("\"geometry\": \"", end);
+    if (geo_key == std::string::npos) return false;
+    cur = geo_key + 13;
+    end = line.find('"', cur);
+    if (end == std::string::npos) return false;
+    r.geometry = line.substr(cur, end - cur);
+    if (std::sscanf(line.c_str() + end,
+                    "\", \"host_ms\": %lf, \"modeled_ms\": %lf", &r.host_ms,
+                    &r.modeled_ms) != 2) {
+      return false;
+    }
+    records.push_back(std::move(r));
+  }
+  return !records.empty();
+}
+
 /// PHONEBIT_BENCH_FAST=1 shrinks networks for quick smoke runs; the default
 /// is the paper's full-size networks.
 inline int bench_shrink() {
@@ -92,13 +127,15 @@ inline Cell run_baseline(const baselines::FloatFramework& fw,
   }
 }
 
-/// Runs the PhoneBit engine on a converted model; returns modeled ms and the
-/// engine (for event inspection).
-inline Cell run_phonebit(core::Engine& engine, core::Network& net,
+/// Runs the PhoneBit engine on a converted model via a fresh session;
+/// returns the modeled ms of the forward.
+inline Cell run_phonebit(core::Engine& engine, const core::Network& net,
                          const U8Tensor& image) {
-  auto ctx = engine.context();
-  net.forward_float(ctx, image);
-  return Cell{net.last_modeled_ms(), ""};
+  auto session = engine.create_session();
+  auto ctx = session.context();
+  const auto result = net.forward(ctx, core::Blob{image});
+  result.float_output();  // same end-in-float contract as forward_float
+  return Cell{result.modeled_ms, ""};
 }
 
 }  // namespace phonebit::bench

@@ -42,8 +42,10 @@ int main(int argc, char** argv) {
   auto device = std::make_shared<oclsim::Device>(
       oclsim::DeviceProfile::snapdragon855());
   core::Engine engine(device);
-  auto ctx = engine.context();
-  const FloatTensor logits = net->forward_float(ctx, image);
+  auto session = engine.create_session();
+  auto ctx = session.context();
+  const auto result = net->forward(ctx, core::Blob{image});
+  const FloatTensor& logits = result.float_output();
 
   // Top-5 of the 1000-way head.
   std::vector<std::pair<float, int>> ranked;
@@ -60,10 +62,10 @@ int main(int argc, char** argv) {
 
   std::printf("\nper-layer modeled time on %s:\n",
               device->profile().soc_name.c_str());
-  for (const auto& r : net->last_report()) {
+  for (const auto& r : result.report) {
     std::printf("  %-6s %9.4f ms\n", r.name.c_str(), r.modeled_ms);
   }
   std::printf("total: %.3f ms modeled on the simulated phone GPU\n",
-              net->last_modeled_ms());
+              result.modeled_ms);
   return 0;
 }

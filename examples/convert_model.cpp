@@ -55,8 +55,10 @@ int main(int argc, char** argv) {
   auto device = std::make_shared<oclsim::Device>(
       oclsim::DeviceProfile::snapdragon855());
   core::Engine e1(device), e2(device);
-  auto c1 = e1.context();
-  auto c2 = e2.context();
+  auto s1 = e1.create_session();
+  auto s2 = e2.create_session();
+  auto c1 = s1.context();
+  auto c2 = s2.context();
   const U8Tensor probe = datasets::random_image(
       Shape{1, spec.input.h, spec.input.w, spec.input.c}, 5);
   const FloatTensor a = net->forward_float(c1, probe);

@@ -34,14 +34,21 @@ int main() {
   core::save_model(*net, "quicknet.pbm");
   auto deployed = core::load_model("quicknet.pbm");
 
-  // (4) Run on the simulated Snapdragon 855 (Adreno 640).
+  // (4) Run on the simulated Snapdragon 855 (Adreno 640). The Engine holds
+  // the immutable host state (device, options, warm-arena pool); each
+  // inference stream checks out an ExecSession with its own command queue
+  // and scratch arena, so any number of sessions can forward the same
+  // (const) network concurrently. forward() returns everything the run
+  // produced — output blob plus the per-layer profiling report.
   auto device = std::make_shared<oclsim::Device>(
       oclsim::DeviceProfile::snapdragon855());
   core::Engine engine(device);
-  auto ctx = engine.context();
+  auto session = engine.create_session();
+  auto ctx = session.context();
 
   const U8Tensor image = datasets::cifar_like_image(/*seed=*/7);
-  const FloatTensor scores = deployed->forward_float(ctx, image);
+  const auto result = deployed->forward(ctx, core::Blob{image});
+  const FloatTensor& scores = result.float_output();
 
   std::printf("\nclass scores:\n");
   for (std::int64_t c = 0; c < scores.shape().c; ++c) {
@@ -51,12 +58,12 @@ int main() {
 
   std::printf("\nper-layer modeled time on %s:\n",
               device->profile().soc_name.c_str());
-  for (const auto& r : deployed->last_report()) {
+  for (const auto& r : result.report) {
     std::printf("  %-8s %8.4f ms  (%d kernel launch%s)\n", r.name.c_str(),
                 r.modeled_ms, r.launches, r.launches == 1 ? "" : "es");
   }
   std::printf("total: %.4f ms modeled (%.1f ms host wall)\n",
-              deployed->last_modeled_ms(), deployed->last_host_ms());
+              result.modeled_ms, result.host_ms);
   std::remove("quicknet.pbm");
   return 0;
 }

@@ -129,8 +129,10 @@ int main(int argc, char** argv) {
   auto device = std::make_shared<oclsim::Device>(
       oclsim::DeviceProfile::snapdragon855());
   core::Engine engine(device);
-  auto ctx = engine.context();
-  const FloatTensor region = net->forward_float(ctx, image);
+  auto session = engine.create_session();
+  auto ctx = session.context();
+  const auto result = net->forward(ctx, core::Blob{image});
+  const FloatTensor& region = result.float_output();
 
   std::printf("\nregion output grid: %lldx%lldx%lld\n",
               static_cast<long long>(region.shape().h),
@@ -150,10 +152,10 @@ int main(int argc, char** argv) {
 
   std::printf("\nper-layer modeled time on %s (the Fig. 5 axis):\n",
               device->profile().soc_name.c_str());
-  for (const auto& r : net->last_report()) {
+  for (const auto& r : result.report) {
     std::printf("  %-6s %9.4f ms\n", r.name.c_str(), r.modeled_ms);
   }
   std::printf("total: %.3f ms modeled per frame (%.1f modeled FPS)\n",
-              net->last_modeled_ms(), 1000.0 / net->last_modeled_ms());
+              result.modeled_ms, 1000.0 / result.modeled_ms);
   return 0;
 }

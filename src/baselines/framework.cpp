@@ -196,7 +196,7 @@ FrameworkResult FloatFramework::run(oclsim::Device& device,
 
   FrameworkResult result;
   for (std::size_t i = 0; i < spec.layers.size(); ++i) {
-    const std::size_t events_before = st.queue.events().size();
+    const std::size_t events_before = st.queue.event_mark();
     const auto& layer = spec.layers[i];
     std::string lname;
 
@@ -313,16 +313,13 @@ FrameworkResult FloatFramework::run(oclsim::Device& device,
       }
     }
 
+    const oclsim::EventSlice s = st.queue.slice_events(events_before);
     core::LayerReport r;
     r.name = lname;
-    for (std::size_t e = events_before; e < st.queue.events().size(); ++e) {
-      const auto& ev = st.queue.events()[e];
-      r.modeled_ms += ev.modeled_ms;
-      r.host_ms += ev.host_ms;
-      r.launches += ev.cost.launches;
-      r.cost += ev.cost;
-    }
-    r.cost.launches = r.launches;
+    r.modeled_ms = s.modeled_ms;
+    r.host_ms = s.host_ms;
+    r.launches = s.launches;
+    r.cost = s.cost;
     result.layers.push_back(std::move(r));
   }
 

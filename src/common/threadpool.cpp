@@ -1,6 +1,7 @@
 #include "common/threadpool.hpp"
 
 #include <algorithm>
+#include <memory>
 
 #include "common/error.hpp"
 
@@ -27,14 +28,8 @@ void ThreadPool::submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push(std::move(task));
-    ++in_flight_;
   }
   cv_task_.notify_one();
-}
-
-void ThreadPool::wait_all() {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_done_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
 void ThreadPool::parallel_for(
@@ -58,11 +53,26 @@ void ThreadPool::parallel_for(
   const std::int64_t chunk = std::max(
       std::min(kMinChunk, per_worker),
       (n + workers * kChunksPerWorker - 1) / (workers * kChunksPerWorker));
+  // Per-call completion group: the caller waits for *its* chunks only.
+  // Waiting on the pool-global in-flight count would couple independent
+  // callers — session A's dispatch stalling until session B's queue drains.
+  struct Group {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::int64_t pending = 0;
+  };
+  auto group = std::make_shared<Group>();
+  group->pending = (n + chunk - 1) / chunk;
   for (std::int64_t begin = 0; begin < n; begin += chunk) {
     const std::int64_t end = std::min(begin + chunk, n);
-    submit([&fn, begin, end] { fn(begin, end); });
+    submit([group, &fn, begin, end] {
+      fn(begin, end);
+      std::lock_guard<std::mutex> lock(group->mu);
+      if (--group->pending == 0) group->cv.notify_all();
+    });
   }
-  wait_all();
+  std::unique_lock<std::mutex> lock(group->mu);
+  group->cv.wait(lock, [&group] { return group->pending == 0; });
 }
 
 void ThreadPool::worker_loop() {
@@ -76,11 +86,6 @@ void ThreadPool::worker_loop() {
       queue_.pop();
     }
     task();
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      --in_flight_;
-      if (in_flight_ == 0) cv_done_.notify_all();
-    }
   }
 }
 

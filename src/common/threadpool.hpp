@@ -13,8 +13,9 @@
 namespace phonebit {
 
 /// A simple work-stealing-free thread pool: tasks are pushed to a shared
-/// queue and joined with wait_all(). Sized once at construction (the oclsim
-/// device sizes it to its compute-unit count).
+/// queue; completion is tracked per caller (parallel_for's per-call group).
+/// Sized once at construction (the oclsim device sizes it to its
+/// compute-unit count).
 class ThreadPool {
  public:
   /// Creates `num_threads` workers (>= 1).
@@ -24,17 +25,22 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task for asynchronous execution.
+  /// Enqueues a task for asynchronous execution. Callers that need to join
+  /// their tasks track completion themselves (see parallel_for's per-call
+  /// group) — the pool keeps no global in-flight count, so independent
+  /// callers never serialize on each other's completion.
   void submit(std::function<void()> task);
-
-  /// Blocks until every submitted task has finished.
-  void wait_all();
 
   /// Number of worker threads.
   int size() const noexcept { return static_cast<int>(workers_.size()); }
 
   /// Splits [0, n) into roughly equal chunks, runs `fn(begin, end)` on the
   /// pool, and waits for completion. Runs inline when n is small.
+  ///
+  /// Thread-safe and group-local: concurrent parallel_for calls (e.g. two
+  /// execution sessions dispatching kernels on one device) each wait only on
+  /// their own chunks, not on the global in-flight count — so one session's
+  /// dispatch never blocks on another session's queue depth.
   void parallel_for(std::int64_t n,
                     const std::function<void(std::int64_t, std::int64_t)>& fn);
 
@@ -45,8 +51,6 @@ class ThreadPool {
   std::queue<std::function<void()>> queue_;
   std::mutex mu_;
   std::condition_variable cv_task_;
-  std::condition_variable cv_done_;
-  std::int64_t in_flight_ = 0;
   bool stop_ = false;
 };
 

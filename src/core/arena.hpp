@@ -17,6 +17,9 @@
 
 #include <cstdint>
 #include <cstring>
+#include <memory>
+#include <mutex>
+#include <utility>
 #include <vector>
 
 #include "common/error.hpp"
@@ -86,6 +89,63 @@ class ScratchArena {
   std::vector<std::uint64_t> words_;
   std::int64_t accounted_bytes_ = 0;
   int growth_events_ = 0;
+};
+
+/// Engine-owned pool of warm scratch arenas, checked out one per execution
+/// session. A session returns its arena on destruction, so the next session
+/// inherits the high-water-mark buffers instead of re-growing them — with a
+/// bounded number of concurrent sessions, device-memory accounting is flat
+/// after warm-up. Thread-safe: sessions are created/destroyed from worker
+/// threads (serve::BatchRunner).
+class ArenaPool {
+ public:
+  /// `device` (optional) receives the simulated-allocation accounting of
+  /// every arena created by this pool.
+  explicit ArenaPool(oclsim::Device* device = nullptr) : device_(device) {}
+
+  ArenaPool(const ArenaPool&) = delete;
+  ArenaPool& operator=(const ArenaPool&) = delete;
+
+  /// Pops a warm arena, or creates a cold one when every arena is in use.
+  std::unique_ptr<ScratchArena> acquire() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!idle_.empty()) {
+        auto arena = std::move(idle_.back());
+        idle_.pop_back();
+        return arena;
+      }
+      ++created_;
+    }
+    return std::make_unique<ScratchArena>(device_);
+  }
+
+  /// Returns an arena to the pool for reuse (keeps its grown buffers warm).
+  void release(std::unique_ptr<ScratchArena> arena) {
+    if (arena == nullptr) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    idle_.push_back(std::move(arena));
+  }
+
+  /// Arenas created over the pool's lifetime. Stable once enough arenas
+  /// exist to cover peak session concurrency — the pool-level analogue of
+  /// ScratchArena::growth_events().
+  int created() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return created_;
+  }
+
+  /// Arenas currently checked in (idle, warm).
+  std::size_t idle_count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return idle_.size();
+  }
+
+ private:
+  oclsim::Device* device_;
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<ScratchArena>> idle_;
+  int created_ = 0;
 };
 
 }  // namespace phonebit::core

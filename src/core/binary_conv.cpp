@@ -44,7 +44,7 @@ std::int64_t BinaryConv2d::param_count() const {
   return s.n * s.h * s.w * s.c + 5 * s.n;  // weights + (gamma,beta,mu,sigma,b)
 }
 
-Blob BinaryConv2d::forward(ExecContext& ctx, const Blob& in) {
+Blob BinaryConv2d::forward(ExecContext& ctx, const Blob& in) const {
   const auto* packed = std::get_if<PackedTensor>(&in);
   PB_CHECK(packed != nullptr,
            name_ << ": binary conv expects a packed binary input");
@@ -225,7 +225,7 @@ void charge_windows(KernelCost& cost, const ConvDims& d,
 
 PackedTensor BinaryConv2d::forward_fused(ExecContext& ctx,
                                          const PackedTensor& in,
-                                         bool integrate_packing) {
+                                         bool integrate_packing) const {
   const ConvDims d = make_dims(in, weights_, geom_);
   PackedTensor out(Shape{d.n, d.oh, d.ow, d.c_out});
   const bool split = ctx.opts.interior_split;
@@ -348,7 +348,7 @@ PackedTensor BinaryConv2d::forward_fused(ExecContext& ctx,
 }
 
 PackedTensor BinaryConv2d::forward_unfused(ExecContext& ctx,
-                                           const PackedTensor& in) {
+                                           const PackedTensor& in) const {
   // Path C — the pre-integration pipeline: three kernels and two
   // materialized intermediates (what §V-B's fusion eliminates). Both
   // intermediates live in the engine arena.

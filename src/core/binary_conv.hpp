@@ -47,7 +47,7 @@ class BinaryConv2d final : public Layer {
                ConvGeometry geom);
 
   const std::string& name() const override { return name_; }
-  Blob forward(ExecContext& ctx, const Blob& in) override;
+  Blob forward(ExecContext& ctx, const Blob& in) const override;
 
   std::int64_t param_bytes() const override;
   std::int64_t param_count() const override;
@@ -63,9 +63,9 @@ class BinaryConv2d final : public Layer {
  private:
   bitpack::PackedTensor forward_fused(ExecContext& ctx,
                                       const bitpack::PackedTensor& in,
-                                      bool integrate_packing);
+                                      bool integrate_packing) const;
   bitpack::PackedTensor forward_unfused(ExecContext& ctx,
-                                        const bitpack::PackedTensor& in);
+                                        const bitpack::PackedTensor& in) const;
 
   std::string name_;
   bitpack::PackedTensor weights_;

@@ -35,7 +35,7 @@ std::int64_t BinaryDense::param_count() const {
   return units() * in_features() + 5 * units();
 }
 
-Blob BinaryDense::forward(ExecContext& ctx, const Blob& in) {
+Blob BinaryDense::forward(ExecContext& ctx, const Blob& in) const {
   const auto* packed = std::get_if<PackedTensor>(&in);
   PB_CHECK(packed != nullptr, name_ << ": binary dense expects packed input");
   const PackedTensor flat = bitpack::flatten_packed(*packed);
@@ -109,7 +109,7 @@ std::int64_t FloatDense::param_count() const {
   return units() * in_features() + static_cast<std::int64_t>(bias_.size());
 }
 
-Blob FloatDense::forward(ExecContext& ctx, const Blob& in) {
+Blob FloatDense::forward(ExecContext& ctx, const Blob& in) const {
   // Expand packed input to ±1 floats; flatten float input if spatial.
   FloatTensor x;
   if (const auto* packed = std::get_if<PackedTensor>(&in)) {

@@ -25,7 +25,7 @@ class BinaryDense final : public Layer {
               std::vector<BatchNormParams> bn, std::vector<float> bias);
 
   const std::string& name() const override { return name_; }
-  Blob forward(ExecContext& ctx, const Blob& in) override;
+  Blob forward(ExecContext& ctx, const Blob& in) const override;
 
   std::int64_t param_bytes() const override;
   std::int64_t param_count() const override;
@@ -51,7 +51,7 @@ class FloatDense final : public Layer {
   FloatDense(std::string name, FloatTensor weights, std::vector<float> bias);
 
   const std::string& name() const override { return name_; }
-  Blob forward(ExecContext& ctx, const Blob& in) override;
+  Blob forward(ExecContext& ctx, const Blob& in) const override;
 
   std::int64_t param_bytes() const override;
   std::int64_t param_count() const override;

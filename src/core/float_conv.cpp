@@ -35,7 +35,7 @@ std::int64_t FloatConv2d::param_count() const {
   return s.n * s.h * s.w * s.c + static_cast<std::int64_t>(bias_.size());
 }
 
-Blob FloatConv2d::forward(ExecContext& ctx, const Blob& in) {
+Blob FloatConv2d::forward(ExecContext& ctx, const Blob& in) const {
   if (const auto* packed = std::get_if<PackedTensor>(&in)) {
     // Unpack kernel: packed bits -> ±1 floats.
     const Shape s = packed->shape();
@@ -60,7 +60,7 @@ Blob FloatConv2d::forward(ExecContext& ctx, const Blob& in) {
   return conv(ctx, *f);
 }
 
-FloatTensor FloatConv2d::conv(ExecContext& ctx, const FloatTensor& in) {
+FloatTensor FloatConv2d::conv(ExecContext& ctx, const FloatTensor& in) const {
   PB_CHECK(in.layout() == Layout::kNHWC, name_ << ": input must be NHWC");
   const Shape& is = in.shape();
   PB_CHECK(is.c == in_channels(), name_ << ": channel mismatch");

@@ -23,7 +23,7 @@ class FloatConv2d final : public Layer {
 
   /// Accepts a packed binary blob (unpacked to ±1 on the queue) or floats.
   /// Output is always a FloatTensor.
-  Blob forward(ExecContext& ctx, const Blob& in) override;
+  Blob forward(ExecContext& ctx, const Blob& in) const override;
 
   std::int64_t param_bytes() const override;
   std::int64_t param_count() const override;
@@ -35,7 +35,7 @@ class FloatConv2d final : public Layer {
   const std::vector<float>& bias() const noexcept { return bias_; }
 
  private:
-  FloatTensor conv(ExecContext& ctx, const FloatTensor& in);
+  FloatTensor conv(ExecContext& ctx, const FloatTensor& in) const;
 
   std::string name_;
   FloatTensor weights_;

@@ -38,7 +38,7 @@ std::int64_t InputConv2d::param_count() const {
   return s.n * s.h * s.w * s.c + 5 * s.n;
 }
 
-Blob InputConv2d::forward(ExecContext& ctx, const Blob& in) {
+Blob InputConv2d::forward(ExecContext& ctx, const Blob& in) const {
   const auto* image = std::get_if<U8Tensor>(&in);
   PB_CHECK(image != nullptr, name_ << ": input conv expects an 8-bit image");
   const Shape& is = image->shape();

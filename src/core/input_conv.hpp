@@ -29,7 +29,7 @@ class InputConv2d final : public Layer {
   const std::string& name() const override { return name_; }
 
   /// Input blob must be a U8Tensor (the decoded image). Output is packed.
-  Blob forward(ExecContext& ctx, const Blob& in) override;
+  Blob forward(ExecContext& ctx, const Blob& in) const override;
 
   std::int64_t param_bytes() const override;
   std::int64_t param_count() const override;

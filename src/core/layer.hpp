@@ -30,11 +30,14 @@ inline const Shape& blob_shape(const Blob& b) {
   return std::get<bitpack::PackedTensor>(b).shape();
 }
 
-/// Execution state threaded through a forward pass. The arena is owned by
-/// the Engine, so scratch buffers persist across forward passes.
+/// Execution state threaded through a forward pass. Produced by an
+/// ExecSession (engine.hpp); every member references session-owned state, so
+/// a context must not outlive its session. `opts` is the session's
+/// EngineOptions snapshot — layers see a stable configuration for the whole
+/// session even if the engine's options are reconfigured mid-flight.
 struct ExecContext {
   oclsim::CommandQueue& queue;
-  EngineOptions opts;
+  const EngineOptions& opts;
   ScratchArena& arena;
 };
 
@@ -47,7 +50,7 @@ class Layer {
   virtual const std::string& name() const = 0;
 
   /// Runs the layer, enqueueing its kernels on ctx.queue.
-  virtual Blob forward(ExecContext& ctx, const Blob& in) = 0;
+  virtual Blob forward(ExecContext& ctx, const Blob& in) const = 0;
 
   /// On-device parameter footprint in bytes (packed weights count packed;
   /// used for the Table II model-size accounting).

@@ -2,34 +2,33 @@
 
 namespace phonebit::core {
 
-Blob Network::forward(ExecContext& ctx, Blob input) {
+ForwardResult Network::forward(ExecContext& ctx, Blob input) const {
   PB_CHECK(!layers_.empty(), name_ << ": network has no layers");
-  report_.clear();
-  report_.reserve(layers_.size());
+  ForwardResult result;
+  result.report.reserve(layers_.size());
   Blob blob = std::move(input);
   for (const auto& layer : layers_) {
-    const std::size_t events_before = ctx.queue.events().size();
+    const std::size_t mark = ctx.queue.event_mark();
     blob = layer->forward(ctx, blob);
+    const oclsim::EventSlice s = ctx.queue.slice_events(mark);
     LayerReport r;
     r.name = layer->name();
-    for (std::size_t i = events_before; i < ctx.queue.events().size(); ++i) {
-      const auto& ev = ctx.queue.events()[i];
-      r.modeled_ms += ev.modeled_ms;
-      r.host_ms += ev.host_ms;
-      r.launches += ev.cost.launches;
-      r.cost += ev.cost;
-    }
-    // The += above double-counts the first event's launch baseline; reset to
-    // the true count.
-    r.cost.launches = r.launches;
-    report_.push_back(std::move(r));
+    r.modeled_ms = s.modeled_ms;
+    r.host_ms = s.host_ms;
+    r.launches = s.launches;
+    r.cost = s.cost;
+    result.modeled_ms += s.modeled_ms;
+    result.host_ms += s.host_ms;
+    result.report.push_back(std::move(r));
   }
-  return blob;
+  result.output = std::move(blob);
+  return result;
 }
 
-FloatTensor Network::forward_float(ExecContext& ctx, const U8Tensor& image) {
-  Blob out = forward(ctx, Blob{image});
-  auto* f = std::get_if<FloatTensor>(&out);
+FloatTensor Network::forward_float(ExecContext& ctx,
+                                   const U8Tensor& image) const {
+  ForwardResult result = forward(ctx, Blob{image});
+  auto* f = std::get_if<FloatTensor>(&result.output);
   PB_CHECK(f != nullptr,
            name_ << ": network does not end in a full-precision layer");
   return std::move(*f);
@@ -45,18 +44,6 @@ std::int64_t Network::param_count() const {
   std::int64_t total = 0;
   for (const auto& l : layers_) total += l->param_count();
   return total;
-}
-
-double Network::last_modeled_ms() const {
-  double s = 0.0;
-  for (const auto& r : report_) s += r.modeled_ms;
-  return s;
-}
-
-double Network::last_host_ms() const {
-  double s = 0.0;
-  for (const auto& r : report_) s += r.host_ms;
-  return s;
 }
 
 }  // namespace phonebit::core

@@ -1,9 +1,10 @@
 // PhoneBit — network container and forward pass.
 //
 // A Network is an ordered pipeline of layers (Fig. 3's hand-written layer
-// calls, behind a builder API). forward() threads a Blob through the layers
-// and slices the queue's profiling events into per-layer reports — the data
-// behind Table III and Fig. 5.
+// calls, behind a builder API). After construction a Network is immutable at
+// inference time: forward() is const and returns a ForwardResult carrying
+// the output blob plus the per-layer timing report (the data behind Table
+// III and Fig. 5), so many sessions can forward one Network concurrently.
 #pragma once
 
 #include <memory>
@@ -14,6 +15,30 @@
 #include "core/layer.hpp"
 
 namespace phonebit::core {
+
+/// Everything one forward pass produced: the output blob and the profiling
+/// report sliced from the session queue's events. Owned by the caller —
+/// nothing is stashed on the Network, so concurrent forwards don't race.
+struct ForwardResult {
+  Blob output;
+  std::vector<LayerReport> report;
+  double modeled_ms = 0.0;  ///< total modeled device ms over all layers
+  double host_ms = 0.0;     ///< total host wall ms over all kernel bodies
+
+  /// The output as a float tensor (throws InvalidArgument when the network
+  /// did not end in a full-precision layer). Ref-qualified so a temporary
+  /// result hands out a value, never a dangling reference.
+  const FloatTensor& float_output() const& {
+    const auto* f = std::get_if<FloatTensor>(&output);
+    PB_CHECK(f != nullptr, "network output is not a full-precision tensor");
+    return *f;
+  }
+  FloatTensor float_output() && {
+    auto* f = std::get_if<FloatTensor>(&output);
+    PB_CHECK(f != nullptr, "network output is not a full-precision tensor");
+    return std::move(*f);
+  }
+};
 
 class Network {
  public:
@@ -37,12 +62,14 @@ class Network {
     return ref;
   }
 
-  /// Runs every layer in order. Also populates last_report().
-  Blob forward(ExecContext& ctx, Blob input);
+  /// Runs every layer in order on the session behind `ctx`. Const: the
+  /// network is shared read-only state, all mutation happens in the
+  /// session's queue/arena, and the report comes back in the result.
+  ForwardResult forward(ExecContext& ctx, Blob input) const;
 
-  /// Convenience: forward an 8-bit image and return the float output blob
+  /// Convenience: forward an 8-bit image and return just the float output
   /// (throws if the network does not end in a full-precision layer).
-  FloatTensor forward_float(ExecContext& ctx, const U8Tensor& image);
+  FloatTensor forward_float(ExecContext& ctx, const U8Tensor& image) const;
 
   const std::vector<std::unique_ptr<Layer>>& layers() const noexcept {
     return layers_;
@@ -54,20 +81,9 @@ class Network {
   /// Trained parameter count.
   std::int64_t param_count() const;
 
-  /// Per-layer timing of the most recent forward().
-  const std::vector<LayerReport>& last_report() const noexcept {
-    return report_;
-  }
-
-  /// Modeled device milliseconds of the most recent forward().
-  double last_modeled_ms() const;
-  /// Host wall milliseconds of the most recent forward().
-  double last_host_ms() const;
-
  private:
   std::string name_;
   std::vector<std::unique_ptr<Layer>> layers_;
-  std::vector<LayerReport> report_;
 };
 
 }  // namespace phonebit::core

@@ -10,7 +10,7 @@ using oclsim::KernelCost;
 using oclsim::NDRange;
 using oclsim::WorkItem;
 
-Blob MaxPool2d::forward(ExecContext& ctx, const Blob& in) {
+Blob MaxPool2d::forward(ExecContext& ctx, const Blob& in) const {
   const auto* packed = std::get_if<PackedTensor>(&in);
   PB_CHECK(packed != nullptr, name_ << ": max pool expects packed input");
   const Shape& is = packed->shape();

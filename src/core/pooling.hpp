@@ -43,7 +43,7 @@ class MaxPool2d final : public Layer {
       : name_(std::move(name)), geom_(geom) {}
 
   const std::string& name() const override { return name_; }
-  Blob forward(ExecContext& ctx, const Blob& in) override;
+  Blob forward(ExecContext& ctx, const Blob& in) const override;
 
   const PoolGeometry& geometry() const noexcept { return geom_; }
 

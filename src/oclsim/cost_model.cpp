@@ -8,6 +8,15 @@
 
 namespace phonebit::oclsim {
 
+KernelCost KernelCost::accumulator() {
+  KernelCost zero;
+  zero.launches = 0;
+  // Minimum legal vector width so the max-merge in accumulate() adopts the
+  // first event's width instead of the 64-bit default.
+  zero.pack_width_bits = 8;
+  return zero;
+}
+
 KernelCost& KernelCost::operator+=(const KernelCost& o) {
   // Aggregation keeps the weighted character of the slower component:
   // rates (coalescing, efficiency) are averaged weighted by their traffic.

@@ -81,6 +81,17 @@ struct KernelCost {
 
   /// Sum of component costs (used when fusing per-layer costs).
   KernelCost& operator+=(const KernelCost& o);
+
+  /// Identity element for event aggregation. A default KernelCost describes
+  /// ONE dispatch (launches = 1), so summing events with += onto a default
+  /// instance double-counts the first event's launch baseline. accumulator()
+  /// starts from zero launches / zero pack width so `acc.accumulate(ev)`
+  /// over an event slice yields exactly the slice's totals.
+  static KernelCost accumulator();
+
+  /// Folds one event's cost into this accumulator (same weighted merge as
+  /// operator+=). Only meaningful on an instance created by accumulator().
+  void accumulate(const KernelCost& o) { *this += o; }
 };
 
 /// ALU cycles the bit-op portion of `c` occupies (before efficiency).

@@ -33,6 +33,7 @@ void Device::allocate(std::int64_t bytes, std::int64_t budget_bytes) {
   PB_CHECK(bytes >= 0, "negative allocation");
   const std::int64_t budget =
       budget_bytes > 0 ? budget_bytes : profile_.ram_mb * 1024 * 1024;
+  std::lock_guard<std::mutex> lock(alloc_mu_);
   if (allocated_ + bytes > budget) {
     throw OutOfMemoryError(
         "simulated device allocation of " + std::to_string(bytes) +
@@ -44,6 +45,7 @@ void Device::allocate(std::int64_t bytes, std::int64_t budget_bytes) {
 }
 
 void Device::release(std::int64_t bytes) noexcept {
+  std::lock_guard<std::mutex> lock(alloc_mu_);
   allocated_ -= bytes;
   if (allocated_ < 0) allocated_ = 0;
 }
@@ -85,6 +87,18 @@ void CommandQueue::enqueue_chunked(const std::string& name, NDRange range,
                << " modeled=" << ev.modeled_ms << "ms host=" << ev.host_ms
                << "ms";
   events_.push_back(std::move(ev));
+}
+
+EventSlice CommandQueue::slice_events(std::size_t begin) const {
+  EventSlice s;
+  for (std::size_t i = begin; i < events_.size(); ++i) {
+    const KernelEvent& ev = events_[i];
+    s.modeled_ms += ev.modeled_ms;
+    s.host_ms += ev.host_ms;
+    s.launches += ev.cost.launches;
+    s.cost.accumulate(ev.cost);
+  }
+  return s;
 }
 
 double CommandQueue::total_modeled_ms() const noexcept {

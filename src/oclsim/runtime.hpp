@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -48,7 +49,9 @@ struct KernelEvent {
 };
 
 /// A simulated SoC: owns the profile, a memory budget and the worker pool.
-/// One Device can back many CommandQueues (engines).
+/// One Device can back many CommandQueues (engines). Allocation accounting
+/// is thread-safe: concurrent sessions grow their arenas against the same
+/// budget.
 class Device {
  public:
   /// `host_threads` <= 0 selects std::thread::hardware_concurrency().
@@ -66,12 +69,25 @@ class Device {
   void release(std::int64_t bytes) noexcept;
 
   /// Bytes currently allocated on the simulated device.
-  std::int64_t allocated_bytes() const noexcept { return allocated_; }
+  std::int64_t allocated_bytes() const noexcept {
+    std::lock_guard<std::mutex> lock(alloc_mu_);
+    return allocated_;
+  }
 
  private:
   DeviceProfile profile_;
   std::unique_ptr<ThreadPool> pool_;
+  mutable std::mutex alloc_mu_;
   std::int64_t allocated_ = 0;
+};
+
+/// Aggregate of a contiguous run of profiling events — the per-layer report
+/// slice Network::forward cuts out of a session queue's event log.
+struct EventSlice {
+  double modeled_ms = 0.0;
+  double host_ms = 0.0;
+  int launches = 0;
+  KernelCost cost = KernelCost::accumulator();
 };
 
 /// In-order command queue with profiling enabled (the only mode PhoneBit
@@ -102,6 +118,14 @@ class CommandQueue {
   /// Profiling log of every dispatch since the last reset.
   const std::vector<KernelEvent>& events() const noexcept { return events_; }
   void reset_events() { events_.clear(); }
+
+  /// Index of the next event to be recorded; pair with slice_events() to
+  /// aggregate the dispatches of one logical step (a layer, a forward).
+  std::size_t event_mark() const noexcept { return events_.size(); }
+
+  /// Aggregates events [begin, events().size()) — launches sum exactly (no
+  /// re-count of the accumulator's launch baseline).
+  EventSlice slice_events(std::size_t begin) const;
 
   /// Sum of modeled device milliseconds over all logged events.
   double total_modeled_ms() const noexcept;

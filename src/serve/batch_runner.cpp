@@ -1,0 +1,98 @@
+#include "serve/batch_runner.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <utility>
+
+namespace phonebit::serve {
+
+namespace {
+
+double now_ms() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double, std::milli>(
+             clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+BatchRunner::BatchRunner(core::Engine& engine, const core::Network& net,
+                         int workers)
+    : engine_(engine), net_(net), pool_(workers > 0 ? workers : 4) {}
+
+BatchSummary BatchRunner::run(std::vector<core::Blob> inputs) {
+  BatchSummary summary;
+  summary.requests = static_cast<int>(inputs.size());
+  summary.workers = pool_.size();
+  summary.results.resize(inputs.size());
+  if (inputs.empty()) return summary;
+
+  // One task per request (not parallel_for: its small-n inline path would
+  // serialize the batch on this thread, and requests are coarse enough that
+  // chunking buys nothing). A local completion group keeps the runner
+  // independent of anything else submitted to the pool.
+  std::mutex mu;
+  std::condition_variable cv;
+  std::size_t pending = inputs.size();
+  std::exception_ptr first_error;
+
+  const double t0 = now_ms();
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    pool_.submit([this, &inputs, &summary, &mu, &cv, &pending, &first_error,
+                  i] {
+      std::exception_ptr error;
+      try {
+        core::ExecSession session = engine_.create_session();
+        core::ExecContext ctx = session.context();
+        summary.results[i] = net_.forward(ctx, std::move(inputs[i]));
+      } catch (...) {
+        error = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      if (error != nullptr && first_error == nullptr) first_error = error;
+      if (--pending == 0) cv.notify_all();
+    });
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&pending] { return pending == 0; });
+  }
+  summary.wall_ms = now_ms() - t0;
+  if (first_error != nullptr) std::rethrow_exception(first_error);
+
+  // Latency/throughput aggregation plus the per-layer merge: layer order is
+  // identical across requests (one shared network), so slot j of every
+  // report describes the same layer.
+  for (const core::ForwardResult& r : summary.results) {
+    summary.total_modeled_ms += r.modeled_ms;
+    summary.max_modeled_ms = std::max(summary.max_modeled_ms, r.modeled_ms);
+    if (summary.merged_layers.empty()) {
+      summary.merged_layers.resize(r.report.size());
+      for (std::size_t j = 0; j < r.report.size(); ++j) {
+        summary.merged_layers[j].name = r.report[j].name;
+        summary.merged_layers[j].launches = 0;
+        summary.merged_layers[j].cost = oclsim::KernelCost::accumulator();
+      }
+    }
+    for (std::size_t j = 0; j < r.report.size(); ++j) {
+      core::LayerReport& m = summary.merged_layers[j];
+      m.modeled_ms += r.report[j].modeled_ms;
+      m.host_ms += r.report[j].host_ms;
+      m.launches += r.report[j].launches;
+      m.cost.accumulate(r.report[j].cost);
+    }
+  }
+  summary.mean_modeled_ms =
+      summary.total_modeled_ms / static_cast<double>(summary.requests);
+  summary.throughput_rps = summary.wall_ms > 0
+                               ? 1e3 * static_cast<double>(summary.requests) /
+                                     summary.wall_ms
+                               : 0.0;
+  return summary;
+}
+
+}  // namespace phonebit::serve

@@ -1,0 +1,67 @@
+// PhoneBit serve — multi-request execution on one engine.
+//
+// The first real serving scenario on top of the session API: a BatchRunner
+// fans N independent inputs across a private pool of request workers. Each
+// request checks a session out of the shared Engine (private command queue +
+// warm arena from the engine's pool) and runs Network::forward — the network
+// is const, so all requests share one copy of the weights. Per-request
+// ForwardResults come back in input order together with an aggregate
+// throughput/latency summary.
+//
+// Request-level parallelism is intentionally a *separate* thread pool from
+// the simulated device's work-item pool: request workers block in
+// CommandQueue::enqueue while device workers chew through kernel chunks, so
+// nesting both on one pool would let a blocked request starve the kernels it
+// is waiting on.
+#pragma once
+
+#include <vector>
+
+#include "common/threadpool.hpp"
+#include "core/engine.hpp"
+#include "core/network.hpp"
+
+namespace phonebit::serve {
+
+/// Aggregate outcome of one batch of independent requests.
+struct BatchSummary {
+  /// Per-request results, in input order.
+  std::vector<core::ForwardResult> results;
+
+  int requests = 0;
+  int workers = 0;
+
+  double wall_ms = 0.0;           ///< host wall time of the whole batch
+  double throughput_rps = 0.0;    ///< requests / host wall second
+  double total_modeled_ms = 0.0;  ///< sum of per-request modeled device ms
+  double mean_modeled_ms = 0.0;   ///< mean per-request modeled latency
+  double max_modeled_ms = 0.0;    ///< slowest request's modeled latency
+
+  /// Per-layer report summed across every request (same layer order as the
+  /// network; costs merged with KernelCost::accumulate).
+  std::vector<core::LayerReport> merged_layers;
+};
+
+/// Runs batches of independent inputs through one (engine, network) pair,
+/// one session per request. The runner owns its worker threads, so repeated
+/// run() calls reuse warm workers *and* — via the engine's arena pool —
+/// warm scratch arenas.
+class BatchRunner {
+ public:
+  /// `workers` <= 0 selects a small default (4). A runner serves one run()
+  /// at a time; create one runner per concurrent batch stream.
+  BatchRunner(core::Engine& engine, const core::Network& net, int workers = 0);
+
+  /// Forwards every input, blocking until the whole batch is done. Throws
+  /// the first request's error, if any request failed.
+  BatchSummary run(std::vector<core::Blob> inputs);
+
+  int workers() const noexcept { return pool_.size(); }
+
+ private:
+  core::Engine& engine_;
+  const core::Network& net_;
+  ThreadPool pool_;
+};
+
+}  // namespace phonebit::serve

@@ -61,7 +61,8 @@ TEST_P(BinaryConvParam, MatchesFloatReference) {
   g.pad_h = g.pad_w = p.pad;
 
   core::Engine engine(testing::test_device());
-  auto ctx = engine.context();
+  auto session = engine.create_session();
+  auto ctx = session.context();
   BinaryConv2d conv("conv", bitpack::pack_filter_signs(w), bn, bias, g);
   const auto out = conv.forward(ctx, core::Blob{bitpack::pack_signs(in)});
   const auto& packed = std::get<bitpack::PackedTensor>(out);
@@ -99,7 +100,8 @@ TEST(BinaryConv, AllExecutionPathsAgree) {
 
   auto run = [&](EngineOptions opts) {
     core::Engine engine(testing::test_device(), opts);
-    auto ctx = engine.context();
+    auto session = engine.create_session();
+    auto ctx = session.context();
     BinaryConv2d conv("conv", bitpack::pack_filter_signs(w), bn, bias, g);
     auto out = conv.forward(ctx, core::Blob{bitpack::pack_signs(in)});
     return bitpack::unpack_signs(std::get<bitpack::PackedTensor>(out));
@@ -137,7 +139,8 @@ TEST(BinaryConv, PackWidthDoesNotChangeResults) {
     opts.auto_pack_width = false;
     opts.fixed_pack_width = pw;
     core::Engine engine(testing::test_device(), opts);
-    auto ctx = engine.context();
+    auto session = engine.create_session();
+    auto ctx = session.context();
     BinaryConv2d conv("conv", bitpack::pack_filter_signs(w), bn, {}, g);
     auto out = conv.forward(ctx, core::Blob{bitpack::pack_signs(in)});
     FloatTensor got = bitpack::unpack_signs(std::get<bitpack::PackedTensor>(out));
@@ -155,7 +158,8 @@ TEST(BinaryConv, RejectsWrongChannelCount) {
   const FloatTensor w = testing::random_sign_tensor(Shape{8, 3, 3, 16}, 60);
   const auto bn = testing::random_bn(8, 61);
   core::Engine engine(testing::test_device());
-  auto ctx = engine.context();
+  auto session = engine.create_session();
+  auto ctx = session.context();
   core::BinaryConv2d conv("conv", bitpack::pack_filter_signs(w), bn, {},
                           ConvGeometry{});
   const FloatTensor in = testing::random_sign_tensor(Shape{1, 6, 6, 24}, 62);
@@ -167,7 +171,8 @@ TEST(BinaryConv, RejectsFloatInput) {
   const FloatTensor w = testing::random_sign_tensor(Shape{8, 3, 3, 16}, 63);
   const auto bn = testing::random_bn(8, 64);
   core::Engine engine(testing::test_device());
-  auto ctx = engine.context();
+  auto session = engine.create_session();
+  auto ctx = session.context();
   core::BinaryConv2d conv("conv", bitpack::pack_filter_signs(w), bn, {},
                           ConvGeometry{});
   EXPECT_THROW(

@@ -75,7 +75,8 @@ TEST_P(FastPathSweep, FastPathEqualsReferenceOnAllPaths) {
 
   auto check = [&](EngineOptions opts, const char* tag) {
     core::Engine engine(testing::test_device(), opts);
-    auto ctx = engine.context();
+    auto session = engine.create_session();
+    auto ctx = session.context();
     BinaryConv2d conv("conv", bitpack::pack_filter_signs(w), bn, {}, g);
     const auto out = conv.forward(ctx, input);
     EXPECT_TRUE(testing::packed_equals_signs(
@@ -126,7 +127,8 @@ TEST(FastPath, PadWiderThanKernelWindowsFullyInPadding) {
   g.pad_h = 0;
   g.pad_w = 2;
   core::Engine engine(testing::test_device());
-  auto ctx = engine.context();
+  auto session = engine.create_session();
+  auto ctx = session.context();
   BinaryConv2d conv("conv", bitpack::pack_filter_signs(w), bn, {}, g);
   const auto out = conv.forward(ctx, core::Blob{bitpack::pack_signs(in)});
   EXPECT_TRUE(testing::packed_equals_signs(
@@ -149,32 +151,39 @@ TEST(FastPath, ArenaStopsGrowingAfterWarmup) {
       opts.fuse_bn_binarize = fuse;
       opts.interior_split = split;
       core::Engine engine(testing::test_device(), opts);
-      auto ctx = engine.context();
+      auto session = engine.create_session();
+      auto ctx = session.context();
       // c_in=320 > packing threshold forces path B when fused, so the byte
       // map intermediate (the arena's hot customer) is exercised either way.
       BinaryConv2d conv("conv", bitpack::pack_filter_signs(w), bn, {}, g);
       const core::Blob input{bitpack::pack_signs(in)};
 
       conv.forward(ctx, input);  // warm-up: arena reaches high-water mark
-      const int grows = engine.arena().growth_events();
-      const std::int64_t cap = engine.arena().capacity_bytes();
+      const int grows = session.arena().growth_events();
+      const std::int64_t cap = session.arena().capacity_bytes();
       for (int i = 0; i < 5; ++i) conv.forward(ctx, input);
-      EXPECT_EQ(engine.arena().growth_events(), grows)
+      EXPECT_EQ(session.arena().growth_events(), grows)
           << "fuse=" << fuse << " split=" << split;
-      EXPECT_EQ(engine.arena().capacity_bytes(), cap)
+      EXPECT_EQ(session.arena().capacity_bytes(), cap)
           << "fuse=" << fuse << " split=" << split;
     }
   }
 }
 
-/// Arena growth is visible to the simulated device's memory accounting and
-/// released when the engine goes away.
+/// Arena growth is visible to the simulated device's memory accounting. The
+/// session returns its arena to the engine's pool warm (still accounted);
+/// only tearing down the engine releases the bytes.
 TEST(FastPath, ArenaAccountsAgainstDevice) {
   auto device = testing::test_device();
   const std::int64_t before = device->allocated_bytes();
   {
     core::Engine engine(device);
-    engine.arena().u8(1 << 16);
+    {
+      auto session = engine.create_session();
+      session.arena().u8(1 << 16);
+      EXPECT_GE(device->allocated_bytes(), before + (1 << 16));
+    }
+    // Session gone, arena pooled: bytes stay accounted (warm reuse).
     EXPECT_GE(device->allocated_bytes(), before + (1 << 16));
   }
   EXPECT_EQ(device->allocated_bytes(), before);

@@ -30,7 +30,8 @@ TEST_P(BinaryDenseParam, MatchesFloatReference) {
   const auto bias = testing::random_bias(p.units, seed + 3);
 
   core::Engine engine(testing::test_device());
-  auto ctx = engine.context();
+  auto session = engine.create_session();
+  auto ctx = session.context();
   BinaryDense dense("fc", bitpack::pack_signs(w), bn, bias);
   auto out = dense.forward(ctx, core::Blob{bitpack::pack_signs(in)});
 
@@ -67,7 +68,8 @@ TEST(BinaryDense, RequiresUnitsMultipleOf8) {
 TEST(BinaryDense, FeatureMismatchRejected) {
   const FloatTensor w = testing::random_sign_tensor(Shape{8, 1, 1, 64}, 3);
   core::Engine engine(testing::test_device());
-  auto ctx = engine.context();
+  auto session = engine.create_session();
+  auto ctx = session.context();
   BinaryDense dense("fc", bitpack::pack_signs(w), testing::random_bn(8, 4),
                     {});
   const FloatTensor in = testing::random_sign_tensor(Shape{1, 1, 1, 96}, 5);
@@ -81,7 +83,8 @@ TEST(FloatDense, MatchesReferenceOnPackedInput) {
   const auto bias = testing::random_bias(10, 8);
 
   core::Engine engine(testing::test_device());
-  auto ctx = engine.context();
+  auto session = engine.create_session();
+  auto ctx = session.context();
   FloatDense dense("fc8", w, bias);
   auto out = dense.forward(ctx, core::Blob{bitpack::pack_signs(in)});
   const FloatTensor ref = baselines::dense_ref(in, w, bias);
@@ -92,7 +95,8 @@ TEST(FloatDense, MatchesReferenceOnFloatInput) {
   const FloatTensor in = testing::random_float_tensor(Shape{3, 1, 1, 37}, 9);
   const FloatTensor w = testing::random_float_tensor(Shape{5, 1, 1, 37}, 10);
   core::Engine engine(testing::test_device());
-  auto ctx = engine.context();
+  auto session = engine.create_session();
+  auto ctx = session.context();
   FloatDense dense("fc", w, {});
   auto out = dense.forward(ctx, core::Blob{in});
   EXPECT_TRUE(allclose(std::get<FloatTensor>(out),
@@ -103,7 +107,8 @@ TEST(FloatDense, FlattensSpatialFloatInput) {
   const FloatTensor in = testing::random_float_tensor(Shape{1, 3, 3, 4}, 11);
   const FloatTensor w = testing::random_float_tensor(Shape{6, 1, 1, 36}, 12);
   core::Engine engine(testing::test_device());
-  auto ctx = engine.context();
+  auto session = engine.create_session();
+  auto ctx = session.context();
   FloatDense dense("fc", w, {});
   auto out = dense.forward(ctx, core::Blob{in});
   EXPECT_TRUE(allclose(std::get<FloatTensor>(out),

@@ -35,7 +35,8 @@ TEST_P(ConvGeometrySweep, PackedConvMatchesReference) {
   g.pad_h = g.pad_w = pad;
 
   core::Engine engine(testing::test_device());
-  auto ctx = engine.context();
+  auto session = engine.create_session();
+  auto ctx = session.context();
   core::BinaryConv2d conv("conv", bitpack::pack_filter_signs(w), bn, {}, g);
   const auto out = conv.forward(ctx, core::Blob{bitpack::pack_signs(in)});
 
@@ -88,7 +89,8 @@ TEST_P(PoolGeometrySweep, PackedPoolMatchesReference) {
   if (!tail && hw < size) GTEST_SKIP();
 
   core::Engine engine(testing::test_device());
-  auto ctx = engine.context();
+  auto session = engine.create_session();
+  auto ctx = session.context();
   core::MaxPool2d pool("pool", g);
   const auto out = pool.forward(ctx, core::Blob{bitpack::pack_signs(in)});
   EXPECT_TRUE(testing::packed_equals_signs(

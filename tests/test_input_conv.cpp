@@ -62,7 +62,8 @@ TEST_P(InputConvParam, MatchesIntegerReference) {
   g.pad_h = g.pad_w = p.pad;
 
   core::Engine engine(testing::test_device());
-  auto ctx = engine.context();
+  auto session = engine.create_session();
+  auto ctx = session.context();
   InputConv2d conv("conv1", bitpack::pack_filter_signs(w), bn, bias, g);
   auto out = conv.forward(ctx, core::Blob{img});
   const auto& packed = std::get<bitpack::PackedTensor>(out);
@@ -87,7 +88,8 @@ TEST(InputConv, BatchedInput) {
   ConvGeometry g;
   g.pad_h = g.pad_w = 1;
   core::Engine engine(testing::test_device());
-  auto ctx = engine.context();
+  auto session = engine.create_session();
+  auto ctx = session.context();
   InputConv2d conv("conv1", bitpack::pack_filter_signs(w), bn, {}, g);
   auto out = conv.forward(ctx, core::Blob{img});
   EXPECT_TRUE(testing::packed_equals_signs(
@@ -99,7 +101,8 @@ TEST(InputConv, RejectsPackedInput) {
   const FloatTensor w = testing::random_float_tensor(Shape{8, 3, 3, 3}, 33);
   const auto bn = testing::random_bn(8, 34);
   core::Engine engine(testing::test_device());
-  auto ctx = engine.context();
+  auto session = engine.create_session();
+  auto ctx = session.context();
   InputConv2d conv("conv1", bitpack::pack_filter_signs(w), bn, {},
                    ConvGeometry{});
   const FloatTensor x = testing::random_sign_tensor(Shape{1, 5, 5, 3}, 35);
@@ -117,7 +120,8 @@ TEST(InputConv, EightBitEdgeValues) {
     ConvGeometry g;
     g.pad_h = g.pad_w = 1;
     core::Engine engine(testing::test_device());
-    auto ctx = engine.context();
+    auto session = engine.create_session();
+    auto ctx = session.context();
     core::InputConv2d conv("conv1", bitpack::pack_filter_signs(w), bn, {}, g);
     auto out = conv.forward(ctx, core::Blob{img});
     EXPECT_TRUE(testing::packed_equals_signs(

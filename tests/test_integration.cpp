@@ -40,7 +40,8 @@ TEST_P(ShrunkNets, PhonebitMatchesBnnReference) {
   const auto ref = baselines::bnn_reference_forward(model, image);
 
   core::Engine engine(testing::test_device());
-  auto ctx = engine.context();
+  auto session = engine.create_session();
+  auto ctx = session.context();
   auto net = core::convert_to_phonebit(model);
   const FloatTensor out = net->forward_float(ctx, image);
   EXPECT_TRUE(allclose(out, ref.output, 2e-2f))
@@ -64,10 +65,11 @@ TEST(Integration, MidsizeBinaryConvBeatsFloatConvByOrderOfMagnitude) {
   g.pad_h = g.pad_w = 1;
 
   core::Engine engine(testing::test_device());
-  auto ctx = engine.context();
+  auto session = engine.create_session();
+  auto ctx = session.context();
   core::BinaryConv2d bconv("bconv", bitpack::pack_filter_signs(w), bn, {}, g);
   bconv.forward(ctx, core::Blob{bitpack::pack_signs(in)});
-  const double phonebit_ms = engine.queue().total_modeled_ms();
+  const double phonebit_ms = session.queue().total_modeled_ms();
 
   // CNNdroid-equivalent single conv layer on the same geometry.
   core::NetworkSpec spec;
@@ -104,12 +106,13 @@ TEST(Integration, FullPipelineQuicknet) {
   auto device = std::make_shared<oclsim::Device>(
       oclsim::DeviceProfile::snapdragon820(), 4);
   core::Engine engine(device);
-  auto ctx = engine.context();
+  auto session = engine.create_session();
+  auto ctx = session.context();
   const U8Tensor image = datasets::cifar_like_image(601);
   const FloatTensor out = loaded->forward_float(ctx, image);
   EXPECT_EQ(out.shape().c, 10);  // 10 classes
 
-  const auto power = energy::estimate_power(engine.queue().events(),
+  const auto power = energy::estimate_power(session.queue().events(),
                                             device->profile());
   EXPECT_GT(power.avg_power_mw, device->profile().idle_mw);
   EXPECT_GT(power.fps, 0.0);
@@ -121,7 +124,8 @@ TEST(Integration, BatchConsistency) {
   const auto model = FloatModel::random(models::quicknet(10), 700);
   auto net = core::convert_to_phonebit(model);
   core::Engine engine(testing::test_device());
-  auto ctx = engine.context();
+  auto session = engine.create_session();
+  auto ctx = session.context();
 
   U8Tensor batch(Shape{3, 32, 32, 3});
   std::vector<U8Tensor> singles;
@@ -151,7 +155,8 @@ TEST(Integration, EngineOnBothDevicesSameOutputs) {
   auto run = [&](oclsim::DeviceProfile profile) {
     auto device = std::make_shared<oclsim::Device>(std::move(profile), 2);
     core::Engine engine(device);
-    auto ctx = engine.context();
+    auto session = engine.create_session();
+    auto ctx = session.context();
     auto net = core::convert_to_phonebit(model);
     return net->forward_float(ctx, image);
   };

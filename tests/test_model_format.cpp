@@ -32,8 +32,10 @@ TEST_F(ModelFormatTest, RoundtripPreservesOutputs) {
   const U8Tensor image = datasets::cifar_like_image(9);
   core::Engine e1(testing::test_device());
   core::Engine e2(testing::test_device());
-  auto c1 = e1.context();
-  auto c2 = e2.context();
+  auto s1 = e1.create_session();
+  auto c1 = s1.context();
+  auto s2 = e2.create_session();
+  auto c2 = s2.context();
   const FloatTensor a = net->forward_float(c1, image);
   const FloatTensor b = loaded->forward_float(c2, image);
   EXPECT_TRUE(allclose(a, b, 0.0f)) << "serialized model diverged";
@@ -50,8 +52,10 @@ TEST_F(ModelFormatTest, RoundtripYoloShapedNetwork) {
   const U8Tensor image = datasets::voc_like_image(model.spec.input.h, 10);
   core::Engine e1(testing::test_device());
   core::Engine e2(testing::test_device());
-  auto c1 = e1.context();
-  auto c2 = e2.context();
+  auto s1 = e1.create_session();
+  auto c1 = s1.context();
+  auto s2 = e2.create_session();
+  auto c2 = s2.context();
   EXPECT_TRUE(allclose(net->forward_float(c1, image),
                        loaded->forward_float(c2, image), 0.0f));
 }
@@ -107,7 +111,8 @@ TEST_F(ModelFormatTest, LoadedModelStillMatchesReference) {
   core::EngineOptions unfused;
   unfused.fuse_bn_binarize = false;
   core::Engine engine(testing::test_device(), unfused);
-  auto ctx = engine.context();
+  auto session = engine.create_session();
+  auto ctx = session.context();
   EXPECT_TRUE(allclose(loaded->forward_float(ctx, image), ref.output, 1e-3f));
 }
 

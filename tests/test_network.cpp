@@ -25,7 +25,8 @@ TEST(Network, QuicknetMatchesBnnReference) {
   const auto ref = baselines::bnn_reference_forward(model, image);
 
   core::Engine engine(testing::test_device());
-  auto ctx = engine.context();
+  auto session = engine.create_session();
+  auto ctx = session.context();
   auto net = core::convert_to_phonebit(model);
   const FloatTensor out = net->forward_float(ctx, image);
 
@@ -55,7 +56,8 @@ TEST_P(NetworkOptions, OutputInvariantUnderOptimizations) {
   opts.integrate_packing = p.integrate;
   opts.vectorized_loads = p.vec_loads;
   core::Engine engine(testing::test_device(), opts);
-  auto ctx = engine.context();
+  auto session = engine.create_session();
+  auto ctx = session.context();
   auto net = core::convert_to_phonebit(model);
   const FloatTensor out = net->forward_float(ctx, image);
   EXPECT_TRUE(allclose(out, ref.output, 1e-3f)) << p.label;
@@ -73,18 +75,25 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(Network, PerLayerReportsPopulated) {
   const FloatModel model = quick_model();
   core::Engine engine(testing::test_device());
-  auto ctx = engine.context();
+  auto session = engine.create_session();
+  auto ctx = session.context();
   auto net = core::convert_to_phonebit(model);
-  net->forward_float(ctx, datasets::cifar_like_image(3));
+  const auto result =
+      net->forward(ctx, core::Blob{datasets::cifar_like_image(3)});
 
-  const auto& report = net->last_report();
-  ASSERT_EQ(report.size(), net->size());
-  for (const auto& r : report) {
+  ASSERT_EQ(result.report.size(), net->size());
+  double launch_weighted_sum = 0.0;
+  for (const auto& r : result.report) {
     EXPECT_FALSE(r.name.empty());
     EXPECT_GT(r.modeled_ms, 0.0);
     EXPECT_GE(r.launches, 1);
+    // The aggregated cost's launch count must equal the event sum exactly
+    // (the accumulate() fix: no re-count of the first event's baseline).
+    EXPECT_EQ(r.cost.launches, r.launches);
+    launch_weighted_sum += r.modeled_ms;
   }
-  EXPECT_GT(net->last_modeled_ms(), 0.0);
+  EXPECT_GT(result.modeled_ms, 0.0);
+  EXPECT_NEAR(result.modeled_ms, launch_weighted_sum, 1e-12);
 }
 
 TEST(Network, FusionReducesModeledTimeAndLaunches) {
@@ -95,12 +104,13 @@ TEST(Network, FusionReducesModeledTimeAndLaunches) {
     EngineOptions opts;
     opts.fuse_bn_binarize = fuse;
     core::Engine engine(testing::test_device(), opts);
-    auto ctx = engine.context();
+    auto session = engine.create_session();
+    auto ctx = session.context();
     auto net = core::convert_to_phonebit(model);
-    net->forward_float(ctx, image);
+    const auto result = net->forward(ctx, core::Blob{image});
     int launches = 0;
-    for (const auto& r : net->last_report()) launches += r.launches;
-    return std::pair<double, int>(net->last_modeled_ms(), launches);
+    for (const auto& r : result.report) launches += r.launches;
+    return std::pair<double, int>(result.modeled_ms, launches);
   };
 
   const auto [fused_ms, fused_launches] = run(true);
@@ -120,10 +130,39 @@ TEST(Network, ModelSizeIsRoughly32xSmaller) {
   EXPECT_LT(full / bnn, 32.0);
 }
 
+TEST(Network, ForwardFloatRejectsBinaryEndingNetwork) {
+  // A network whose last layer emits a packed binary blob has no float
+  // output; forward_float's end-in-float contract must fire, and the
+  // underlying forward() result must still be reachable via forward().
+  const FloatTensor w =
+      testing::random_sign_tensor(Shape{16, 3, 3, 3}, 1234);
+  const auto bn = testing::random_bn(16, 1235);
+  ConvGeometry g;
+  g.pad_h = g.pad_w = 1;
+
+  core::Network net("binary-tail");
+  net.emplace<core::InputConv2d>("conv1", bitpack::pack_filter_signs(w), bn,
+                                 std::vector<float>{}, g);
+
+  core::Engine engine(testing::test_device());
+  auto session = engine.create_session();
+  auto ctx = session.context();
+  const U8Tensor image = datasets::cifar_like_image(1236);
+  EXPECT_THROW(net.forward_float(ctx, image), InvalidArgument);
+
+  // forward() itself is fine — the output is simply a packed blob, and
+  // float_output() reports the same contract violation.
+  const auto result = net.forward(ctx, core::Blob{image});
+  EXPECT_TRUE(
+      std::holds_alternative<bitpack::PackedTensor>(result.output));
+  EXPECT_THROW(result.float_output(), InvalidArgument);
+}
+
 TEST(Network, EmptyNetworkRejected) {
   core::Network net("empty");
   core::Engine engine(testing::test_device());
-  auto ctx = engine.context();
+  auto session = engine.create_session();
+  auto ctx = session.context();
   EXPECT_THROW(net.forward(ctx, core::Blob{datasets::cifar_like_image(5)}),
                InvalidArgument);
 }
@@ -137,7 +176,8 @@ TEST(Network, ShrunkYoloMatchesReference) {
 
   const auto ref = baselines::bnn_reference_forward(model, image);
   core::Engine engine(testing::test_device());
-  auto ctx = engine.context();
+  auto session = engine.create_session();
+  auto ctx = session.context();
   auto net = core::convert_to_phonebit(model);
   const FloatTensor out = net->forward_float(ctx, image);
   EXPECT_TRUE(allclose(out, ref.output, 1e-2f))

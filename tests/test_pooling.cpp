@@ -31,7 +31,8 @@ TEST_P(PoolParam, MatchesFloatReference) {
   g.tail_pad = p.tail_pad;
 
   core::Engine engine(testing::test_device());
-  auto ctx = engine.context();
+  auto session = engine.create_session();
+  auto ctx = session.context();
   MaxPool2d pool("pool", g);
   auto out = pool.forward(ctx, core::Blob{bitpack::pack_signs(in)});
   const FloatTensor ref = baselines::maxpool_ref(in, g, -1.0f);
@@ -65,7 +66,8 @@ TEST(MaxPool, AllMinusOneWindowStaysMinusOne) {
   FloatTensor in(Shape{1, 4, 4, 8});
   in.fill(-1.0f);
   core::Engine engine(testing::test_device());
-  auto ctx = engine.context();
+  auto session = engine.create_session();
+  auto ctx = session.context();
   MaxPool2d pool("pool", PoolGeometry{2, 2, 0, false});
   auto out = pool.forward(ctx, core::Blob{bitpack::pack_signs(in)});
   const auto& packed = std::get<bitpack::PackedTensor>(out);
@@ -80,7 +82,8 @@ TEST(MaxPool, SinglePlusOnePropagates) {
   in.fill(-1.0f);
   in(0, 1, 1, 3) = 1.0f;
   core::Engine engine(testing::test_device());
-  auto ctx = engine.context();
+  auto session = engine.create_session();
+  auto ctx = session.context();
   MaxPool2d pool("pool", PoolGeometry{2, 2, 0, false});
   auto out = pool.forward(ctx, core::Blob{bitpack::pack_signs(in)});
   const auto& packed = std::get<bitpack::PackedTensor>(out);
@@ -91,7 +94,8 @@ TEST(MaxPool, SinglePlusOnePropagates) {
 
 TEST(MaxPool, RejectsFloatBlob) {
   core::Engine engine(testing::test_device());
-  auto ctx = engine.context();
+  auto session = engine.create_session();
+  auto ctx = session.context();
   MaxPool2d pool("pool", PoolGeometry{});
   EXPECT_THROW(pool.forward(ctx, core::Blob{testing::random_float_tensor(
                                      Shape{1, 4, 4, 8}, 1)}),

@@ -1,0 +1,131 @@
+// serve::BatchRunner — fan-out of independent requests across sessions of
+// one engine: bit-exactness vs serial, aggregate summary bookkeeping, warm
+// pool reuse across batches, and error propagation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/phonebit.hpp"
+#include "datasets/synthetic.hpp"
+#include "models/zoo.hpp"
+#include "serve/batch_runner.hpp"
+#include "test_util.hpp"
+
+namespace phonebit {
+namespace {
+
+using core::FloatModel;
+
+std::unique_ptr<core::Network> quick_net(std::uint64_t seed = 71) {
+  return core::convert_to_phonebit(
+      FloatModel::random(models::quicknet(10), seed));
+}
+
+std::vector<core::Blob> make_inputs(int n, std::uint64_t seed) {
+  std::vector<core::Blob> inputs;
+  for (int i = 0; i < n; ++i) {
+    inputs.emplace_back(
+        datasets::cifar_like_image(seed + static_cast<std::uint64_t>(i)));
+  }
+  return inputs;
+}
+
+TEST(BatchRunner, MatchesSerialBitExactly) {
+  auto net = quick_net();
+  core::Engine engine(testing::test_device());
+
+  constexpr int kRequests = 8;
+  serve::BatchRunner runner(engine, *net, /*workers=*/4);
+  auto summary = runner.run(make_inputs(kRequests, 900));
+
+  ASSERT_EQ(summary.requests, kRequests);
+  ASSERT_EQ(summary.results.size(), static_cast<std::size_t>(kRequests));
+  for (int i = 0; i < kRequests; ++i) {
+    auto session = engine.create_session();
+    auto ctx = session.context();
+    const FloatTensor serial = net->forward_float(
+        ctx, datasets::cifar_like_image(900 + static_cast<std::uint64_t>(i)));
+    EXPECT_TRUE(allclose(summary.results[static_cast<std::size_t>(i)]
+                             .float_output(),
+                         serial, 0.0f))
+        << "request " << i << " diverged from serial";
+  }
+}
+
+TEST(BatchRunner, SummaryAggregatesPerRequestReports) {
+  auto net = quick_net(72);
+  core::Engine engine(testing::test_device());
+  serve::BatchRunner runner(engine, *net, 4);
+  const auto summary = runner.run(make_inputs(6, 950));
+
+  EXPECT_EQ(summary.workers, 4);
+  EXPECT_GT(summary.wall_ms, 0.0);
+  EXPECT_GT(summary.throughput_rps, 0.0);
+
+  double total = 0.0, max_ms = 0.0;
+  for (const auto& r : summary.results) {
+    EXPECT_GT(r.modeled_ms, 0.0);
+    total += r.modeled_ms;
+    max_ms = std::max(max_ms, r.modeled_ms);
+  }
+  EXPECT_NEAR(summary.total_modeled_ms, total, 1e-9);
+  EXPECT_NEAR(summary.mean_modeled_ms, total / 6.0, 1e-9);
+  EXPECT_NEAR(summary.max_modeled_ms, max_ms, 1e-12);
+
+  // Per-layer merge: one slot per network layer, costs/launches summed over
+  // every request, modeled total consistent with the request totals.
+  ASSERT_EQ(summary.merged_layers.size(), net->size());
+  double merged_total = 0.0;
+  for (std::size_t j = 0; j < summary.merged_layers.size(); ++j) {
+    const auto& m = summary.merged_layers[j];
+    EXPECT_EQ(m.name, net->layers()[j]->name());
+    EXPECT_GE(m.launches, summary.requests);  // >= 1 launch per request
+    EXPECT_EQ(m.cost.launches, m.launches);
+    merged_total += m.modeled_ms;
+  }
+  EXPECT_NEAR(merged_total, total, 1e-9);
+}
+
+TEST(BatchRunner, WarmBatchesStopAllocating) {
+  auto net = quick_net(73);
+  auto device = testing::test_device();
+  core::Engine engine(device);
+  serve::BatchRunner runner(engine, *net, 4);
+
+  runner.run(make_inputs(8, 1000));  // warm-up batch mints the arenas
+  const int created = engine.arena_pool().created();
+  EXPECT_LE(created, 4);
+  const std::int64_t warm_bytes = device->allocated_bytes();
+
+  for (int round = 0; round < 2; ++round) {
+    runner.run(make_inputs(8, 1100 + static_cast<std::uint64_t>(round)));
+    EXPECT_EQ(engine.arena_pool().created(), created) << "round " << round;
+    EXPECT_EQ(device->allocated_bytes(), warm_bytes) << "round " << round;
+  }
+}
+
+TEST(BatchRunner, EmptyBatchIsANoop) {
+  auto net = quick_net(74);
+  core::Engine engine(testing::test_device());
+  serve::BatchRunner runner(engine, *net, 2);
+  const auto summary = runner.run({});
+  EXPECT_EQ(summary.requests, 0);
+  EXPECT_TRUE(summary.results.empty());
+  EXPECT_TRUE(summary.merged_layers.empty());
+}
+
+TEST(BatchRunner, PropagatesRequestErrors) {
+  auto net = quick_net(75);
+  core::Engine engine(testing::test_device());
+  serve::BatchRunner runner(engine, *net, 2);
+
+  // Request 2 feeds a float tensor where the input conv expects a U8 image;
+  // its InvalidArgument must surface on the caller thread after the batch.
+  auto inputs = make_inputs(4, 1200);
+  inputs[2] = core::Blob{FloatTensor(Shape{1, 32, 32, 3}, Layout::kNHWC)};
+  EXPECT_THROW(runner.run(std::move(inputs)), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace phonebit
