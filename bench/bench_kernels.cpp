@@ -158,6 +158,41 @@ void bench_conv(const ConvSpec& spec, const core::EngineOptions& opts,
   out.push_back({"bconv", spec.tag + "/" + variant, host, modeled});
 }
 
+/// End-to-end modeled+host time of whole zoo models through the COMPILED
+/// path (Network::compile + ExecutionPlan::run): the regression gate for
+/// the plan subsystem itself. Modeled time is deterministic, so these
+/// records are tracked in BENCH_kernels.json like the kernel records.
+void bench_model_e2e(std::vector<bench::BenchRecord>& out) {
+  auto device = std::make_shared<oclsim::Device>(
+      oclsim::DeviceProfile::snapdragon855());
+
+  const auto run_model = [&](const std::string& tag,
+                             const core::FloatModel& trained,
+                             const U8Tensor& image) {
+    auto net = core::convert_to_phonebit(trained);
+    core::Engine engine(device);
+    const core::ExecutionPlan plan = net->compile(
+        engine, core::BlobDesc{core::BlobKind::kU8, image.shape()});
+    auto session = engine.create_session();
+    double modeled = 0.0;
+    const double host = best_ms(5, [&] {
+      session.reset_profile();
+      const auto result = plan.run(session, core::Blob{image});
+      modeled = result.modeled_ms;
+    });
+    out.push_back({"model_e2e", tag + "/compiled", host, modeled});
+  };
+
+  run_model("quicknet",
+            core::FloatModel::random(models::quicknet(10), 42),
+            datasets::cifar_like_image(7));
+  models::ZooOptions zoo;
+  zoo.shrink_log2 = 3;
+  const auto yolo = core::FloatModel::random(models::yolov2_tiny(zoo), 21);
+  run_model("yolov2tiny-s3", yolo,
+            datasets::voc_like_image(yolo.spec.input.h, 9));
+}
+
 /// CI regression gate (`--check baseline.json [tolerance_pct]`): re-runs the
 /// tracked records and fails when any fresh *modeled* time regresses beyond
 /// the noise threshold vs the checked-in baseline. Modeled time is a pure
@@ -238,12 +273,17 @@ int main(int argc, char** argv) {
       {"7x7/s2/p3/56x56/c64->64", 56, 64, 64, 7, 2, 3},
   };
   for (const auto& spec : specs) {
-    core::EngineOptions fast;  // engine defaults: row-fused interior path
+    core::EngineOptions fast;  // engine defaults: row-fused interior path,
+                               // pack width keyed on the fused span
     bench_conv(spec, fast, "fast", records);
+    core::EngineOptions ckey;  // pack-width-key ablation: C_in keying
+    ckey.span_keyed_pack_width = false;
+    bench_conv(spec, ckey, "fast-ckey", records);
     core::EngineOptions taps;  // pre-tentpole inner loop, kept for ablation
     taps.interior_split = false;
     bench_conv(spec, taps, "taps", records);
   }
+  bench_model_e2e(records);
 
   std::printf("%-14s %-30s %12s %12s\n", "op", "geometry", "host_ms",
               "modeled_ms");

@@ -53,6 +53,9 @@ int main(int argc, char** argv) {
               summary.throughput_rps);
   std::printf("  modeled latency %8.4f ms mean, %.4f ms max\n",
               summary.mean_modeled_ms, summary.max_modeled_ms);
+  std::printf("  tail latency    p50 %.4f / p95 %.4f / p99 %.4f ms modeled\n",
+              summary.p50_modeled_ms, summary.p95_modeled_ms,
+              summary.p99_modeled_ms);
   std::printf("  arena pool      %d warm arena%s, %+d bytes since warm-up\n",
               warm_arenas, warm_arenas == 1 ? "" : "s",
               static_cast<int>(device->allocated_bytes() - warm_bytes));

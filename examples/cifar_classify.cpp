@@ -42,9 +42,10 @@ int main(int argc, char** argv) {
   auto device = std::make_shared<oclsim::Device>(
       oclsim::DeviceProfile::snapdragon855());
   core::Engine engine(device);
+  const core::ExecutionPlan plan = net->compile(
+      engine, core::BlobDesc{core::BlobKind::kU8, image.shape()});
   auto session = engine.create_session();
-  auto ctx = session.context();
-  const auto result = net->forward(ctx, core::Blob{image});
+  const auto result = plan.run(session, core::Blob{image});
   const FloatTensor& logits = result.float_output();
 
   // Top-5 of the 1000-way head.

@@ -4,16 +4,23 @@
 //   3. "upload" it (save/load the .pbm file),
 //   4. build the engine on a simulated phone SoC and run inference.
 //
-// Build & run:  ./build/examples/quickstart
+// Build & run:  ./build/quickstart
+//
+// `quickstart plan_dump` skips inference and prints the compiled
+// ExecutionPlan instead (per-step kernel variants, activation slots, exact
+// scratch peak) — the ctest smoke target runs this mode.
 #include <cstdio>
+#include <cstring>
 #include <memory>
 
 #include "core/phonebit.hpp"
 #include "datasets/synthetic.hpp"
 #include "models/zoo.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace phonebit;
+  const bool plan_dump =
+      argc > 1 && std::strcmp(argv[1], "plan_dump") == 0;
 
   // (1) A trained model. In a real deployment this comes from a BNN
   // training framework; here it is a deterministic synthetic checkpoint.
@@ -34,20 +41,27 @@ int main() {
   core::save_model(*net, "quicknet.pbm");
   auto deployed = core::load_model("quicknet.pbm");
 
-  // (4) Run on the simulated Snapdragon 855 (Adreno 640). The Engine holds
-  // the immutable host state (device, options, warm-arena pool); each
-  // inference stream checks out an ExecSession with its own command queue
-  // and scratch arena, so any number of sessions can forward the same
-  // (const) network concurrently. forward() returns everything the run
-  // produced — output blob plus the per-layer profiling report.
+  // (4) Compile for the simulated Snapdragon 855 (Adreno 640), then run.
+  // compile() walks the pipeline once — shape inference, buffer-liveness
+  // slot assignment, ahead-of-time kernel selection — and the resulting
+  // ExecutionPlan is immutable: any number of sessions can run it
+  // concurrently with zero per-forward re-planning or arena growth.
   auto device = std::make_shared<oclsim::Device>(
       oclsim::DeviceProfile::snapdragon855());
   core::Engine engine(device);
-  auto session = engine.create_session();
-  auto ctx = session.context();
 
   const U8Tensor image = datasets::cifar_like_image(/*seed=*/7);
-  const auto result = deployed->forward(ctx, core::Blob{image});
+  const core::ExecutionPlan plan = deployed->compile(
+      engine, core::BlobDesc{core::BlobKind::kU8, image.shape()});
+
+  if (plan_dump) {
+    std::printf("%s", plan.dump().c_str());
+    std::remove("quicknet.pbm");
+    return 0;
+  }
+
+  auto session = engine.create_session();
+  const auto result = plan.run(session, core::Blob{image});
   const FloatTensor& scores = result.float_output();
 
   std::printf("\nclass scores:\n");

@@ -82,6 +82,31 @@ std::int64_t xor_popcount_2d_wide(const std::uint64_t* a,
   return simd::reduce_add(acc) + tail;
 }
 
+/// AND-flavoured whole-window kernel (the bit-plane first layer's fused
+/// inner loop): identical schedule to xor_popcount_2d_wide.
+template <int Lanes>
+std::int64_t and_popcount_2d_wide(const std::uint64_t* a,
+                                  std::int64_t a_stride,
+                                  const std::uint64_t* b,
+                                  std::int64_t b_stride,
+                                  std::int64_t row_words, std::int64_t rows) {
+  using V = simd::vec<std::uint64_t, Lanes>;
+  V acc{};
+  std::int64_t tail = 0;
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const std::uint64_t* pa = a + r * a_stride;
+    const std::uint64_t* pb = b + r * b_stride;
+    std::int64_t i = 0;
+    for (; i + Lanes <= row_words; i += Lanes) {
+      const V va = simd::vload<std::uint64_t, Lanes>(0, pa + i);
+      const V vb = simd::vload<std::uint64_t, Lanes>(0, pb + i);
+      simd::popcount_accumulate(acc, va & vb);
+    }
+    for (; i < row_words; ++i) tail += popcount(pa[i] & pb[i]);
+  }
+  return simd::reduce_add(acc) + tail;
+}
+
 template <int Lanes>
 std::int64_t and_popcount_wide(const std::uint64_t* a, const std::uint64_t* b,
                                std::int64_t nwords) {
@@ -99,6 +124,35 @@ std::int64_t and_popcount_wide(const std::uint64_t* a, const std::uint64_t* b,
 }
 
 }  // namespace
+
+PackWidth select_pack_width_for_span(std::int64_t span_words) noexcept {
+  // instrs(W) = floor(span/lanes) vector ops + (span % lanes) scalar tail
+  // ops; sub-word granularities only split words into more instructions, so
+  // candidates start at one word. Widths whose lane count overshoots the
+  // whole span never issue a vector op and are skipped.
+  PackWidth best = PackWidth::k64;
+  std::int64_t best_instrs = span_words;
+  for (const PackWidth w : {PackWidth::k128, PackWidth::k256, PackWidth::k512,
+                            PackWidth::k1024}) {
+    const std::int64_t lanes = bits(w) / static_cast<int>(kWordBits);
+    if (lanes > span_words) break;
+    const std::int64_t instrs = span_words / lanes + span_words % lanes;
+    if (instrs <= best_instrs) {
+      best = w;
+      best_instrs = instrs;
+    }
+  }
+  return best;
+}
+
+PackWidth cap_pack_width_to_span(PackWidth w,
+                                 std::int64_t span_words) noexcept {
+  while (bits(w) / static_cast<int>(kWordBits) > span_words &&
+         w != PackWidth::k64) {
+    w = static_cast<PackWidth>(bits(w) / 2);
+  }
+  return w;
+}
 
 PackWidth select_pack_width(std::int64_t channels) noexcept {
   // Widest granularity whose span still fits the packed channel run of one
@@ -191,6 +245,37 @@ std::int64_t xor_popcount_2d(const std::uint64_t* a, std::int64_t a_stride,
       std::int64_t total = 0;
       for (std::int64_t r = 0; r < rows; ++r) {
         total += xor_popcount(a + r * a_stride, b + r * b_stride, row_words,
+                              w);
+      }
+      return total;
+    }
+  }
+}
+
+std::int64_t and_popcount_2d(const std::uint64_t* a, std::int64_t a_stride,
+                             const std::uint64_t* b, std::int64_t b_stride,
+                             std::int64_t row_words, std::int64_t rows,
+                             PackWidth w) {
+  PB_CHECK(row_words >= 0 && rows >= 0, "negative span geometry");
+  switch (w) {
+    case PackWidth::k128:
+      return and_popcount_2d_wide<2>(a, a_stride, b, b_stride, row_words,
+                                     rows);
+    case PackWidth::k256:
+      return and_popcount_2d_wide<4>(a, a_stride, b, b_stride, row_words,
+                                     rows);
+    case PackWidth::k512:
+      return and_popcount_2d_wide<8>(a, a_stride, b, b_stride, row_words,
+                                     rows);
+    case PackWidth::k1024:
+      return and_popcount_2d_wide<16>(a, a_stride, b, b_stride, row_words,
+                                      rows);
+    default: {
+      // Narrow granularities have no cross-row accumulator to carry; reuse
+      // the per-span kernels row by row.
+      std::int64_t total = 0;
+      for (std::int64_t r = 0; r < rows; ++r) {
+        total += and_popcount(a + r * a_stride, b + r * b_stride, row_words,
                               w);
       }
       return total;

@@ -34,6 +34,22 @@ constexpr int bits(PackWidth w) noexcept { return static_cast<int>(w); }
 /// overshoot one pixel's packed channel span.
 PackWidth select_pack_width(std::int64_t channels) noexcept;
 
+/// Granularity for a row-fused span of `span_words` 64-bit words: the width
+/// minimizing the per-row instruction count (full vectors + scalar tail
+/// words), ties to the wider vector. Unlike the channel rule this accounts
+/// for the tail — a 12-word span runs 3 exact ulong4 ops rather than one
+/// ulong8 op plus 4 scalar tail words (the bench_kernels `/fast-ckey`
+/// ablation keyed the decision).
+PackWidth select_pack_width_for_span(std::int64_t span_words) noexcept;
+
+/// Caps `w` to the widest granularity whose lane count fits `span_words`
+/// (floor one word): a vector wider than the whole span executes as the
+/// 64-bit scalar tail loop, so cost models must not charge it at the wide
+/// rate. Span-keyed selection never overshoots — only fixed-width
+/// ablations hit the cap.
+PackWidth cap_pack_width_to_span(PackWidth w,
+                                 std::int64_t span_words) noexcept;
+
 /// popcount(xor(a, b)) over `nwords` 64-bit words, processed at granularity
 /// `w`. With the ±1 encoding this counts sign mismatches, so the Eqn-1 dot
 /// is `len - 2 * xor_popcount(...)`.
@@ -55,6 +71,15 @@ std::int64_t and_popcount(const std::uint64_t* a, const std::uint64_t* b,
 /// Wide granularities keep a vector lane accumulator across all rows and
 /// reduce once at the end (simd::popcount_accumulate).
 std::int64_t xor_popcount_2d(const std::uint64_t* a, std::int64_t a_stride,
+                             const std::uint64_t* b, std::int64_t b_stride,
+                             std::int64_t row_words, std::int64_t rows,
+                             PackWidth w);
+
+/// AND-flavoured strided multi-span accumulate — the same whole-window
+/// reduction for the 0/1 bit-plane first layer (Eqn 2): one call covers all
+/// kh rows of a plane window against the contiguous filter rows, lane
+/// accumulator carried across rows.
+std::int64_t and_popcount_2d(const std::uint64_t* a, std::int64_t a_stride,
                              const std::uint64_t* b, std::int64_t b_stride,
                              std::int64_t row_words, std::int64_t rows,
                              PackWidth w);

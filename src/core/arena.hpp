@@ -56,6 +56,19 @@ class ScratchArena {
     return p;
   }
 
+  /// Pre-grows the typed pools to EXACTLY the given element counts (no
+  /// geometric rounding), so a compiled plan's liveness prediction matches
+  /// capacity_bytes() byte-for-byte on a fresh arena. Idempotent when the
+  /// pools already cover the request; subsequent i32()/u8()/words() calls
+  /// within the reserved sizes never grow. Counted as growth events like
+  /// any other growth (warm-up, not hot path).
+  void reserve(std::int64_t i32_elems, std::int64_t u8_elems,
+               std::int64_t word_elems) {
+    reserve_pool(i32_, i32_elems);
+    reserve_pool(u8_, u8_elems);
+    reserve_pool(words_, word_elems);
+  }
+
   /// Number of times any pool had to grow since construction. Stable after
   /// warm-up: the no-allocation-on-the-hot-path test asserts this does not
   /// move across repeated forwards.
@@ -81,6 +94,19 @@ class ScratchArena {
       ++growth_events_;
     }
     return pool.data();
+  }
+
+  template <typename T>
+  void reserve_pool(std::vector<T>& pool, std::int64_t n) {
+    PB_CHECK(n >= 0, "negative scratch reservation");
+    const auto need = static_cast<std::size_t>(n);
+    if (pool.size() >= need) return;
+    const std::int64_t delta =
+        static_cast<std::int64_t>((need - pool.size()) * sizeof(T));
+    if (device_ != nullptr) device_->allocate(delta);
+    accounted_bytes_ += delta;
+    pool.resize(need);
+    ++growth_events_;
   }
 
   oclsim::Device* device_;

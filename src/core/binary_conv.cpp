@@ -44,18 +44,85 @@ std::int64_t BinaryConv2d::param_count() const {
   return s.n * s.h * s.w * s.c + 5 * s.n;  // weights + (gamma,beta,mu,sigma,b)
 }
 
-Blob BinaryConv2d::forward(ExecContext& ctx, const Blob& in) const {
+const PackedTensor& BinaryConv2d::checked_input(const Blob& in) const {
   const auto* packed = std::get_if<PackedTensor>(&in);
   PB_CHECK(packed != nullptr,
            name_ << ": binary conv expects a packed binary input");
   PB_CHECK(packed->shape().c == in_channels(),
            name_ << ": input has " << packed->shape().c << " channels, filter "
                  << in_channels());
-  if (!ctx.opts.fuse_bn_binarize) return forward_unfused(ctx, *packed);
-  const bool integrate = ctx.opts.integrate_packing &&
-                         in_channels() <= ctx.opts.packing_channel_threshold &&
-                         out_channels() % 8 == 0;
-  return forward_fused(ctx, *packed, integrate);
+  return *packed;
+}
+
+KernelVariant BinaryConv2d::select_variant(const Shape& in_shape,
+                                           const EngineOptions& opts) const {
+  KernelVariant v;
+  v.interior_split = opts.interior_split;
+  v.pack_width = opts.conv_pack_width(in_shape.c, geom_.kernel_w);
+  const std::int64_t ow = geom_.out_w(in_shape.w);
+  v.tile_ow = opts.conv_tile_ow <= 0 ? ow : std::min(opts.conv_tile_ow, ow);
+  if (!opts.fuse_bn_binarize) {
+    v.path = KernelVariant::Path::kConvUnfused;
+    v.kernel = "bconv_raw+bn_binarize+pack";
+  } else if (opts.integrate_packing &&
+             in_channels() <= opts.packing_channel_threshold &&
+             out_channels() % 8 == 0) {
+    v.path = KernelVariant::Path::kConvFused;
+    v.kernel = "bconv_fused";
+  } else {
+    v.path = KernelVariant::Path::kConvSeparatePack;
+    v.kernel = "bconv_nopack+pack";
+  }
+  return v;
+}
+
+void BinaryConv2d::plan(PlanContext& pc) const {
+  const BlobDesc& in = pc.in();
+  PB_CHECK(in.kind == BlobKind::kPacked,
+           name_ << ": binary conv expects a packed binary input, got "
+                 << in.str());
+  PB_CHECK(in.shape.c == in_channels(),
+           name_ << ": input has " << in.shape.c << " channels, filter "
+                 << in_channels());
+  const std::int64_t oh = geom_.out_h(in.shape.h);
+  const std::int64_t ow = geom_.out_w(in.shape.w);
+  KernelVariant v = select_variant(in.shape, pc.opts());
+  // Scratch liveness mirrors execute() exactly: the legacy zeros span only
+  // without the interior split, the byte map for separate packing, and the
+  // materialized int32 sums for the no-integration pipeline.
+  const std::int64_t out_count = in.shape.n * oh * ow * out_channels();
+  if (!v.interior_split) {
+    pc.need_words(ceil_div(in.shape.c, bitpack::kWordBits));
+  }
+  if (v.path == KernelVariant::Path::kConvSeparatePack) {
+    pc.need_u8(out_count);
+  } else if (v.path == KernelVariant::Path::kConvUnfused) {
+    pc.need_i32(out_count);
+    pc.need_u8(out_count);
+  }
+  pc.select(std::move(v));
+  pc.produce(BlobDesc{BlobKind::kPacked,
+                      Shape{in.shape.n, oh, ow, out_channels()}});
+}
+
+Blob BinaryConv2d::forward(ExecContext& ctx, const Blob& in) const {
+  const PackedTensor& packed = checked_input(in);
+  if (ctx.stats != nullptr) ++ctx.stats->variant_selections;
+  return execute(ctx, packed, select_variant(packed.shape(), ctx.opts));
+}
+
+Blob BinaryConv2d::run(ExecContext& ctx, const Blob& in,
+                       const PlanStep& step) const {
+  return execute(ctx, checked_input(in), step.variant);
+}
+
+PackedTensor BinaryConv2d::execute(ExecContext& ctx, const PackedTensor& in,
+                                   const KernelVariant& v) const {
+  if (v.path == KernelVariant::Path::kConvUnfused) {
+    return forward_unfused(ctx, in, v);
+  }
+  return forward_fused(ctx, in, v,
+                       v.path == KernelVariant::Path::kConvFused);
 }
 
 namespace {
@@ -85,13 +152,11 @@ ConvDims make_dims(const PackedTensor& in, const PackedTensor& weights,
   d.ph = g.pad_h;
   d.pw = g.pad_w;
   d.words = in.words_per_pixel();
-  // Interior rows: oy*sh - ph >= 0 and oy*sh - ph + kh <= ih.
-  d.y0 = std::clamp<std::int64_t>(ceil_div(d.ph, d.sh), 0, d.oh);
-  const std::int64_t ymax = d.ih - d.kh + d.ph;
-  d.y1 = ymax < 0 ? d.y0 : std::clamp<std::int64_t>(ymax / d.sh + 1, d.y0, d.oh);
-  d.x0 = std::clamp<std::int64_t>(ceil_div(d.pw, d.sw), 0, d.ow);
-  const std::int64_t xmax = d.iw - d.kw + d.pw;
-  d.x1 = xmax < 0 ? d.x0 : std::clamp<std::int64_t>(xmax / d.sw + 1, d.x0, d.ow);
+  const InteriorBox box = interior_box(g, d.ih, d.iw, d.oh, d.ow);
+  d.y0 = box.y0;
+  d.y1 = box.y1;
+  d.x0 = box.x0;
+  d.x1 = box.x1;
   return d;
 }
 
@@ -189,10 +254,21 @@ inline std::int64_t window_mismatches(const PackedTensor& in,
   return window_mismatches_border(in, weights, d, n, oy, ox, co, pw);
 }
 
-/// Output-x tile width for the conv kernels (0 = whole row per work item).
-inline std::int64_t tile_width(const ConvDims& d, const EngineOptions& opts) {
-  const std::int64_t t = opts.conv_tile_ow;
-  return t <= 0 ? d.ow : std::min(t, d.ow);
+/// Bit-lanes charged per conv window at granularity `pw`. The row-fused
+/// path streams kh spans of kw*words words with a scalar tail — no lane is
+/// ever wasted (span-keyed selection never overshoots the span), so it is
+/// charged the exact word bits. The per-tap path pads each of the kh*kw
+/// taps to the vector width (narrow layers waste the tail lanes).
+inline double window_bitops(const ConvDims& d, bitpack::PackWidth pw,
+                            bool split) {
+  if (split) {
+    const std::int64_t row_bits = d.kw * d.words * bitpack::kWordBits;
+    return 2.0 * static_cast<double>(d.kh) * static_cast<double>(row_bits);
+  }
+  const std::int64_t pwbits = bitpack::bits(pw);
+  const std::int64_t tap_bits = ceil_div(d.c_in, pwbits) * pwbits;
+  return 2.0 * static_cast<double>(d.kh * d.kw) *
+         static_cast<double>(tap_bits);
 }
 
 /// Work tally of the window-accumulation portion shared by every conv path
@@ -225,32 +301,31 @@ void charge_windows(KernelCost& cost, const ConvDims& d,
 
 PackedTensor BinaryConv2d::forward_fused(ExecContext& ctx,
                                          const PackedTensor& in,
+                                         const KernelVariant& v,
                                          bool integrate_packing) const {
   const ConvDims d = make_dims(in, weights_, geom_);
   PackedTensor out(Shape{d.n, d.oh, d.ow, d.c_out});
-  const bool split = ctx.opts.interior_split;
+  const bool split = v.interior_split;
   const std::uint64_t* zeros =
       split ? nullptr : ctx.arena.zero_words(d.words);
-  const auto pw = ctx.opts.pack_width_for(d.c_in);
+  const auto pw = v.pack_width;
   const bool branch_free = ctx.opts.branch_free_binarize;
   const std::int64_t len = d.kh * d.kw * d.c_in;
-  const std::int64_t tile = tile_width(d, ctx.opts);
+  const std::int64_t tile = std::min(v.tile_ow, d.ow);
   const std::int64_t tiles_x = ceil_div(d.ow, tile);
   const FoldedBatchNorm& fb = folded_;
 
-  // Work tally (see costs.hpp): xor + popcount bit-lanes per window tap,
+  // Work tally (see costs.hpp): xor + popcount bit-lanes per window span,
   // padded to the processing vector width (narrow layers waste the tail
   // lanes of one vector, not a whole 64-bit word), plus window accumulation,
   // span setups and the threshold test per output value.
   const double outputs = static_cast<double>(d.n) * d.oh * d.ow * d.c_out;
-  const double tap_bits = static_cast<double>(
-      ceil_div(d.c_in, bitpack::bits(pw)) * bitpack::bits(pw));
   KernelCost cost;
-  cost.bitop_bits =
-      2.0 * outputs * static_cast<double>(d.kh * d.kw) * tap_bits;
+  cost.bitop_bits = outputs * window_bitops(d, pw, split);
   charge_windows(cost, d, ctx.opts, split);
   cost.scalar_ops += outputs * 4.0;  // threshold compare + byte/bit insert
-  cost.pack_width_bits = bitpack::bits(pw);
+  cost.pack_width_bits = bitpack::bits(
+      split ? bitpack::cap_pack_width_to_span(pw, d.kw * d.words) : pw);
   cost.bytes_read = static_cast<double>(in.bytes() + weights_.bytes()) +
                     static_cast<double>(d.c_out) * 5.0;
   cost.coalescing = costs::coalescing(ctx.opts);
@@ -348,18 +423,19 @@ PackedTensor BinaryConv2d::forward_fused(ExecContext& ctx,
 }
 
 PackedTensor BinaryConv2d::forward_unfused(ExecContext& ctx,
-                                           const PackedTensor& in) const {
+                                           const PackedTensor& in,
+                                           const KernelVariant& v) const {
   // Path C — the pre-integration pipeline: three kernels and two
   // materialized intermediates (what §V-B's fusion eliminates). Both
   // intermediates live in the engine arena.
   const ConvDims d = make_dims(in, weights_, geom_);
   PackedTensor out(Shape{d.n, d.oh, d.ow, d.c_out});
-  const bool split = ctx.opts.interior_split;
+  const bool split = v.interior_split;
   const std::uint64_t* zeros =
       split ? nullptr : ctx.arena.zero_words(d.words);
-  const auto pw = ctx.opts.pack_width_for(d.c_in);
+  const auto pw = v.pack_width;
   const std::int64_t len = d.kh * d.kw * d.c_in;
-  const std::int64_t tile = tile_width(d, ctx.opts);
+  const std::int64_t tile = std::min(v.tile_ow, d.ow);
   const std::int64_t tiles_x = ceil_div(d.ow, tile);
   const double outputs = static_cast<double>(d.n) * d.oh * d.ow * d.c_out;
   const std::int64_t out_count = d.n * d.oh * d.ow * d.c_out;
@@ -367,12 +443,10 @@ PackedTensor BinaryConv2d::forward_unfused(ExecContext& ctx,
   // Kernel 1: raw binary convolution, int32 sums out.
   std::int32_t* sums = ctx.arena.i32(out_count);
   KernelCost conv_cost;
-  conv_cost.bitop_bits =
-      2.0 * outputs * static_cast<double>(d.kh * d.kw) *
-      static_cast<double>(ceil_div(d.c_in, bitpack::bits(pw)) *
-                          bitpack::bits(pw));
+  conv_cost.bitop_bits = outputs * window_bitops(d, pw, split);
   charge_windows(conv_cost, d, ctx.opts, split);
-  conv_cost.pack_width_bits = bitpack::bits(pw);
+  conv_cost.pack_width_bits = bitpack::bits(
+      split ? bitpack::cap_pack_width_to_span(pw, d.kw * d.words) : pw);
   conv_cost.bytes_read = static_cast<double>(in.bytes() + weights_.bytes());
   conv_cost.bytes_written = outputs * 4.0;
   conv_cost.coalescing = costs::coalescing(ctx.opts);

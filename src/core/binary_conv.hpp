@@ -34,6 +34,7 @@
 #include "bitpack/packed_tensor.hpp"
 #include "core/bn_fold.hpp"
 #include "core/layer.hpp"
+#include "core/plan.hpp"
 
 namespace phonebit::core {
 
@@ -48,6 +49,9 @@ class BinaryConv2d final : public Layer {
 
   const std::string& name() const override { return name_; }
   Blob forward(ExecContext& ctx, const Blob& in) const override;
+  void plan(PlanContext& pc) const override;
+  Blob run(ExecContext& ctx, const Blob& in,
+           const PlanStep& step) const override;
 
   std::int64_t param_bytes() const override;
   std::int64_t param_count() const override;
@@ -61,11 +65,25 @@ class BinaryConv2d final : public Layer {
   const std::vector<float>& bias() const noexcept { return bias_; }
 
  private:
+  /// Ahead-of-time kernel selection from input geometry + options: the
+  /// execution path (A/B/C), the pack width (span- or channel-keyed), the
+  /// interior split and the resolved output-x tile. Called once at compile;
+  /// the uncompiled forward() re-derives it per call.
+  KernelVariant select_variant(const Shape& in_shape,
+                               const EngineOptions& opts) const;
+  /// Validated input extraction shared by forward()/run().
+  const bitpack::PackedTensor& checked_input(const Blob& in) const;
+
+  bitpack::PackedTensor execute(ExecContext& ctx,
+                                const bitpack::PackedTensor& in,
+                                const KernelVariant& v) const;
   bitpack::PackedTensor forward_fused(ExecContext& ctx,
                                       const bitpack::PackedTensor& in,
+                                      const KernelVariant& v,
                                       bool integrate_packing) const;
   bitpack::PackedTensor forward_unfused(ExecContext& ctx,
-                                        const bitpack::PackedTensor& in) const;
+                                        const bitpack::PackedTensor& in,
+                                        const KernelVariant& v) const;
 
   std::string name_;
   bitpack::PackedTensor weights_;

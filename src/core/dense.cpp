@@ -35,10 +35,50 @@ std::int64_t BinaryDense::param_count() const {
   return units() * in_features() + 5 * units();
 }
 
-Blob BinaryDense::forward(ExecContext& ctx, const Blob& in) const {
+void BinaryDense::plan(PlanContext& pc) const {
+  const BlobDesc& in = pc.in();
+  PB_CHECK(in.kind == BlobKind::kPacked,
+           name_ << ": binary dense expects packed input, got " << in.str());
+  const std::int64_t features = in.shape.h * in.shape.w * in.shape.c;
+  PB_CHECK(features == in_features(), name_ << ": input features " << features
+                                            << " != " << in_features());
+  KernelVariant v;
+  v.kernel = "bdense_fused";
+  v.pack_width = dense_pack_width(pc.opts());
+  pc.select(std::move(v));
+  pc.produce(BlobDesc{BlobKind::kPacked, Shape{in.shape.n, 1, 1, units()}});
+}
+
+bitpack::PackWidth BinaryDense::dense_pack_width(
+    const EngineOptions& opts) const {
+  // The GEMV streams the whole flattened feature vector per unit — one
+  // fused span of `words_per_pixel` words, so span keying applies exactly
+  // as in the row-fused convs.
+  return opts.pack_width_for_span(in_features(), weights_.words_per_pixel());
+}
+
+const PackedTensor& BinaryDense::checked_input(const Blob& in) const {
   const auto* packed = std::get_if<PackedTensor>(&in);
   PB_CHECK(packed != nullptr, name_ << ": binary dense expects packed input");
-  const PackedTensor flat = bitpack::flatten_packed(*packed);
+  return *packed;
+}
+
+Blob BinaryDense::forward(ExecContext& ctx, const Blob& in) const {
+  const PackedTensor& packed = checked_input(in);
+  if (ctx.stats != nullptr) ++ctx.stats->variant_selections;
+  KernelVariant v;
+  v.pack_width = dense_pack_width(ctx.opts);
+  return execute(ctx, packed, v);
+}
+
+Blob BinaryDense::run(ExecContext& ctx, const Blob& in,
+                      const PlanStep& step) const {
+  return execute(ctx, checked_input(in), step.variant);
+}
+
+PackedTensor BinaryDense::execute(ExecContext& ctx, const PackedTensor& in,
+                                  const KernelVariant& v) const {
+  const PackedTensor flat = bitpack::flatten_packed(in);
   PB_CHECK(flat.shape().c == in_features(),
            name_ << ": input features " << flat.shape().c << " != "
                  << in_features());
@@ -47,7 +87,7 @@ Blob BinaryDense::forward(ExecContext& ctx, const Blob& in) const {
   const std::int64_t u = units();
   const std::int64_t words = weights_.words_per_pixel();
   const std::int64_t groups = u / 8;
-  const auto pw = ctx.opts.pack_width_for(in_features());
+  const auto pw = v.pack_width;
   const bool branch_free = ctx.opts.branch_free_binarize;
   PackedTensor out(Shape{n, 1, 1, u});
   const FoldedBatchNorm& fb = folded_;
@@ -107,6 +147,19 @@ std::int64_t FloatDense::param_bytes() const {
 
 std::int64_t FloatDense::param_count() const {
   return units() * in_features() + static_cast<std::int64_t>(bias_.size());
+}
+
+void FloatDense::plan(PlanContext& pc) const {
+  const BlobDesc& in = pc.in();
+  PB_CHECK(in.kind == BlobKind::kPacked || in.kind == BlobKind::kFloat,
+           name_ << ": expects packed or float input, got " << in.str());
+  const std::int64_t features = in.shape.h * in.shape.w * in.shape.c;
+  PB_CHECK(features == in_features(), name_ << ": input features " << features
+                                            << " != " << in_features());
+  KernelVariant v;
+  v.kernel = in.kind == BlobKind::kPacked ? "unpack+fdense_dot" : "fdense_dot";
+  pc.select(std::move(v));
+  pc.produce(BlobDesc{BlobKind::kFloat, Shape{in.shape.n, 1, 1, units()}});
 }
 
 Blob FloatDense::forward(ExecContext& ctx, const Blob& in) const {

@@ -13,6 +13,7 @@
 #include "bitpack/packed_tensor.hpp"
 #include "core/bn_fold.hpp"
 #include "core/layer.hpp"
+#include "core/plan.hpp"
 
 namespace phonebit::core {
 
@@ -26,6 +27,9 @@ class BinaryDense final : public Layer {
 
   const std::string& name() const override { return name_; }
   Blob forward(ExecContext& ctx, const Blob& in) const override;
+  void plan(PlanContext& pc) const override;
+  Blob run(ExecContext& ctx, const Blob& in,
+           const PlanStep& step) const override;
 
   std::int64_t param_bytes() const override;
   std::int64_t param_count() const override;
@@ -36,6 +40,13 @@ class BinaryDense final : public Layer {
   const FoldedBatchNorm& folded_bn() const noexcept { return folded_; }
 
  private:
+  /// Span-keyed granularity of the GEMV's fused feature span.
+  bitpack::PackWidth dense_pack_width(const EngineOptions& opts) const;
+  const bitpack::PackedTensor& checked_input(const Blob& in) const;
+  bitpack::PackedTensor execute(ExecContext& ctx,
+                                const bitpack::PackedTensor& in,
+                                const KernelVariant& v) const;
+
   std::string name_;
   bitpack::PackedTensor weights_;
   std::vector<BatchNormParams> bn_;
@@ -52,6 +63,7 @@ class FloatDense final : public Layer {
 
   const std::string& name() const override { return name_; }
   Blob forward(ExecContext& ctx, const Blob& in) const override;
+  void plan(PlanContext& pc) const override;
 
   std::int64_t param_bytes() const override;
   std::int64_t param_count() const override;

@@ -33,7 +33,7 @@ class ExecSession {
   ExecSession(ExecSession&& other) noexcept
       : pool_(std::exchange(other.pool_, nullptr)),
         queue_(std::move(other.queue_)), arena_(std::move(other.arena_)),
-        opts_(other.opts_) {}
+        opts_(other.opts_), stats_(other.stats_) {}
   ExecSession& operator=(ExecSession&&) = delete;
   ExecSession(const ExecSession&) = delete;
   ExecSession& operator=(const ExecSession&) = delete;
@@ -44,7 +44,9 @@ class ExecSession {
 
   /// Execution context for Network::forward / Layer::forward. References
   /// session-owned state: must not outlive this session.
-  ExecContext context() { return ExecContext{*queue_, opts_, *arena_}; }
+  ExecContext context() {
+    return ExecContext{*queue_, opts_, *arena_, &stats_};
+  }
 
   /// The session's private command queue (profiling event log).
   oclsim::CommandQueue& queue() noexcept { return *queue_; }
@@ -57,6 +59,10 @@ class ExecSession {
 
   /// Clears the session's profiling event log.
   void reset_profile() { queue_->reset_events(); }
+
+  /// Compile/selection counters of every forward driven through this
+  /// session (the zero-re-selection contract is asserted on these).
+  const SessionStats& stats() const noexcept { return stats_; }
 
  private:
   friend class Engine;
@@ -71,6 +77,7 @@ class ExecSession {
   std::unique_ptr<oclsim::CommandQueue> queue_;
   std::unique_ptr<ScratchArena> arena_;
   const EngineOptions opts_;  // snapshot — engine mutation can't reach it
+  SessionStats stats_{};
 };
 
 /// The engine: device + options + arena pool. Immutable during inference —

@@ -35,6 +35,21 @@ std::int64_t FloatConv2d::param_count() const {
   return s.n * s.h * s.w * s.c + static_cast<std::int64_t>(bias_.size());
 }
 
+void FloatConv2d::plan(PlanContext& pc) const {
+  const BlobDesc& in = pc.in();
+  PB_CHECK(in.kind == BlobKind::kPacked || in.kind == BlobKind::kFloat,
+           name_ << ": expects packed or float input, got " << in.str());
+  PB_CHECK(in.shape.c == in_channels(),
+           name_ << ": input has " << in.shape.c << " channels, filter "
+                 << in_channels());
+  KernelVariant v;
+  v.kernel = in.kind == BlobKind::kPacked ? "unpack+fconv_dot" : "fconv_dot";
+  pc.select(std::move(v));
+  pc.produce(BlobDesc{BlobKind::kFloat,
+                      Shape{in.shape.n, geom_.out_h(in.shape.h),
+                            geom_.out_w(in.shape.w), out_channels()}});
+}
+
 Blob FloatConv2d::forward(ExecContext& ctx, const Blob& in) const {
   if (const auto* packed = std::get_if<PackedTensor>(&in)) {
     // Unpack kernel: packed bits -> ±1 floats.

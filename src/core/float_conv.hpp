@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/layer.hpp"
+#include "core/plan.hpp"
 
 namespace phonebit::core {
 
@@ -24,6 +25,7 @@ class FloatConv2d final : public Layer {
   /// Accepts a packed binary blob (unpacked to ±1 on the queue) or floats.
   /// Output is always a FloatTensor.
   Blob forward(ExecContext& ctx, const Blob& in) const override;
+  void plan(PlanContext& pc) const override;
 
   std::int64_t param_bytes() const override;
   std::int64_t param_count() const override;

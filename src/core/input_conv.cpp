@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <cstring>
 
 #include "bitpack/binary_ops.hpp"
 #include "bitpack/pack.hpp"
@@ -38,56 +39,122 @@ std::int64_t InputConv2d::param_count() const {
   return s.n * s.h * s.w * s.c + 5 * s.n;
 }
 
-Blob InputConv2d::forward(ExecContext& ctx, const Blob& in) const {
+const U8Tensor& InputConv2d::checked_input(const Blob& in) const {
   const auto* image = std::get_if<U8Tensor>(&in);
   PB_CHECK(image != nullptr, name_ << ": input conv expects an 8-bit image");
-  const Shape& is = image->shape();
-  PB_CHECK(is.c == in_channels(), name_ << ": image has " << is.c
-                                        << " channels, filter expects "
-                                        << in_channels());
+  PB_CHECK(image->shape().c == in_channels(),
+           name_ << ": image has " << image->shape().c
+                 << " channels, filter expects " << in_channels());
+  return *image;
+}
 
+KernelVariant InputConv2d::select_variant(const Shape& in_shape,
+                                         const EngineOptions& opts) const {
+  KernelVariant v;
+  v.interior_split = opts.interior_split;
+  v.pack_width = opts.conv_pack_width(in_shape.c, geom_.kernel_w);
+  v.kernel = "bitplane_split+conv_fused";
+  return v;
+}
+
+std::int64_t InputConv2d::scratch_words(const Shape& in_shape,
+                                        bool split) const {
+  const std::int64_t words = ceil_div(in_shape.c, bitpack::kWordBits);
+  const std::int64_t plane_words =
+      in_shape.n * in_shape.h * in_shape.w * words;
+  // 8 bit planes, plus the legacy per-tap path's all-zero padding span
+  // (the row-fused border path never reads padding: AND against a zero
+  // plane contributes nothing, so out-of-bounds taps are simply skipped).
+  return plane_words * 8 + (split ? 0 : words);
+}
+
+void InputConv2d::plan(PlanContext& pc) const {
+  const BlobDesc& in = pc.in();
+  PB_CHECK(in.kind == BlobKind::kU8,
+           name_ << ": input conv expects an 8-bit image, got " << in.str());
+  PB_CHECK(in.shape.c == in_channels(),
+           name_ << ": image has " << in.shape.c
+                 << " channels, filter expects " << in_channels());
+  PB_CHECK(out_channels() % 8 == 0, name_ << ": C_out must be a multiple of 8");
+  const std::int64_t oh = geom_.out_h(in.shape.h);
+  const std::int64_t ow = geom_.out_w(in.shape.w);
+  KernelVariant v = select_variant(in.shape, pc.opts());
+  pc.need_words(scratch_words(in.shape, v.interior_split));
+  pc.select(std::move(v));
+  pc.produce(BlobDesc{BlobKind::kPacked,
+                      Shape{in.shape.n, oh, ow, out_channels()}});
+}
+
+Blob InputConv2d::forward(ExecContext& ctx, const Blob& in) const {
+  const U8Tensor& image = checked_input(in);
+  if (ctx.stats != nullptr) ++ctx.stats->variant_selections;
+  return execute(ctx, image, select_variant(image.shape(), ctx.opts));
+}
+
+Blob InputConv2d::run(ExecContext& ctx, const Blob& in,
+                      const PlanStep& step) const {
+  return execute(ctx, checked_input(in), step.variant);
+}
+
+PackedTensor InputConv2d::execute(ExecContext& ctx, const U8Tensor& image,
+                                  const KernelVariant& v) const {
+  const Shape& is = image.shape();
   const std::int64_t oh = geom_.out_h(is.h);
   const std::int64_t ow = geom_.out_w(is.w);
   const std::int64_t c_out = out_channels();
   const std::int64_t kh = geom_.kernel_h, kw = geom_.kernel_w;
+  const std::int64_t sh = geom_.stride_h, sw = geom_.stride_w;
+  const std::int64_t ph = geom_.pad_h, pw_pad = geom_.pad_w;
   const std::int64_t words = ceil_div(is.c, bitpack::kWordBits);
-  const auto pw = ctx.opts.pack_width_for(is.c);
+  const bool split = v.interior_split;
+  const auto pw = v.pack_width;
+
+  // The 8 bit planes live in the session arena (one contiguous words-pool
+  // span — a single request, honouring the one-live-span-per-kind
+  // contract), with the legacy zeros span appended when the per-tap
+  // ablation path needs it.
+  const std::int64_t plane_words = is.n * is.h * is.w * words;
+  std::uint64_t* planes = ctx.arena.words(scratch_words(is, split));
+  std::uint64_t* zeros = split ? nullptr : planes + plane_words * 8;
+  if (!split) {
+    std::memset(zeros, 0, static_cast<std::size_t>(words) * 8);
+  }
+  const std::int64_t row_pitch = is.w * words;  // plane words per image row
+  const auto plane_span = [planes, plane_words, row_pitch, words,
+                           &is](int k, std::int64_t n, std::int64_t iy,
+                                std::int64_t ix) -> const std::uint64_t* {
+    return planes + k * plane_words + (n * is.h + iy) * row_pitch + ix * words;
+  };
 
   // Kernel 1: bit-plane split (one work item per pixel owns all its words,
   // so plane words are written race-free).
-  auto planes_storage = std::make_shared<std::array<PackedTensor, 8>>(
-      std::array<PackedTensor, 8>{PackedTensor(is), PackedTensor(is),
-                                  PackedTensor(is), PackedTensor(is),
-                                  PackedTensor(is), PackedTensor(is),
-                                  PackedTensor(is), PackedTensor(is)});
-  auto& planes = *planes_storage;
   {
     KernelCost split_cost;
     split_cost.scalar_ops = static_cast<double>(is.elems()) * 8.0;
     split_cost.bytes_read = static_cast<double>(is.elems());
-    split_cost.bytes_written = static_cast<double>(planes[0].bytes()) * 8.0;
+    split_cost.bytes_written = static_cast<double>(plane_words) * 8.0 * 8.0;
     split_cost.coalescing = costs::coalescing(ctx.opts);
     split_cost.alu_efficiency = costs::kAuxKernelEff;
     ctx.queue.enqueue(
         name_ + ".bitplane_split", NDRange{is.w, is.h, is.n}, split_cost,
-        [&](const WorkItem& it) {
+        [&, words](const WorkItem& it) {
           for (std::int64_t j = 0; j < words; ++j) {
             std::array<std::uint64_t, 8> acc{};
             const std::int64_t c0 = j * bitpack::kWordBits;
             const std::int64_t limit =
                 std::min<std::int64_t>(bitpack::kWordBits, is.c - c0);
             for (std::int64_t b = 0; b < limit; ++b) {
-              const std::uint8_t px = (*image)(it.z, it.y, it.x, c0 + b);
+              const std::uint8_t px = image(it.z, it.y, it.x, c0 + b);
               for (int k = 0; k < 8; ++k) {
                 if ((px >> k) & 1) {
                   acc[static_cast<std::size_t>(k)] |= (std::uint64_t{1} << b);
                 }
               }
             }
+            std::uint64_t* base =
+                planes + (it.z * is.h + it.y) * row_pitch + it.x * words + j;
             for (int k = 0; k < 8; ++k) {
-              planes[static_cast<std::size_t>(k)]
-                  .data()[planes[0].word_offset(it.z, it.y, it.x, j)] =
-                  acc[static_cast<std::size_t>(k)];
+              base[k * plane_words] = acc[static_cast<std::size_t>(k)];
             }
           }
         });
@@ -101,49 +168,95 @@ Blob InputConv2d::forward(ExecContext& ctx, const Blob& in) const {
   const bool branch_free = ctx.opts.branch_free_binarize;
   const FoldedBatchNorm& fb = folded_;
 
+  // Interior output box: same shared geometry as the binary conv's split.
+  const InteriorBox box = interior_box(geom_, is.h, is.w, oh, ow);
+  const std::int64_t y0 = box.y0, y1 = box.y1, x0 = box.x0, x1 = box.x1;
+
   KernelCost cost;
   const double outputs = static_cast<double>(is.n) * oh * ow * c_out;
-  // 8 planes of and+popcount per output window. Costed as the window-packed
-  // schedule the production kernel uses for narrow first layers: the whole
-  // KxKxC window's bits are processed contiguously at the vector width
-  // chosen for KxKxC (e.g. YOLO conv1: 27 bits -> 32-bit vectors), rather
-  // than one padded vector per 3-channel tap.
-  const auto window_pw = ctx.opts.pack_width_for(kh * kw * is.c);
-  const double window_bits = static_cast<double>(
-      ceil_div(kh * kw * is.c, bitpack::bits(window_pw)) *
-      bitpack::bits(window_pw));
-  cost.bitop_bits = outputs * 8.0 * 2.0 * window_bits;
+  const double opixels = static_cast<double>(is.n) * oh * ow;
+  if (split) {
+    // Row-fused schedule: per plane, an interior window is kh spans of
+    // kw*words words (one strided and_popcount with a scalar tail, so the
+    // exact word bits are charged); the hoisted window sum adds kh popcount
+    // spans per plane per output pixel.
+    const double row_bits =
+        static_cast<double>(kw * words * bitpack::kWordBits);
+    cost.bitop_bits = outputs * 8.0 * 2.0 * static_cast<double>(kh) * row_bits;
+    cost.span_count = (outputs + opixels) * 8.0 * static_cast<double>(kh);
+    cost.span_setup_cycles = costs::kSpanSetupCycles;
+    cost.instr_overhead_cycles = costs::instr_overhead_fused(ctx.opts);
+    cost.pack_width_bits =
+        bitpack::bits(bitpack::cap_pack_width_to_span(pw, kw * words));
+  } else {
+    // Per-tap ablation arm, costed as the window-packed schedule: the whole
+    // KxKxC window's bits processed contiguously at the vector width chosen
+    // for KxKxC (e.g. YOLO conv1: 27 bits -> 32-bit vectors).
+    const auto window_pw = ctx.opts.pack_width_for(kh * kw * is.c);
+    const double window_bits = static_cast<double>(
+        ceil_div(kh * kw * is.c, bitpack::bits(window_pw)) *
+        bitpack::bits(window_pw));
+    cost.bitop_bits = outputs * 8.0 * 2.0 * window_bits;
+    cost.instr_overhead_cycles = costs::instr_overhead(ctx.opts);
+    cost.pack_width_bits = bitpack::bits(window_pw);
+  }
   cost.scalar_ops = outputs * (8.0 + 4.0);
-  cost.pack_width_bits = bitpack::bits(window_pw);
-  cost.instr_overhead_cycles = costs::instr_overhead(ctx.opts);
-  cost.bytes_read = static_cast<double>(planes[0].bytes()) * 8.0 +
+  cost.bytes_read = static_cast<double>(plane_words) * 8.0 * 8.0 +
                     static_cast<double>(weights_.bytes());
   cost.bytes_written = static_cast<double>(out.bytes());
   cost.coalescing = costs::coalescing(ctx.opts);
   cost.alu_efficiency = costs::binary_kernel_eff(ctx.opts);
 
   auto* out_bytes = reinterpret_cast<std::uint8_t*>(out.data());
-  const std::uint64_t* zeros = ctx.arena.zero_words(words);
   ctx.queue.enqueue(
       name_ + ".bitplane_conv_fused", NDRange{ow, oh, is.n * groups}, cost,
-      [&, oh, ow, kh, kw, words, groups, branch_free, pw](const WorkItem& it) {
+      [&, oh, ow, kh, kw, sh, sw, ph, pw_pad, words, groups, branch_free, pw,
+       split, y0, y1, x0, x1, row_pitch, zeros](const WorkItem& it) {
         const std::int64_t n = it.z / groups;
         const std::int64_t g = it.z % groups;
+        const std::int64_t iy0 = it.y * sh - ph;
+        const std::int64_t ix0 = it.x * sw - pw_pad;
+        const bool interior = split && it.y >= y0 && it.y < y1 &&
+                              it.x >= x0 && it.x < x1;
+        // Border rows clamp each filter row to its in-bounds tap run; the
+        // 0/1 planes make padding free (AND against zero contributes 0).
+        const std::int64_t lo = std::clamp<std::int64_t>(-ix0, 0, kw);
+        const std::int64_t hi = std::clamp<std::int64_t>(is.w - ix0, 0, kw);
 
         // Hoisted weight-independent term: integer pixel sum of the window.
         std::int64_t window_sum = 0;
-        for (std::int64_t ky = 0; ky < kh; ++ky) {
-          const std::int64_t iy = it.y * geom_.stride_h - geom_.pad_h + ky;
-          if (iy < 0 || iy >= is.h) continue;  // zero padding: planes are 0
-          for (std::int64_t kx = 0; kx < kw; ++kx) {
-            const std::int64_t ix = it.x * geom_.stride_w - geom_.pad_w + kx;
-            if (ix < 0 || ix >= is.w) continue;
+        if (interior) {
+          for (int k = 0; k < 8; ++k) {
+            std::int64_t bits_set = 0;
+            for (std::int64_t ky = 0; ky < kh; ++ky) {
+              bits_set += bitpack::popcount_words(
+                  plane_span(k, n, iy0 + ky, ix0), kw * words);
+            }
+            window_sum += (std::int64_t{1} << k) * bits_set;
+          }
+        } else if (split) {
+          for (std::int64_t ky = 0; ky < kh; ++ky) {
+            const std::int64_t iy = iy0 + ky;
+            if (iy < 0 || iy >= is.h || hi <= lo) continue;
             for (int k = 0; k < 8; ++k) {
               window_sum += (std::int64_t{1} << k) *
                             bitpack::popcount_words(
-                                planes[static_cast<std::size_t>(k)].pixel(
-                                    n, iy, ix),
-                                words);
+                                plane_span(k, n, iy, ix0 + lo),
+                                (hi - lo) * words);
+            }
+          }
+        } else {
+          for (std::int64_t ky = 0; ky < kh; ++ky) {
+            const std::int64_t iy = iy0 + ky;
+            if (iy < 0 || iy >= is.h) continue;  // zero padding: planes are 0
+            for (std::int64_t kx = 0; kx < kw; ++kx) {
+              const std::int64_t ix = ix0 + kx;
+              if (ix < 0 || ix >= is.w) continue;
+              for (int k = 0; k < 8; ++k) {
+                window_sum += (std::int64_t{1} << k) *
+                              bitpack::popcount_words(plane_span(k, n, iy, ix),
+                                                      words);
+              }
             }
           }
         }
@@ -152,30 +265,54 @@ Blob InputConv2d::forward(ExecContext& ctx, const Blob& in) const {
         for (int f = 0; f < 8; ++f) {
           const std::int64_t co = g * 8 + f;
           std::int64_t weighted_and = 0;
-          for (std::int64_t ky = 0; ky < kh; ++ky) {
-            const std::int64_t iy = it.y * geom_.stride_h - geom_.pad_h + ky;
-            for (std::int64_t kx = 0; kx < kw; ++kx) {
-              const std::int64_t ix = it.x * geom_.stride_w - geom_.pad_w + kx;
-              const bool inside = iy >= 0 && iy < is.h && ix >= 0 && ix < is.w;
-              const std::uint64_t* wspan = weights_.pixel(co, ky, kx);
+          if (interior) {
+            // One strided whole-window and_popcount per plane: kh plane
+            // rows (pitch row_pitch) against kh contiguous filter rows.
+            for (int k = 0; k < 8; ++k) {
+              weighted_and +=
+                  (std::int64_t{1} << k) *
+                  bitpack::and_popcount_2d(plane_span(k, n, iy0, ix0),
+                                           row_pitch, weights_.pixel(co, 0, 0),
+                                           kw * words, kw * words, kh, pw);
+            }
+          } else if (split) {
+            for (std::int64_t ky = 0; ky < kh; ++ky) {
+              const std::int64_t iy = iy0 + ky;
+              if (iy < 0 || iy >= is.h || hi <= lo) continue;
+              const std::uint64_t* wrow = weights_.pixel(co, ky, 0);
               for (int k = 0; k < 8; ++k) {
-                const std::uint64_t* pspan =
-                    inside
-                        ? planes[static_cast<std::size_t>(k)].pixel(n, iy, ix)
-                        : zeros;
                 weighted_and +=
                     (std::int64_t{1} << k) *
-                    bitpack::and_popcount(pspan, wspan, words, pw);
+                    bitpack::and_popcount(plane_span(k, n, iy, ix0 + lo),
+                                          wrow + lo * words, (hi - lo) * words,
+                                          pw);
+              }
+            }
+          } else {
+            for (std::int64_t ky = 0; ky < kh; ++ky) {
+              const std::int64_t iy = iy0 + ky;
+              for (std::int64_t kx = 0; kx < kw; ++kx) {
+                const std::int64_t ix = ix0 + kx;
+                const bool inside =
+                    iy >= 0 && iy < is.h && ix >= 0 && ix < is.w;
+                const std::uint64_t* wspan = weights_.pixel(co, ky, kx);
+                for (int k = 0; k < 8; ++k) {
+                  const std::uint64_t* pspan =
+                      inside ? plane_span(k, n, iy, ix) : zeros;
+                  weighted_and += (std::int64_t{1} << k) *
+                                  bitpack::and_popcount(pspan, wspan, words,
+                                                        pw);
+                }
               }
             }
           }
           // s = sum_k 2^k (2*popcount(p&w) - popcount(p))  (Eqn 2)
-          const float x1 = static_cast<float>(2 * weighted_and - window_sum);
+          const float x1v = static_cast<float>(2 * weighted_and - window_sum);
           const std::size_t ci = static_cast<std::size_t>(co);
           const bool bit =
               branch_free
-                  ? binarize_eqn9(x1, fb.xi[ci], fb.gamma_pos[ci] != 0)
-                  : binarize_eqn8(x1, fb.xi[ci], fb.gamma_pos[ci] != 0);
+                  ? binarize_eqn9(x1v, fb.xi[ci], fb.gamma_pos[ci] != 0)
+                  : binarize_eqn8(x1v, fb.xi[ci], fb.gamma_pos[ci] != 0);
           if (bit) byte = static_cast<std::uint8_t>(byte | (1u << f));
         }
         out_bytes[out.word_offset(n, it.y, it.x, 0) * 8 + g] = byte;

@@ -8,6 +8,16 @@
 // sum, so it is hoisted out of the per-filter loop. BN + binarization fuse
 // at the end exactly as in BinaryConv2d. This 8x plane overhead is why the
 // paper's Fig. 5 shows conv1 gaining only ~23x vs ~45x for middle layers.
+//
+// Row fusion applies per plane exactly as in BinaryConv2d (DESIGN.md §4):
+// the kw taps of one filter row are contiguous in both the 0/1 plane and
+// the weights, so an interior window is ONE strided and_popcount per plane
+// and border windows clamp each filter row to its in-bounds run — a padded
+// tap ANDs against an all-zero plane and contributes nothing, so the border
+// path needs no zeros span at all. `interior_split` off restores the
+// per-tap loop with its per-tap padding branch as the ablation baseline.
+// The 8 bit planes live in the session arena (planned scratch), not in
+// per-forward heap allocations.
 #pragma once
 
 #include <string>
@@ -16,6 +26,7 @@
 #include "bitpack/packed_tensor.hpp"
 #include "core/bn_fold.hpp"
 #include "core/layer.hpp"
+#include "core/plan.hpp"
 
 namespace phonebit::core {
 
@@ -30,6 +41,9 @@ class InputConv2d final : public Layer {
 
   /// Input blob must be a U8Tensor (the decoded image). Output is packed.
   Blob forward(ExecContext& ctx, const Blob& in) const override;
+  void plan(PlanContext& pc) const override;
+  Blob run(ExecContext& ctx, const Blob& in,
+           const PlanStep& step) const override;
 
   std::int64_t param_bytes() const override;
   std::int64_t param_count() const override;
@@ -41,6 +55,14 @@ class InputConv2d final : public Layer {
   const FoldedBatchNorm& folded_bn() const noexcept { return folded_; }
 
  private:
+  KernelVariant select_variant(const Shape& in_shape,
+                               const EngineOptions& opts) const;
+  const U8Tensor& checked_input(const Blob& in) const;
+  /// Arena words needed for the 8 bit planes (+ legacy zeros span).
+  std::int64_t scratch_words(const Shape& in_shape, bool split) const;
+  bitpack::PackedTensor execute(ExecContext& ctx, const U8Tensor& image,
+                                const KernelVariant& v) const;
+
   std::string name_;
   bitpack::PackedTensor weights_;
   std::vector<BatchNormParams> bn_;

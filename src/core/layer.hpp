@@ -30,16 +30,35 @@ inline const Shape& blob_shape(const Blob& b) {
   return std::get<bitpack::PackedTensor>(b).shape();
 }
 
+/// Counters a session keeps about how its forwards were driven. The compile
+/// contract is asserted through these: after Network::compile, forwards via
+/// ExecutionPlan::run perform ZERO kernel-variant re-selection — only the
+/// uncompiled compile-and-run wrapper keeps selecting per call.
+struct SessionStats {
+  /// Kernel-variant derivations (each layer planned counts one). Grows once
+  /// per compile; flat across ExecutionPlan::run calls.
+  std::int64_t variant_selections = 0;
+  /// Plans compiled through this session's context.
+  std::int64_t compiles = 0;
+  /// Forwards executed through a compiled plan.
+  std::int64_t planned_runs = 0;
+};
+
 /// Execution state threaded through a forward pass. Produced by an
 /// ExecSession (engine.hpp); every member references session-owned state, so
 /// a context must not outlive its session. `opts` is the session's
 /// EngineOptions snapshot — layers see a stable configuration for the whole
 /// session even if the engine's options are reconfigured mid-flight.
+/// `stats` (optional) receives the compile/selection counters.
 struct ExecContext {
   oclsim::CommandQueue& queue;
   const EngineOptions& opts;
   ScratchArena& arena;
+  SessionStats* stats = nullptr;
 };
+
+class PlanContext;  // plan.hpp — compile-time shape/variant negotiation
+struct PlanStep;    // plan.hpp — one compiled layer invocation
 
 /// Base class for all PhoneBit layers.
 class Layer {
@@ -49,8 +68,24 @@ class Layer {
   /// Layer instance name ("conv2", "pool1", ...).
   virtual const std::string& name() const = 0;
 
-  /// Runs the layer, enqueueing its kernels on ctx.queue.
+  /// Runs the layer, enqueueing its kernels on ctx.queue. Uncompiled path:
+  /// the kernel variant is re-derived from ctx.opts on every call.
   virtual Blob forward(ExecContext& ctx, const Blob& in) const = 0;
+
+  /// Compile hook (plan.hpp): validate the input descriptor in `pc` (throw
+  /// InvalidArgument to fail the compile), declare the output descriptor,
+  /// select the kernel variant and register scratch needs. Runs once per
+  /// Network::compile — never on the forward hot path.
+  virtual void plan(PlanContext& pc) const = 0;
+
+  /// Compiled path: run with the variant selected at compile time instead
+  /// of re-deriving it from ctx.opts. Layers without variants fall back to
+  /// forward().
+  virtual Blob run(ExecContext& ctx, const Blob& in,
+                   const PlanStep& step) const {
+    (void)step;
+    return forward(ctx, in);
+  }
 
   /// On-device parameter footprint in bytes (packed weights count packed;
   /// used for the Table II model-size accounting).

@@ -1,28 +1,17 @@
 #include "core/network.hpp"
 
+#include "core/plan.hpp"
+
 namespace phonebit::core {
 
 ForwardResult Network::forward(ExecContext& ctx, Blob input) const {
-  PB_CHECK(!layers_.empty(), name_ << ": network has no layers");
-  ForwardResult result;
-  result.report.reserve(layers_.size());
-  Blob blob = std::move(input);
-  for (const auto& layer : layers_) {
-    const std::size_t mark = ctx.queue.event_mark();
-    blob = layer->forward(ctx, blob);
-    const oclsim::EventSlice s = ctx.queue.slice_events(mark);
-    LayerReport r;
-    r.name = layer->name();
-    r.modeled_ms = s.modeled_ms;
-    r.host_ms = s.host_ms;
-    r.launches = s.launches;
-    r.cost = s.cost;
-    result.modeled_ms += s.modeled_ms;
-    result.host_ms += s.host_ms;
-    result.report.push_back(std::move(r));
-  }
-  result.output = std::move(blob);
-  return result;
+  // Compatibility path: compile-and-run on every call. Both paths execute
+  // the same compiled steps, so forward() is bit-exact with a cached plan —
+  // it just re-plans (and re-selects variants) each time, which is what
+  // SessionStats::variant_selections counts.
+  const ExecutionPlan plan =
+      compile(ctx.opts, describe_blob(input), ctx.stats);
+  return plan.run(ctx, std::move(input));
 }
 
 FloatTensor Network::forward_float(ExecContext& ctx,

@@ -16,6 +16,10 @@
 
 namespace phonebit::core {
 
+class Engine;         // engine.hpp
+class ExecutionPlan;  // plan.hpp
+struct BlobDesc;      // plan.hpp
+
 /// Everything one forward pass produced: the output blob and the profiling
 /// report sliced from the session queue's events. Owned by the caller —
 /// nothing is stashed on the Network, so concurrent forwards don't race.
@@ -62,9 +66,24 @@ class Network {
     return ref;
   }
 
+  /// Compiles the pipeline for inputs matching `input` against the engine's
+  /// current options: shape inference + validation, buffer liveness/slot
+  /// assignment, ahead-of-time kernel-variant selection (plan.hpp). The
+  /// returned plan is immutable and shareable across sessions; it must not
+  /// outlive this network.
+  ExecutionPlan compile(const Engine& engine, const BlobDesc& input) const;
+  /// Same, against an explicit options snapshot. `stats` (optional)
+  /// receives the compile/selection counters.
+  ExecutionPlan compile(const EngineOptions& opts, const BlobDesc& input,
+                        SessionStats* stats = nullptr) const;
+
   /// Runs every layer in order on the session behind `ctx`. Const: the
   /// network is shared read-only state, all mutation happens in the
   /// session's queue/arena, and the report comes back in the result.
+  ///
+  /// Uncompiled compatibility path: a thin compile-and-run wrapper — every
+  /// call re-plans from ctx.opts, so steady-state callers should compile()
+  /// once and reuse the plan.
   ForwardResult forward(ExecContext& ctx, Blob input) const;
 
   /// Convenience: forward an 8-bit image and return just the float output

@@ -47,6 +47,18 @@ struct EngineOptions {
   bool auto_pack_width = true;
   bitpack::PackWidth fixed_pack_width = bitpack::PackWidth::k64;
 
+  /// Pack-width selection key for the row-fused conv fast path: key the
+  /// granularity on the fused span length `kw * words` (the contiguous run
+  /// the interior kernel actually streams, instruction count minimized tail
+  /// included — select_pack_width_for_span) instead of C_in. Only consulted
+  /// when `interior_split` fuses rows; the per-tap ablation path always
+  /// keys on C_in. Default ON: the bench_kernels ablation (the `/fast-ckey`
+  /// records in BENCH_kernels.json) shows the span key cuts the narrow
+  /// 7x7/c64 layer ~20% host time (7 scalar words become 1 ulong4 op + 3
+  /// tail words) and ties within noise on wide layers, where both keys
+  /// resolve to the same width.
+  bool span_keyed_pack_width = true;
+
   /// §VI-A.1 vectorized load/store. Turning this off models scalar loads:
   /// worse effective bandwidth and extra per-access overhead.
   bool vectorized_loads = true;
@@ -55,10 +67,36 @@ struct EngineOptions {
   /// ablation (bit packing then walks a strided channel dimension).
   Layout layout = Layout::kNHWC;
 
+  friend bool operator==(const EngineOptions&, const EngineOptions&) =
+      default;
+
   /// Resolves the pack width for a layer with `channels` input channels.
   bitpack::PackWidth pack_width_for(std::int64_t channels) const {
     return auto_pack_width ? bitpack::select_pack_width(channels)
                            : fixed_pack_width;
+  }
+
+  /// Resolves the pack width for a kernel streaming contiguous spans of
+  /// `span_words` words: keyed on the span when `span_keyed_pack_width` is
+  /// on (minimizing the per-span instruction count, tail included), else on
+  /// the channel count as before.
+  bitpack::PackWidth pack_width_for_span(std::int64_t channels,
+                                         std::int64_t span_words) const {
+    if (!auto_pack_width) return fixed_pack_width;
+    return span_keyed_pack_width
+               ? bitpack::select_pack_width_for_span(span_words)
+               : bitpack::select_pack_width(channels);
+  }
+
+  /// Pack width of a conv's inner loop under the current keying: the fused
+  /// row span `kw * words` when the interior split fuses rows, the per-tap
+  /// channel count otherwise. Shared by the binary and bit-plane convs so
+  /// their variant selection cannot drift.
+  bitpack::PackWidth conv_pack_width(std::int64_t channels,
+                                     std::int64_t kernel_w) const {
+    const std::int64_t words = ceil_div(channels, bitpack::kWordBits);
+    return interior_split ? pack_width_for_span(channels, kernel_w * words)
+                          : pack_width_for(channels);
   }
 };
 

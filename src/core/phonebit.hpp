@@ -17,4 +17,5 @@
 #include "core/model_format.hpp"
 #include "core/network.hpp"
 #include "core/options.hpp"
+#include "core/plan.hpp"
 #include "core/pooling.hpp"

@@ -1,0 +1,163 @@
+#include "core/plan.hpp"
+
+#include <sstream>
+#include <utility>
+
+namespace phonebit::core {
+
+BlobDesc describe_blob(const Blob& b) {
+  if (const auto* f = std::get_if<FloatTensor>(&b)) {
+    return BlobDesc{BlobKind::kFloat, f->shape()};
+  }
+  if (const auto* u = std::get_if<U8Tensor>(&b)) {
+    return BlobDesc{BlobKind::kU8, u->shape()};
+  }
+  return BlobDesc{BlobKind::kPacked, std::get<bitpack::PackedTensor>(b).shape()};
+}
+
+ExecutionPlan Network::compile(const Engine& engine,
+                               const BlobDesc& input) const {
+  return compile(engine.options(), input, nullptr);
+}
+
+ExecutionPlan Network::compile(const EngineOptions& opts, const BlobDesc& input,
+                               SessionStats* stats) const {
+  PB_CHECK(!layers_.empty(), name_ << ": cannot compile an empty network");
+  ExecutionPlan plan;
+  plan.name_ = name_;
+  plan.opts_ = opts;
+  plan.input_ = input;
+  plan.steps_.reserve(layers_.size());
+
+  // (a) + (c): one pass of shape inference, validation and ahead-of-time
+  // variant selection. A layer whose contract is violated throws here, with
+  // the network+layer context, before any kernel could run.
+  BlobDesc cur = input;
+  for (const auto& layer : layers_) {
+    PlanContext pc(cur, opts, stats);
+    layer->plan(pc);
+    PB_CHECK(pc.produced_, name_ << "." << layer->name()
+                                 << ": plan() declared no output descriptor");
+    PlanStep step;
+    step.layer = layer.get();
+    step.in = cur;
+    step.out = pc.out_;
+    step.variant = std::move(pc.variant_);
+    step.scratch = pc.scratch_;
+    plan.steps_.push_back(std::move(step));
+    cur = plan.steps_.back().out;
+  }
+
+  // (b) Buffer liveness. The pipeline is linear: intermediate i (output of
+  // step i) is live only until step i+1 consumes it, so a ping-pong pair of
+  // slots covers every schedule and the peak is known exactly. The final
+  // output is handed to the caller, never recycled. Scratch lifetimes never
+  // cross a step, so the scratch peak per typed pool is a running max.
+  const std::size_t n = plan.steps_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i + 1 < n) {
+      const int slot = static_cast<int>(i % 2);
+      plan.steps_[i].slot = slot;
+      if (plan.slots_.size() <= static_cast<std::size_t>(slot)) {
+        plan.slots_.resize(static_cast<std::size_t>(slot) + 1);
+      }
+      ActivationSlot& s = plan.slots_[static_cast<std::size_t>(slot)];
+      const std::int64_t bytes = plan.steps_[i].out.bytes();
+      if (bytes > s.bytes) s.bytes = bytes;
+    }
+    plan.scratch_peak_.max_with(plan.steps_[i].scratch);
+  }
+
+  if (stats != nullptr) ++stats->compiles;
+  return plan;
+}
+
+ForwardResult ExecutionPlan::run(ExecSession& session, Blob input) const {
+  ExecContext ctx = session.context();
+  return run(ctx, std::move(input));
+}
+
+ForwardResult ExecutionPlan::run(ExecContext& ctx, Blob input) const {
+  const BlobDesc got = describe_blob(input);
+  PB_CHECK(got == input_, name_ << ": plan was compiled for input "
+                                << input_.str() << ", got " << got.str());
+  // The liveness pass's exact peak: after this, no step grows the arena.
+  ctx.arena.reserve(scratch_peak_.i32, scratch_peak_.u8, scratch_peak_.words);
+  // Execution uses the compiled options snapshot, so the plan behaves
+  // identically on every session regardless of the session's own snapshot.
+  ExecContext exec{ctx.queue, opts_, ctx.arena, ctx.stats};
+
+  ForwardResult result;
+  result.report.reserve(steps_.size());
+  Blob blob = std::move(input);
+  for (const PlanStep& step : steps_) {
+    const std::size_t mark = exec.queue.event_mark();
+    blob = step.layer->run(exec, blob, step);
+    const oclsim::EventSlice s = exec.queue.slice_events(mark);
+    LayerReport r;
+    r.name = step.layer->name();
+    r.modeled_ms = s.modeled_ms;
+    r.host_ms = s.host_ms;
+    r.launches = s.launches;
+    r.cost = s.cost;
+    result.modeled_ms += s.modeled_ms;
+    result.host_ms += s.host_ms;
+    result.report.push_back(std::move(r));
+  }
+  PB_CHECK(describe_blob(blob) == steps_.back().out,
+           name_ << ": executed output disagrees with the compiled plan");
+  result.output = std::move(blob);
+  if (ctx.stats != nullptr) ++ctx.stats->planned_runs;
+  return result;
+}
+
+namespace {
+
+std::string human_bytes(std::int64_t b) {
+  std::ostringstream os;
+  if (b >= 1 << 20) {
+    os << static_cast<double>(b) / (1 << 20) << " MiB";
+  } else if (b >= 1 << 10) {
+    os << static_cast<double>(b) / (1 << 10) << " KiB";
+  } else {
+    os << b << " B";
+  }
+  return os.str();
+}
+
+}  // namespace
+
+std::string ExecutionPlan::dump() const {
+  std::ostringstream os;
+  os << "plan '" << name_ << "': " << input_.str() << " -> "
+     << output().str() << ", " << steps_.size() << " steps\n";
+  os << "  activation slots: " << slots_.size() << " (peak "
+     << human_bytes(peak_activation_bytes()) << ")";
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    os << (i == 0 ? "  [" : " ") << "slot" << i << "="
+       << human_bytes(slots_[i].bytes) << (i + 1 == slots_.size() ? "]" : "");
+  }
+  os << "\n  scratch peak: " << human_bytes(peak_scratch_bytes()) << " (i32 "
+     << scratch_peak_.i32 << ", u8 " << scratch_peak_.u8 << ", words "
+     << scratch_peak_.words << ")\n";
+  for (std::size_t i = 0; i < steps_.size(); ++i) {
+    const PlanStep& st = steps_[i];
+    os << "  [" << i << "] " << st.layer->name() << ": " << st.in.str()
+       << " -> " << st.out.str() << "  kernel=" << st.variant.kernel
+       << " pw=" << bitpack::bits(st.variant.pack_width)
+       << (st.variant.interior_split ? " split" : "");
+    if (st.variant.tile_ow > 0) os << " tile=" << st.variant.tile_ow;
+    if (st.slot >= 0) {
+      os << " slot=" << st.slot;
+    } else {
+      os << " slot=out";
+    }
+    if (st.scratch.bytes() > 0) {
+      os << " scratch=" << human_bytes(st.scratch.bytes());
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace phonebit::core

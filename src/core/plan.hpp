@@ -1,0 +1,240 @@
+// PhoneBit — compiled execution plans.
+//
+// PhoneBit's speed comes from decisions the hot path should never re-make:
+// which conv path runs, at what vector granularity, over which interior box,
+// with how much scratch. Network::compile walks the layer pipeline ONCE to
+//   (a) infer every inter-layer blob shape/kind and validate the pipeline
+//       up front (a malformed network fails at compile, not mid-forward),
+//   (b) run a buffer-liveness pass assigning each intermediate blob a
+//       ping-pong slot id and computing the exact activation/scratch peaks
+//       before the first forward (the scratch peak is reserved in the
+//       session arena byte-exactly; the slot ids are the memory *plan* —
+//       activation tensors still allocate per forward, backing them with
+//       slot storage is the ROADMAP follow-up),
+//   (c) select each layer's kernel variant (execution path, pack width,
+//       interior split, tile width) once from geometry + EngineOptions,
+//   (d) resolve the binarize/BN-fold fusion into the producing kernel where
+//       the layer contract allows (path A/B vs the unfused path C).
+// The resulting ExecutionPlan is immutable and shareable: any number of
+// sessions can run one plan concurrently, the same way they share a const
+// Network. This is the compiled-model / per-invocation cut daBNN and Larq
+// Compute Engine make (DESIGN.md §6).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bitpack/binary_ops.hpp"
+#include "core/engine.hpp"
+#include "core/network.hpp"
+
+namespace phonebit::core {
+
+/// Which alternative of the Blob variant a planned edge carries.
+enum class BlobKind { kFloat, kU8, kPacked };
+
+inline const char* blob_kind_name(BlobKind k) noexcept {
+  switch (k) {
+    case BlobKind::kFloat: return "f32";
+    case BlobKind::kU8: return "u8";
+    case BlobKind::kPacked: return "packed";
+  }
+  return "?";
+}
+
+/// Compile-time descriptor of a blob flowing between layers: the variant
+/// kind plus the logical shape. This is what shape inference propagates.
+struct BlobDesc {
+  BlobKind kind = BlobKind::kFloat;
+  Shape shape{};
+
+  /// Storage footprint of a blob with this descriptor (packed tensors count
+  /// packed words; used by the liveness pass to size activation slots).
+  std::int64_t bytes() const noexcept {
+    switch (kind) {
+      case BlobKind::kFloat: return shape.elems() * 4;
+      case BlobKind::kU8: return shape.elems();
+      case BlobKind::kPacked:
+        return shape.n * shape.h * shape.w *
+               ceil_div(shape.c, bitpack::kWordBits) * 8;
+    }
+    return 0;
+  }
+
+  friend bool operator==(const BlobDesc&, const BlobDesc&) = default;
+
+  std::string str() const {
+    return std::string(blob_kind_name(kind)) + shape.str();
+  }
+};
+
+/// Descriptor of the blob a forward pass is about to consume/produce.
+BlobDesc describe_blob(const Blob& b);
+
+/// Ahead-of-time kernel selection for one layer: everything the layer used
+/// to re-derive from EngineOptions + input geometry on every forward.
+struct KernelVariant {
+  /// Conv execution path (DESIGN.md §4). kDefault for layers with a single
+  /// kernel schedule (pooling, dense, float layers).
+  enum class Path {
+    kDefault,
+    kConvFused,         ///< path A: one kernel, 8 filters/byte in private mem
+    kConvSeparatePack,  ///< path B: fused math + separate packing kernel
+    kConvUnfused,       ///< path C: no integration (ablation pipeline)
+  };
+
+  Path path = Path::kDefault;
+  /// Vector granularity of the xor/and+popcount inner loop.
+  bitpack::PackWidth pack_width = bitpack::PackWidth::k64;
+  /// Interior/border specialization on (row-fused fast path).
+  bool interior_split = false;
+  /// Resolved output-x tile width (0 = the layer does not tile).
+  std::int64_t tile_ow = 0;
+  /// Kernel family, for plan dumps ("bconv_fused", "maxpool_or", ...).
+  std::string kernel;
+};
+
+/// Scratch-arena requirement of one step, in elements per typed pool. The
+/// liveness pass folds these into the plan's exact peak: scratch lifetimes
+/// never cross a step, so the peak per pool is the max over steps.
+struct ScratchNeed {
+  std::int64_t i32 = 0;
+  std::int64_t u8 = 0;
+  std::int64_t words = 0;
+
+  std::int64_t bytes() const noexcept { return i32 * 4 + u8 + words * 8; }
+  void max_with(const ScratchNeed& o) noexcept {
+    i32 = i32 > o.i32 ? i32 : o.i32;
+    u8 = u8 > o.u8 ? u8 : o.u8;
+    words = words > o.words ? words : o.words;
+  }
+};
+
+/// One compiled layer invocation.
+struct PlanStep {
+  const Layer* layer = nullptr;
+  BlobDesc in{};
+  BlobDesc out{};
+  KernelVariant variant{};
+  ScratchNeed scratch{};
+  /// Activation slot holding this step's output (-1: the network output,
+  /// which is handed to the caller rather than recycled).
+  int slot = -1;
+};
+
+/// One slot of the statically laid-out activation arena: sized to the
+/// largest intermediate blob the liveness pass assigned to it.
+struct ActivationSlot {
+  std::int64_t bytes = 0;
+};
+
+/// What Layer::plan sees: the inferred input descriptor and the options the
+/// plan is being compiled against. The layer validates its contract (throw
+/// InvalidArgument to fail the compile), declares its output descriptor,
+/// selects its kernel variant and registers scratch needs.
+class PlanContext {
+ public:
+  PlanContext(BlobDesc input, const EngineOptions& opts, SessionStats* stats)
+      : in_(std::move(input)), opts_(opts), stats_(stats) {}
+
+  const BlobDesc& in() const noexcept { return in_; }
+  const EngineOptions& opts() const noexcept { return opts_; }
+
+  /// Declares the step's output descriptor (required).
+  void produce(BlobDesc out) {
+    out_ = std::move(out);
+    produced_ = true;
+  }
+
+  /// Records the step's ahead-of-time kernel selection. Counted against the
+  /// session's variant_selections stat — after compile, forwards through the
+  /// plan never select again (the zero-re-selection contract).
+  void select(KernelVariant v) {
+    variant_ = std::move(v);
+    if (stats_ != nullptr) ++stats_->variant_selections;
+  }
+
+  /// Scratch-arena requirements of this step (elements, per typed pool).
+  /// The arena keeps ONE live span per kind (every i32()/u8()/words() call
+  /// returns the same pool base), so a layer needing several same-kind
+  /// buffers must carve them out of a single combined request — and its
+  /// declarations here must sum to that request (InputConv2d's planes +
+  /// zeros span is the pattern). Requests of different kinds are disjoint.
+  void need_i32(std::int64_t n) { scratch_.i32 += n; }
+  void need_u8(std::int64_t n) { scratch_.u8 += n; }
+  void need_words(std::int64_t n) { scratch_.words += n; }
+
+ private:
+  friend class Network;
+
+  BlobDesc in_;
+  const EngineOptions& opts_;
+  SessionStats* stats_;
+  BlobDesc out_{};
+  bool produced_ = false;
+  KernelVariant variant_{};
+  ScratchNeed scratch_{};
+};
+
+/// A compiled network: the per-layer steps, the activation-slot layout and
+/// the exact scratch peak. Immutable after compile; holds non-owning layer
+/// pointers, so a plan must not outlive the Network it was compiled from.
+class ExecutionPlan {
+ public:
+  const std::string& network_name() const noexcept { return name_; }
+  /// The EngineOptions snapshot the plan was compiled against — execution
+  /// uses THIS snapshot, so a plan behaves identically on every session.
+  const EngineOptions& options() const noexcept { return opts_; }
+
+  const std::vector<PlanStep>& steps() const noexcept { return steps_; }
+  const std::vector<ActivationSlot>& slots() const noexcept { return slots_; }
+
+  const BlobDesc& input() const noexcept { return input_; }
+  const BlobDesc& output() const noexcept { return steps_.back().out; }
+
+  /// Exact scratch-arena peak (per typed pool / total bytes) of one forward
+  /// through this plan. ExecutionPlan::run reserves exactly this before the
+  /// first step, so the arena never grows mid-forward.
+  const ScratchNeed& scratch_peak() const noexcept { return scratch_peak_; }
+  std::int64_t peak_scratch_bytes() const noexcept {
+    return scratch_peak_.bytes();
+  }
+
+  /// Peak bytes of live intermediate activations under the ping-pong slot
+  /// assignment (sum of slot sizes — at most two slots are ever live).
+  std::int64_t peak_activation_bytes() const noexcept {
+    std::int64_t total = 0;
+    for (const ActivationSlot& s : slots_) total += s.bytes;
+    return total;
+  }
+
+  /// Runs the plan on a session: reserves the exact scratch peak, executes
+  /// every step with its compiled variant (no per-forward re-selection) and
+  /// slices the per-layer report from the session queue. The input blob must
+  /// match the descriptor the plan was compiled for.
+  ForwardResult run(ExecSession& session, Blob input) const;
+  /// Same, against an already-built context (the context's options are
+  /// superseded by the plan's compiled snapshot).
+  ForwardResult run(ExecContext& ctx, Blob input) const;
+
+  /// Human-readable plan: steps, variants, slots, peak bytes (the
+  /// quickstart `plan_dump` mode prints this).
+  std::string dump() const;
+
+ private:
+  friend class Network;
+
+  // Only Network::compile builds plans: a default-constructed plan would
+  // have no steps, making output()/run() meaningless.
+  ExecutionPlan() = default;
+
+  std::string name_;
+  EngineOptions opts_{};
+  BlobDesc input_{};
+  std::vector<PlanStep> steps_;
+  std::vector<ActivationSlot> slots_;
+  ScratchNeed scratch_peak_{};
+};
+
+}  // namespace phonebit::core

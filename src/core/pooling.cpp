@@ -10,6 +10,19 @@ using oclsim::KernelCost;
 using oclsim::NDRange;
 using oclsim::WorkItem;
 
+void MaxPool2d::plan(PlanContext& pc) const {
+  const BlobDesc& in = pc.in();
+  PB_CHECK(in.kind == BlobKind::kPacked,
+           name_ << ": max pool expects packed input, got " << in.str());
+  KernelVariant v;
+  v.kernel = "maxpool_or";
+  v.pack_width = bitpack::PackWidth::k64;
+  pc.select(std::move(v));
+  pc.produce(BlobDesc{BlobKind::kPacked,
+                      Shape{in.shape.n, geom_.out_dim(in.shape.h),
+                            geom_.out_dim(in.shape.w), in.shape.c}});
+}
+
 Blob MaxPool2d::forward(ExecContext& ctx, const Blob& in) const {
   const auto* packed = std::get_if<PackedTensor>(&in);
   PB_CHECK(packed != nullptr, name_ << ": max pool expects packed input");

@@ -10,6 +10,7 @@
 #include <string>
 
 #include "core/layer.hpp"
+#include "core/plan.hpp"
 
 namespace phonebit::core {
 
@@ -44,6 +45,7 @@ class MaxPool2d final : public Layer {
 
   const std::string& name() const override { return name_; }
   Blob forward(ExecContext& ctx, const Blob& in) const override;
+  void plan(PlanContext& pc) const override;
 
   const PoolGeometry& geometry() const noexcept { return geom_; }
 

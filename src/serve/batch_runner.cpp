@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <condition_variable>
 #include <exception>
 #include <mutex>
@@ -18,11 +19,47 @@ double now_ms() {
       .count();
 }
 
+/// Nearest-rank percentile of an ascending-sorted sample.
+double percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto n = static_cast<double>(sorted.size());
+  auto rank = static_cast<std::size_t>(std::ceil(q / 100.0 * n));
+  if (rank > 0) --rank;
+  if (rank >= sorted.size()) rank = sorted.size() - 1;
+  return sorted[rank];
+}
+
 }  // namespace
 
 BatchRunner::BatchRunner(core::Engine& engine, const core::Network& net,
                          int workers)
     : engine_(engine), net_(net), pool_(workers > 0 ? workers : 4) {}
+
+std::shared_ptr<const core::ExecutionPlan> BatchRunner::plan_for(
+    const core::BlobDesc& desc) {
+  std::lock_guard<std::mutex> lock(plan_mu_);
+  // Plans embed the options they were compiled against; if the engine was
+  // reconfigured between batches (the ablation workflow), the cache is
+  // stale as a whole — drop it so requests never run an outdated snapshot.
+  if (!plans_.empty() &&
+      !(plans_.front().second->options() == engine_.options())) {
+    plans_.clear();
+  }
+  for (const auto& [d, plan] : plans_) {
+    if (d == desc) return plan;
+  }
+  // First request with this shape pays the (one-off, O(layers)) compile;
+  // every later request shares the immutable plan across sessions.
+  auto plan = std::make_shared<const core::ExecutionPlan>(
+      net_.compile(engine_.options(), desc));
+  plans_.emplace_back(desc, plan);
+  return plan;
+}
+
+std::size_t BatchRunner::compiled_plans() const {
+  std::lock_guard<std::mutex> lock(plan_mu_);
+  return plans_.size();
+}
 
 BatchSummary BatchRunner::run(std::vector<core::Blob> inputs) {
   BatchSummary summary;
@@ -46,9 +83,9 @@ BatchSummary BatchRunner::run(std::vector<core::Blob> inputs) {
                   i] {
       std::exception_ptr error;
       try {
+        const auto plan = plan_for(core::describe_blob(inputs[i]));
         core::ExecSession session = engine_.create_session();
-        core::ExecContext ctx = session.context();
-        summary.results[i] = net_.forward(ctx, std::move(inputs[i]));
+        summary.results[i] = plan->run(session, std::move(inputs[i]));
       } catch (...) {
         error = std::current_exception();
       }
@@ -86,6 +123,15 @@ BatchSummary BatchRunner::run(std::vector<core::Blob> inputs) {
       m.cost.accumulate(r.report[j].cost);
     }
   }
+  std::vector<double> latencies;
+  latencies.reserve(summary.results.size());
+  for (const core::ForwardResult& r : summary.results) {
+    latencies.push_back(r.modeled_ms);
+  }
+  std::sort(latencies.begin(), latencies.end());
+  summary.p50_modeled_ms = percentile(latencies, 50.0);
+  summary.p95_modeled_ms = percentile(latencies, 95.0);
+  summary.p99_modeled_ms = percentile(latencies, 99.0);
   summary.mean_modeled_ms =
       summary.total_modeled_ms / static_cast<double>(summary.requests);
   summary.throughput_rps = summary.wall_ms > 0

@@ -3,10 +3,12 @@
 // The first real serving scenario on top of the session API: a BatchRunner
 // fans N independent inputs across a private pool of request workers. Each
 // request checks a session out of the shared Engine (private command queue +
-// warm arena from the engine's pool) and runs Network::forward — the network
-// is const, so all requests share one copy of the weights. Per-request
-// ForwardResults come back in input order together with an aggregate
-// throughput/latency summary.
+// warm arena from the engine's pool) and executes the network's compiled
+// ExecutionPlan — the plan (like the network) is const and shared, so all
+// requests share one copy of the weights AND one set of ahead-of-time
+// kernel selections. Per-request ForwardResults come back in input order
+// together with an aggregate throughput/latency summary including p50/p95/
+// p99 tail latency.
 //
 // Request-level parallelism is intentionally a *separate* thread pool from
 // the simulated device's work-item pool: request workers block in
@@ -15,11 +17,15 @@
 // is waiting on.
 #pragma once
 
+#include <memory>
+#include <mutex>
+#include <utility>
 #include <vector>
 
 #include "common/threadpool.hpp"
 #include "core/engine.hpp"
 #include "core/network.hpp"
+#include "core/plan.hpp"
 
 namespace phonebit::serve {
 
@@ -37,6 +43,12 @@ struct BatchSummary {
   double mean_modeled_ms = 0.0;   ///< mean per-request modeled latency
   double max_modeled_ms = 0.0;    ///< slowest request's modeled latency
 
+  /// Tail latency over the batch's per-request modeled latencies
+  /// (nearest-rank percentiles; p50 <= p95 <= p99 <= max).
+  double p50_modeled_ms = 0.0;
+  double p95_modeled_ms = 0.0;
+  double p99_modeled_ms = 0.0;
+
   /// Per-layer report summed across every request (same layer order as the
   /// network; costs merged with KernelCost::accumulate).
   std::vector<core::LayerReport> merged_layers;
@@ -45,7 +57,10 @@ struct BatchSummary {
 /// Runs batches of independent inputs through one (engine, network) pair,
 /// one session per request. The runner owns its worker threads, so repeated
 /// run() calls reuse warm workers *and* — via the engine's arena pool —
-/// warm scratch arenas.
+/// warm scratch arenas. Requests execute through the COMPILED path: the
+/// runner compiles one ExecutionPlan per distinct input descriptor (lazily,
+/// on first sight) and every matching request shares it, so the per-request
+/// hot path does no shape inference and no kernel-variant selection.
 class BatchRunner {
  public:
   /// `workers` <= 0 selects a small default (4). A runner serves one run()
@@ -58,10 +73,21 @@ class BatchRunner {
 
   int workers() const noexcept { return pool_.size(); }
 
+  /// Distinct input descriptors compiled so far (plan-cache size).
+  std::size_t compiled_plans() const;
+
  private:
+  /// Returns the cached plan for `desc`, compiling it on first sight.
+  std::shared_ptr<const core::ExecutionPlan> plan_for(
+      const core::BlobDesc& desc);
+
   core::Engine& engine_;
   const core::Network& net_;
   ThreadPool pool_;
+  mutable std::mutex plan_mu_;
+  std::vector<std::pair<core::BlobDesc,
+                        std::shared_ptr<const core::ExecutionPlan>>>
+      plans_;
 };
 
 }  // namespace phonebit::serve

@@ -68,4 +68,29 @@ struct ConvGeometry {
   }
 };
 
+/// The interior output rectangle [x0,x1) x [y0,y1): output positions whose
+/// windows lie fully inside the input, i.e. never touch padding. The
+/// branch-free row-fused conv fast paths specialize on it (DESIGN.md §4);
+/// shared here so the binary and bit-plane convs compute one geometry.
+struct InteriorBox {
+  std::int64_t y0 = 0, y1 = 0, x0 = 0, x1 = 0;
+};
+
+inline InteriorBox interior_box(const ConvGeometry& g, std::int64_t ih,
+                                std::int64_t iw, std::int64_t oh,
+                                std::int64_t ow) {
+  const auto clamp = [](std::int64_t v, std::int64_t lo, std::int64_t hi) {
+    return v < lo ? lo : (v > hi ? hi : v);
+  };
+  InteriorBox b;
+  // Interior rows: oy*stride - pad >= 0 and oy*stride - pad + kernel <= in.
+  b.y0 = clamp((g.pad_h + g.stride_h - 1) / g.stride_h, 0, oh);
+  const std::int64_t ymax = ih - g.kernel_h + g.pad_h;
+  b.y1 = ymax < 0 ? b.y0 : clamp(ymax / g.stride_h + 1, b.y0, oh);
+  b.x0 = clamp((g.pad_w + g.stride_w - 1) / g.stride_w, 0, ow);
+  const std::int64_t xmax = iw - g.kernel_w + g.pad_w;
+  b.x1 = xmax < 0 ? b.x0 : clamp(xmax / g.stride_w + 1, b.x0, ow);
+  return b;
+}
+
 }  // namespace phonebit

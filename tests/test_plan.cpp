@@ -1,0 +1,362 @@
+// ExecutionPlan — the compile subsystem: shape inference + compile-time
+// validation, buffer-liveness slot assignment and exact scratch peaks,
+// ahead-of-time kernel selection (zero re-selection / zero arena growth on
+// the compiled hot path), and bit-exactness of compiled vs uncompiled
+// forwards across the model zoo.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "baselines/bnn_reference.hpp"
+#include "core/phonebit.hpp"
+#include "datasets/synthetic.hpp"
+#include "models/zoo.hpp"
+#include "test_util.hpp"
+
+namespace phonebit {
+namespace {
+
+using core::BlobDesc;
+using core::BlobKind;
+using core::EngineOptions;
+using core::ExecutionPlan;
+using core::FloatModel;
+using core::KernelVariant;
+
+FloatModel quick_model(std::uint64_t seed = 81) {
+  return FloatModel::random(models::quicknet(10), seed);
+}
+
+BlobDesc u8_desc(const Shape& s) { return BlobDesc{BlobKind::kU8, s}; }
+
+TEST(Plan, ShapeInferenceWalksThePipeline) {
+  const FloatModel model = quick_model();
+  auto net = core::convert_to_phonebit(model);
+  core::Engine engine(testing::test_device());
+  const ExecutionPlan plan =
+      net->compile(engine, u8_desc(model.spec.input));
+
+  ASSERT_EQ(plan.steps().size(), net->size());
+  EXPECT_EQ(plan.input().kind, BlobKind::kU8);
+  EXPECT_EQ(plan.output().kind, BlobKind::kFloat);
+  EXPECT_EQ(plan.output().shape.c, 10);
+  // Every edge is consistent: step i's output is step i+1's input.
+  for (std::size_t i = 0; i + 1 < plan.steps().size(); ++i) {
+    EXPECT_EQ(plan.steps()[i].out, plan.steps()[i + 1].in) << "edge " << i;
+  }
+  // Linear pipeline -> ping-pong liveness: at most two activation slots,
+  // intermediates alternate between them, the network output owns none.
+  ASSERT_LE(plan.slots().size(), 2u);
+  for (std::size_t i = 0; i + 1 < plan.steps().size(); ++i) {
+    const int slot = plan.steps()[i].slot;
+    ASSERT_GE(slot, 0);
+    EXPECT_EQ(slot, static_cast<int>(i % 2));
+    EXPECT_GE(plan.slots()[static_cast<std::size_t>(slot)].bytes,
+              plan.steps()[i].out.bytes());
+  }
+  EXPECT_EQ(plan.steps().back().slot, -1);
+  EXPECT_GT(plan.peak_activation_bytes(), 0);
+}
+
+TEST(Plan, CompiledMatchesUncompiledAcrossZoo) {
+  struct Case {
+    std::string name;
+    core::NetworkSpec spec;
+    std::uint64_t seed;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"quicknet", models::quicknet(10), 90});
+  models::ZooOptions yolo_zoo;
+  yolo_zoo.shrink_log2 = 3;
+  cases.push_back({"yolov2-tiny", models::yolov2_tiny(yolo_zoo), 91});
+  models::ZooOptions big_zoo;
+  big_zoo.shrink_log2 = 4;
+  cases.push_back({"alexnet", models::alexnet(big_zoo), 92});
+  cases.push_back({"vgg16", models::vgg16(big_zoo), 93});
+
+  for (const Case& c : cases) {
+    const FloatModel model = FloatModel::random(c.spec, c.seed);
+    const U8Tensor image = datasets::random_image(model.spec.input, c.seed);
+    auto net = core::convert_to_phonebit(model);
+    core::Engine engine(testing::test_device());
+
+    auto s1 = engine.create_session();
+    auto ctx = s1.context();
+    const auto uncompiled = net->forward(ctx, core::Blob{image});
+
+    const ExecutionPlan plan = net->compile(engine, u8_desc(image.shape()));
+    auto s2 = engine.create_session();
+    const auto compiled = plan.run(s2, core::Blob{image});
+
+    EXPECT_TRUE(allclose(compiled.float_output(), uncompiled.float_output(),
+                         0.0f))
+        << c.name << ": compiled forward diverged from uncompiled";
+    EXPECT_NEAR(compiled.modeled_ms, uncompiled.modeled_ms, 1e-12)
+        << c.name << ": modeled time drifted between paths";
+  }
+}
+
+TEST(Plan, CompiledMatchesBnnReference) {
+  const FloatModel model = quick_model(95);
+  const U8Tensor image = datasets::cifar_like_image(96);
+  const auto ref = baselines::bnn_reference_forward(model, image);
+
+  auto net = core::convert_to_phonebit(model);
+  core::Engine engine(testing::test_device());
+  const ExecutionPlan plan = net->compile(engine, u8_desc(image.shape()));
+  auto session = engine.create_session();
+  const auto result = plan.run(session, core::Blob{image});
+  EXPECT_TRUE(allclose(result.float_output(), ref.output, 1e-3f));
+}
+
+/// The liveness pass's scratch prediction is exact: a fresh arena, after
+/// one compiled forward, holds exactly peak_scratch_bytes() — across option
+/// sets exercising every conv path (A, B, C, and the zeros-span legacy arm).
+TEST(Plan, ArenaPeakMatchesLivenessPrediction) {
+  struct OptCase {
+    const char* label;
+    EngineOptions opts;
+  };
+  std::vector<OptCase> cases;
+  cases.push_back({"paper-default", EngineOptions{}});
+  EngineOptions no_fuse;
+  no_fuse.fuse_bn_binarize = false;  // path C: i32 sums + u8 bits
+  cases.push_back({"no-fusion", no_fuse});
+  EngineOptions no_integrate;
+  no_integrate.integrate_packing = false;  // path B: u8 bit map
+  cases.push_back({"separate-pack", no_integrate});
+  EngineOptions taps;
+  taps.interior_split = false;  // legacy zeros span in the words pool
+  cases.push_back({"per-tap", taps});
+
+  const FloatModel model = quick_model(97);
+  const U8Tensor image = datasets::cifar_like_image(98);
+  auto net = core::convert_to_phonebit(model);
+
+  bool some_case_uses_scratch = false;
+  for (const OptCase& c : cases) {
+    core::Engine engine(testing::test_device(), c.opts);
+    const ExecutionPlan plan = net->compile(engine, u8_desc(image.shape()));
+    auto session = engine.create_session();
+    // A fresh pool arena is cold: capacity after one forward must land
+    // exactly on the liveness pass's number, not a geometric overshoot.
+    ASSERT_EQ(session.arena().capacity_bytes(), 0) << c.label;
+    plan.run(session, core::Blob{image});
+    EXPECT_EQ(session.arena().capacity_bytes(), plan.peak_scratch_bytes())
+        << c.label;
+    if (plan.peak_scratch_bytes() > 0) some_case_uses_scratch = true;
+  }
+  EXPECT_TRUE(some_case_uses_scratch);
+}
+
+TEST(Plan, ZeroGrowthAndZeroReselectionAfterCompile) {
+  const FloatModel model = quick_model(99);
+  const U8Tensor image = datasets::cifar_like_image(100);
+  auto net = core::convert_to_phonebit(model);
+  core::Engine engine(testing::test_device());
+  const ExecutionPlan plan = net->compile(engine, u8_desc(image.shape()));
+
+  auto session = engine.create_session();
+  FloatTensor first(Shape{1, 1, 1, 1}, Layout::kNHWC);
+  for (int i = 0; i < 3; ++i) {
+    const auto result = plan.run(session, core::Blob{image});
+    if (i == 0) {
+      first = result.float_output();
+    } else {
+      EXPECT_TRUE(allclose(result.float_output(), first, 0.0f)) << i;
+    }
+    // Zero kernel-variant re-selection on the compiled path: selection
+    // happened at compile (through the engine, not this session), so the
+    // session's counter stays at zero while planned_runs advances.
+    EXPECT_EQ(session.stats().variant_selections, 0) << "run " << i;
+    EXPECT_EQ(session.stats().planned_runs, i + 1);
+    // Zero arena growth after the first run's exact reservation.
+    if (i == 0) continue;
+    EXPECT_EQ(session.arena().capacity_bytes(), plan.peak_scratch_bytes());
+  }
+  const int grows_after_first = session.arena().growth_events();
+  plan.run(session, core::Blob{image});
+  EXPECT_EQ(session.arena().growth_events(), grows_after_first);
+
+  // The uncompiled wrapper, by contrast, re-plans every call: the selection
+  // counter moves once per layer per forward.
+  auto ctx = session.context();
+  net->forward(ctx, core::Blob{image});
+  EXPECT_EQ(session.stats().variant_selections,
+            static_cast<std::int64_t>(net->size()));
+  EXPECT_EQ(session.stats().compiles, 1);
+  net->forward(ctx, core::Blob{image});
+  EXPECT_EQ(session.stats().variant_selections,
+            static_cast<std::int64_t>(2 * net->size()));
+}
+
+/// Malformed pipelines fail at compile time — with the offending layer in
+/// the message — and never reach a kernel launch.
+TEST(Plan, MalformedPipelineFailsAtCompile) {
+  core::Engine engine(testing::test_device());
+
+  // A BinaryConv2d first layer can't consume the 8-bit camera image.
+  {
+    const FloatTensor w = testing::random_sign_tensor(Shape{16, 3, 3, 8}, 1);
+    core::Network net("wrong-kind");
+    net.emplace<core::BinaryConv2d>("conv1", bitpack::pack_filter_signs(w),
+                                    testing::random_bn(16, 2),
+                                    std::vector<float>{}, ConvGeometry{});
+    EXPECT_THROW(
+        net.compile(engine, BlobDesc{BlobKind::kU8, Shape{1, 32, 32, 3}}),
+        InvalidArgument);
+  }
+
+  // Channel mismatch mid-pipeline: conv2 expects 32 channels, gets 16.
+  {
+    ConvGeometry g;
+    g.pad_h = g.pad_w = 1;
+    const FloatTensor w1 = testing::random_sign_tensor(Shape{16, 3, 3, 3}, 3);
+    const FloatTensor w2 =
+        testing::random_sign_tensor(Shape{32, 3, 3, 32}, 4);
+    core::Network net("channel-mismatch");
+    net.emplace<core::InputConv2d>("conv1", bitpack::pack_filter_signs(w1),
+                                   testing::random_bn(16, 5),
+                                   std::vector<float>{}, g);
+    net.emplace<core::BinaryConv2d>("conv2", bitpack::pack_filter_signs(w2),
+                                    testing::random_bn(32, 6),
+                                    std::vector<float>{}, g);
+    try {
+      net.compile(engine, BlobDesc{BlobKind::kU8, Shape{1, 32, 32, 3}});
+      FAIL() << "compile accepted a channel-mismatched pipeline";
+    } catch (const InvalidArgument& e) {
+      EXPECT_NE(std::string(e.what()).find("conv2"), std::string::npos);
+    }
+    // The failure happened during compile: no session was involved, and a
+    // forward through a session reports the same error before any launch.
+    auto session = engine.create_session();
+    auto ctx = session.context();
+    EXPECT_THROW(net.forward(ctx, core::Blob{datasets::cifar_like_image(7)}),
+                 InvalidArgument);
+    EXPECT_EQ(session.queue().events().size(), 0u);
+  }
+
+  // A window larger than the padded input is a geometry error at compile.
+  {
+    ConvGeometry g;
+    g.kernel_h = g.kernel_w = 9;
+    const FloatTensor w = testing::random_sign_tensor(Shape{16, 9, 9, 3}, 8);
+    core::Network net("window-too-big");
+    net.emplace<core::InputConv2d>("conv1", bitpack::pack_filter_signs(w),
+                                   testing::random_bn(16, 9),
+                                   std::vector<float>{}, g);
+    EXPECT_THROW(
+        net.compile(engine, BlobDesc{BlobKind::kU8, Shape{1, 4, 4, 3}}),
+        InvalidArgument);
+  }
+
+  // Empty networks can't compile.
+  {
+    core::Network net("empty");
+    EXPECT_THROW(
+        net.compile(engine, BlobDesc{BlobKind::kU8, Shape{1, 8, 8, 3}}),
+        InvalidArgument);
+  }
+}
+
+TEST(Plan, RunRejectsMismatchedInput) {
+  const FloatModel model = quick_model(101);
+  auto net = core::convert_to_phonebit(model);
+  core::Engine engine(testing::test_device());
+  const ExecutionPlan plan =
+      net->compile(engine, u8_desc(model.spec.input));
+  auto session = engine.create_session();
+  // Wrong kind entirely.
+  EXPECT_THROW(
+      plan.run(session, core::Blob{FloatTensor(model.spec.input,
+                                               Layout::kNHWC)}),
+      InvalidArgument);
+  // Right kind, wrong extent.
+  EXPECT_THROW(plan.run(session,
+                        core::Blob{datasets::random_image(
+                            Shape{1, 16, 16, 3}, 102)}),
+               InvalidArgument);
+}
+
+TEST(Plan, VariantsRecordAheadOfTimeSelection) {
+  const FloatModel model = quick_model(103);
+  auto net = core::convert_to_phonebit(model);
+  core::Engine engine(testing::test_device());
+  const ExecutionPlan plan =
+      net->compile(engine, u8_desc(model.spec.input));
+
+  // quicknet under paper defaults: every binary conv is narrow enough for
+  // the fully fused path A with the interior split on.
+  bool saw_conv = false;
+  for (const auto& step : plan.steps()) {
+    if (step.variant.kernel == "bconv_fused") {
+      saw_conv = true;
+      EXPECT_EQ(step.variant.path, KernelVariant::Path::kConvFused);
+      EXPECT_TRUE(step.variant.interior_split);
+      EXPECT_GT(step.variant.tile_ow, 0);
+    }
+  }
+  EXPECT_TRUE(saw_conv);
+
+  // The ablation options flow into the compiled variants.
+  EngineOptions unfused;
+  unfused.fuse_bn_binarize = false;
+  const ExecutionPlan plan_c =
+      net->compile(unfused, u8_desc(model.spec.input));
+  for (const auto& step : plan_c.steps()) {
+    EXPECT_NE(step.variant.path, KernelVariant::Path::kConvFused)
+        << step.layer->name();
+  }
+  EXPECT_GT(plan_c.scratch_peak().i32, 0);
+
+  // dump() carries the plan_dump surface: slots, variants, peak bytes.
+  const std::string dump = plan.dump();
+  EXPECT_NE(dump.find("slot"), std::string::npos);
+  EXPECT_NE(dump.find("pw="), std::string::npos);
+  EXPECT_NE(dump.find("scratch peak"), std::string::npos);
+  EXPECT_NE(dump.find("bconv_fused"), std::string::npos);
+}
+
+/// One plan, many sessions: concurrent compiled forwards are bit-exact and
+/// the shared plan never re-selects.
+TEST(Plan, SharedAcrossConcurrentSessions) {
+  const FloatModel model = quick_model(105);
+  auto net = core::convert_to_phonebit(model);
+  core::Engine engine(testing::test_device());
+  const ExecutionPlan plan =
+      net->compile(engine, u8_desc(model.spec.input));
+
+  std::vector<U8Tensor> images;
+  for (int i = 0; i < 8; ++i) {
+    images.push_back(
+        datasets::cifar_like_image(400 + static_cast<std::uint64_t>(i)));
+  }
+  std::vector<FloatTensor> serial;
+  for (const auto& img : images) {
+    auto session = engine.create_session();
+    serial.push_back(plan.run(session, core::Blob{img}).float_output());
+  }
+
+  std::vector<FloatTensor> out(images.size(),
+                               FloatTensor(Shape{1, 1, 1, 1}, Layout::kNHWC));
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int f = 0; f < 2; ++f) {
+        const std::size_t i = static_cast<std::size_t>(t * 2 + f);
+        auto session = engine.create_session();
+        out[i] = plan.run(session, core::Blob{images[i]}).float_output();
+        EXPECT_EQ(session.stats().variant_selections, 0);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (std::size_t i = 0; i < images.size(); ++i) {
+    EXPECT_TRUE(allclose(out[i], serial[i], 0.0f)) << "forward " << i;
+  }
+}
+
+}  // namespace
+}  // namespace phonebit

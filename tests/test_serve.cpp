@@ -73,6 +73,16 @@ TEST(BatchRunner, SummaryAggregatesPerRequestReports) {
   EXPECT_NEAR(summary.mean_modeled_ms, total / 6.0, 1e-9);
   EXPECT_NEAR(summary.max_modeled_ms, max_ms, 1e-12);
 
+  // Tail latency: nearest-rank percentiles over the per-request modeled
+  // latencies, monotone and bounded by the max.
+  EXPECT_GT(summary.p50_modeled_ms, 0.0);
+  EXPECT_LE(summary.p50_modeled_ms, summary.p95_modeled_ms);
+  EXPECT_LE(summary.p95_modeled_ms, summary.p99_modeled_ms);
+  EXPECT_LE(summary.p99_modeled_ms, summary.max_modeled_ms);
+
+  // All six requests shared one input shape -> exactly one compiled plan.
+  EXPECT_EQ(runner.compiled_plans(), 1u);
+
   // Per-layer merge: one slot per network layer, costs/launches summed over
   // every request, modeled total consistent with the request totals.
   ASSERT_EQ(summary.merged_layers.size(), net->size());
@@ -103,6 +113,23 @@ TEST(BatchRunner, WarmBatchesStopAllocating) {
     EXPECT_EQ(engine.arena_pool().created(), created) << "round " << round;
     EXPECT_EQ(device->allocated_bytes(), warm_bytes) << "round " << round;
   }
+}
+
+TEST(BatchRunner, RecompilesWhenEngineOptionsChange) {
+  // The plan cache embeds the options snapshot: reconfiguring the engine
+  // between batches must drop it, not serve stale compiled variants.
+  auto net = quick_net(76);
+  core::Engine engine(testing::test_device());
+  serve::BatchRunner runner(engine, *net, 2);
+  const auto fused = runner.run(make_inputs(2, 1300));
+  engine.options().fuse_bn_binarize = false;
+  const auto unfused = runner.run(make_inputs(2, 1300));
+
+  int fused_launches = 0, unfused_launches = 0;
+  for (const auto& m : fused.merged_layers) fused_launches += m.launches;
+  for (const auto& m : unfused.merged_layers) unfused_launches += m.launches;
+  EXPECT_LT(fused_launches, unfused_launches);
+  EXPECT_EQ(runner.compiled_plans(), 1u);  // stale entry replaced, not kept
 }
 
 TEST(BatchRunner, EmptyBatchIsANoop) {
