@@ -33,9 +33,13 @@ int main() {
       core::FloatModel::random(models::yolov2_tiny({shrink, true}), 31);
   const U8Tensor image = datasets::random_image(float_model.spec.input, 32);
 
-  // PhoneBit per-conv-layer modeled times.
+  // PhoneBit per-conv-layer modeled times. Fig. 5 attributes time per conv
+  // layer, so the conv→pool fusion is off here — a fused conv+pool step
+  // could not be split back into the figure's per-layer rows.
   auto net = core::convert_to_phonebit(bnn_model);
-  core::Engine engine(device);
+  core::EngineOptions opts;
+  opts.fuse_conv_pool = false;
+  core::Engine engine(device, opts);
   auto session = engine.create_session();
   auto ctx = session.context();
   const auto result = net->forward(ctx, core::Blob{image});

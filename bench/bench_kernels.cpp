@@ -158,10 +158,61 @@ void bench_conv(const ConvSpec& spec, const core::EngineOptions& opts,
   out.push_back({"bconv", spec.tag + "/" + variant, host, modeled});
 }
 
+/// Compiled conv(+pool) layer-chain records: the fused-geometry regression
+/// gate for the plan-level conv→pool rewrite. `fused` runs the compiled
+/// single-step rewrite (pool OR folded into the conv epilogue, pooled map
+/// emitted directly); `unfused` keeps the separate pool step.
+void bench_conv_pool(const ConvSpec& spec, std::vector<bench::BenchRecord>& out) {
+  Rng rng(101);
+  FloatTensor in(Shape{1, spec.hw, spec.hw, spec.c_in}, Layout::kNHWC);
+  FloatTensor w(Shape{spec.c_out, spec.k, spec.k, spec.c_in}, Layout::kNHWC);
+  for (std::int64_t i = 0; i < in.elems(); ++i) in.data()[i] = rng.sign();
+  for (std::int64_t i = 0; i < w.elems(); ++i) w.data()[i] = rng.sign();
+  std::vector<core::BatchNormParams> bn;
+  for (std::int64_t c = 0; c < spec.c_out; ++c) {
+    bn.push_back({rng.uniform(0.3f, 1.5f) * rng.sign(), rng.normal(),
+                  rng.normal() * 3.0f, rng.uniform(0.5f, 2.0f)});
+  }
+  ConvGeometry g;
+  g.kernel_h = g.kernel_w = spec.k;
+  g.stride_h = g.stride_w = spec.stride;
+  g.pad_h = g.pad_w = spec.pad;
+  core::Network net("bench-conv-pool");
+  net.emplace<core::BinaryConv2d>("conv", bitpack::pack_filter_signs(w), bn,
+                                  std::vector<float>{}, g);
+  net.emplace<core::MaxPool2d>("pool", core::PoolGeometry{2, 2, 0, false});
+
+  auto device = std::make_shared<oclsim::Device>(
+      oclsim::DeviceProfile::snapdragon855());
+  const core::Blob input{bitpack::pack_signs(in)};
+  const core::BlobDesc desc = core::describe_blob(input);
+
+  for (const bool fuse : {true, false}) {
+    core::EngineOptions opts;
+    opts.fuse_conv_pool = fuse;
+    core::Engine engine(device, opts);
+    const core::ExecutionPlan plan = net.compile(engine, desc);
+    auto session = engine.create_session();
+    double modeled = 0.0;
+    const double host = best_ms(10, [&] {
+      session.reset_profile();
+      const auto result = plan.run(session, input);
+      modeled = result.modeled_ms;
+    });
+    out.push_back({"bconv+pool",
+                   spec.tag + "+p2s2/" + (fuse ? "fused" : "unfused"), host,
+                   modeled});
+  }
+}
+
 /// End-to-end modeled+host time of whole zoo models through the COMPILED
 /// path (Network::compile + ExecutionPlan::run): the regression gate for
 /// the plan subsystem itself. Modeled time is deterministic, so these
 /// records are tracked in BENCH_kernels.json like the kernel records.
+/// Each model runs twice: `compiled` under paper defaults (conv→pool
+/// fusion + slot-backed borrowed-output forwards — the steady-state
+/// serving configuration) and `unfused` with the conv→pool rewrite off,
+/// so the fusion win stays visible in the tracked records.
 void bench_model_e2e(std::vector<bench::BenchRecord>& out) {
   auto device = std::make_shared<oclsim::Device>(
       oclsim::DeviceProfile::snapdragon855());
@@ -170,17 +221,25 @@ void bench_model_e2e(std::vector<bench::BenchRecord>& out) {
                              const core::FloatModel& trained,
                              const U8Tensor& image) {
     auto net = core::convert_to_phonebit(trained);
-    core::Engine engine(device);
-    const core::ExecutionPlan plan = net->compile(
-        engine, core::BlobDesc{core::BlobKind::kU8, image.shape()});
-    auto session = engine.create_session();
-    double modeled = 0.0;
-    const double host = best_ms(5, [&] {
-      session.reset_profile();
-      const auto result = plan.run(session, core::Blob{image});
-      modeled = result.modeled_ms;
-    });
-    out.push_back({"model_e2e", tag + "/compiled", host, modeled});
+    const core::Blob input{image};
+    const core::BlobDesc desc = core::describe_blob(input);
+    for (const bool fuse : {true, false}) {
+      core::EngineOptions opts;
+      opts.fuse_conv_pool = fuse;
+      core::Engine engine(device, opts);
+      const core::ExecutionPlan plan = net->compile(engine, desc);
+      auto session = engine.create_session();
+      core::RunOptions ro;
+      ro.borrow_output = true;  // steady-state zero-allocation serving mode
+      double modeled = 0.0;
+      const double host = best_ms(5, [&] {
+        session.reset_profile();
+        const auto result = plan.run(session, input, ro);
+        modeled = result.modeled_ms;
+      });
+      out.push_back({"model_e2e", tag + (fuse ? "/compiled" : "/unfused"),
+                     host, modeled});
+    }
   };
 
   run_model("quicknet",
@@ -283,6 +342,10 @@ int main(int argc, char** argv) {
     taps.interior_split = false;
     bench_conv(spec, taps, "taps", records);
   }
+  // Fused-geometry record for the plan-level conv→pool rewrite (2x2/s2
+  // pool folded into the conv epilogue) vs the two-step chain.
+  bench_conv_pool({"3x3/s1/p1/26x26/c128->128", 26, 128, 128, 3, 1, 1},
+                  records);
   bench_model_e2e(records);
 
   std::printf("%-14s %-30s %12s %12s\n", "op", "geometry", "host_ms",

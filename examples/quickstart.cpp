@@ -9,9 +9,13 @@
 // `quickstart plan_dump` skips inference and prints the compiled
 // ExecutionPlan instead (per-step kernel variants, activation slots, exact
 // scratch peak) — the ctest smoke target runs this mode.
+// `quickstart fused_dump` additionally self-checks the conv→pool fusion
+// pass: it verifies the printed plan contains fused steps and per-slot
+// slab backing offsets (the quickstart_fused_dump ctest target).
 #include <cstdio>
 #include <cstring>
 #include <memory>
+#include <string>
 
 #include "core/phonebit.hpp"
 #include "datasets/synthetic.hpp"
@@ -19,8 +23,10 @@
 
 int main(int argc, char** argv) {
   using namespace phonebit;
+  const bool fused_dump =
+      argc > 1 && std::strcmp(argv[1], "fused_dump") == 0;
   const bool plan_dump =
-      argc > 1 && std::strcmp(argv[1], "plan_dump") == 0;
+      fused_dump || (argc > 1 && std::strcmp(argv[1], "plan_dump") == 0);
 
   // (1) A trained model. In a real deployment this comes from a BNN
   // training framework; here it is a deterministic synthetic checkpoint.
@@ -55,8 +61,31 @@ int main(int argc, char** argv) {
       engine, core::BlobDesc{core::BlobKind::kU8, image.shape()});
 
   if (plan_dump) {
-    std::printf("%s", plan.dump().c_str());
+    const std::string dump = plan.dump();
+    std::printf("%s", dump.c_str());
     std::remove("quicknet.pbm");
+    if (fused_dump) {
+      // Self-checking smoke: the fused plan must surface fused conv→pool
+      // steps and the per-slot slab backing offsets.
+      if (dump.find("+maxpool") == std::string::npos) {
+        std::fprintf(stderr, "fused_dump: no fused conv+pool step in plan\n");
+        return 1;
+      }
+      // The slab summary must list each slot WITH its byte offset
+      // ("slotN=<size>@<offset>") and a step line must reference its slot
+      // backing ("slot=0@<offset>") — plain "slot0=" / "@" would also
+      // match a dump that lost the offset printing.
+      if (dump.find("slot0=") == std::string::npos ||
+          dump.find("B@0") == std::string::npos ||
+          dump.find(" slot=0@") == std::string::npos ||
+          dump.find(" out@") == std::string::npos) {
+        std::fprintf(stderr, "fused_dump: no slot backing offsets in plan\n");
+        return 1;
+      }
+      std::printf("fused_dump: ok (%zu steps, fused steps present, "
+                  "slot offsets printed)\n",
+                  plan.steps().size());
+    }
     return 0;
   }
 

@@ -107,6 +107,88 @@ std::int64_t and_popcount_2d_wide(const std::uint64_t* a,
   return simd::reduce_add(acc) + tail;
 }
 
+// Shared-window kernels: one pass over the input window spans scores the 8
+// filters of a workload group. The input vector is loaded once per chunk
+// and reused across the 8 weight streams (the compiler keeps it in a
+// register), so the group pays 9 loads per chunk instead of 16 and one loop
+// prologue per row instead of 8.
+template <int Lanes, bool And>
+void popcount_2d_x8_wide(const std::uint64_t* a, std::int64_t a_stride,
+                         const std::uint64_t* b, std::int64_t b_pitch,
+                         std::int64_t b_stride, std::int64_t row_words,
+                         std::int64_t rows, std::int64_t out[8]) {
+  using V = simd::vec<std::uint64_t, Lanes>;
+  V acc[8]{};
+  std::int64_t tail[8] = {};
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const std::uint64_t* pa = a + r * a_stride;
+    const std::uint64_t* pb = b + r * b_stride;
+    std::int64_t i = 0;
+    for (; i + Lanes <= row_words; i += Lanes) {
+      const V va = simd::vload<std::uint64_t, Lanes>(0, pa + i);
+      for (int f = 0; f < 8; ++f) {
+        const V vb = simd::vload<std::uint64_t, Lanes>(0, pb + f * b_pitch + i);
+        simd::popcount_accumulate(acc[f], And ? va & vb : va ^ vb);
+      }
+    }
+    for (; i < row_words; ++i) {
+      const std::uint64_t wa = pa[i];
+      for (int f = 0; f < 8; ++f) {
+        const std::uint64_t wb = pb[f * b_pitch + i];
+        tail[f] += popcount(And ? wa & wb : wa ^ wb);
+      }
+    }
+  }
+  for (int f = 0; f < 8; ++f) out[f] = simd::reduce_add(acc[f]) + tail[f];
+}
+
+// Word-granularity shared-window loop for the narrow widths (no lane
+// accumulator to carry; the sharing of the input load is the whole point).
+template <bool And>
+void popcount_2d_x8_words(const std::uint64_t* a, std::int64_t a_stride,
+                          const std::uint64_t* b, std::int64_t b_pitch,
+                          std::int64_t b_stride, std::int64_t row_words,
+                          std::int64_t rows, std::int64_t out[8]) {
+  std::int64_t acc[8] = {};
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const std::uint64_t* pa = a + r * a_stride;
+    const std::uint64_t* pb = b + r * b_stride;
+    for (std::int64_t i = 0; i < row_words; ++i) {
+      const std::uint64_t wa = pa[i];
+      for (int f = 0; f < 8; ++f) {
+        const std::uint64_t wb = pb[f * b_pitch + i];
+        acc[f] += popcount(And ? wa & wb : wa ^ wb);
+      }
+    }
+  }
+  for (int f = 0; f < 8; ++f) out[f] = acc[f];
+}
+
+template <bool And>
+void popcount_2d_x8(const std::uint64_t* a, std::int64_t a_stride,
+                    const std::uint64_t* b, std::int64_t b_pitch,
+                    std::int64_t b_stride, std::int64_t row_words,
+                    std::int64_t rows, PackWidth w, std::int64_t out[8]) {
+  PB_CHECK(row_words >= 0 && rows >= 0, "negative span geometry");
+  switch (w) {
+    case PackWidth::k128:
+      return popcount_2d_x8_wide<2, And>(a, a_stride, b, b_pitch, b_stride,
+                                         row_words, rows, out);
+    case PackWidth::k256:
+      return popcount_2d_x8_wide<4, And>(a, a_stride, b, b_pitch, b_stride,
+                                         row_words, rows, out);
+    case PackWidth::k512:
+      return popcount_2d_x8_wide<8, And>(a, a_stride, b, b_pitch, b_stride,
+                                         row_words, rows, out);
+    case PackWidth::k1024:
+      return popcount_2d_x8_wide<16, And>(a, a_stride, b, b_pitch, b_stride,
+                                          row_words, rows, out);
+    default:
+      return popcount_2d_x8_words<And>(a, a_stride, b, b_pitch, b_stride,
+                                       row_words, rows, out);
+  }
+}
+
 template <int Lanes>
 std::int64_t and_popcount_wide(const std::uint64_t* a, const std::uint64_t* b,
                                std::int64_t nwords) {
@@ -281,6 +363,22 @@ std::int64_t and_popcount_2d(const std::uint64_t* a, std::int64_t a_stride,
       return total;
     }
   }
+}
+
+void xor_popcount_2d_x8(const std::uint64_t* a, std::int64_t a_stride,
+                        const std::uint64_t* b, std::int64_t b_pitch,
+                        std::int64_t b_stride, std::int64_t row_words,
+                        std::int64_t rows, PackWidth w, std::int64_t out[8]) {
+  popcount_2d_x8<false>(a, a_stride, b, b_pitch, b_stride, row_words, rows, w,
+                        out);
+}
+
+void and_popcount_2d_x8(const std::uint64_t* a, std::int64_t a_stride,
+                        const std::uint64_t* b, std::int64_t b_pitch,
+                        std::int64_t b_stride, std::int64_t row_words,
+                        std::int64_t rows, PackWidth w, std::int64_t out[8]) {
+  popcount_2d_x8<true>(a, a_stride, b, b_pitch, b_stride, row_words, rows, w,
+                       out);
 }
 
 std::int64_t popcount_words(const std::uint64_t* a, std::int64_t nwords) {

@@ -84,6 +84,27 @@ std::int64_t and_popcount_2d(const std::uint64_t* a, std::int64_t a_stride,
                              std::int64_t row_words, std::int64_t rows,
                              PackWidth w);
 
+/// Shared-window schedule: xor_popcount_2d of ONE input window against the
+/// 8 filters of a workload group in a single pass. Each input span is
+/// loaded once per row and scored against all 8 weight streams (filter f's
+/// rows start at `b + f*b_pitch`, strided `b_stride` apart), with one
+/// mismatch accumulator per filter — instead of 8 independent window
+/// passes each re-reading the same input spans. `out[f]` receives filter
+/// f's mismatch count; results are bit-exact with 8 xor_popcount_2d calls.
+/// Narrow granularities (< 128 bits) have no cross-row lane accumulator
+/// and run the shared loop at word granularity.
+void xor_popcount_2d_x8(const std::uint64_t* a, std::int64_t a_stride,
+                        const std::uint64_t* b, std::int64_t b_pitch,
+                        std::int64_t b_stride, std::int64_t row_words,
+                        std::int64_t rows, PackWidth w, std::int64_t out[8]);
+
+/// AND-flavoured shared-window schedule for the bit-plane first layer: one
+/// pass over a 0/1 plane window scores the 8 filters of the group.
+void and_popcount_2d_x8(const std::uint64_t* a, std::int64_t a_stride,
+                        const std::uint64_t* b, std::int64_t b_pitch,
+                        std::int64_t b_stride, std::int64_t row_words,
+                        std::int64_t rows, PackWidth w, std::int64_t out[8]);
+
 /// popcount(a) over `nwords` words.
 std::int64_t popcount_words(const std::uint64_t* a, std::int64_t nwords);
 

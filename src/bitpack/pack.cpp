@@ -1,5 +1,7 @@
 #include "bitpack/pack.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
 
 namespace phonebit::bitpack {
@@ -10,16 +12,26 @@ PackedTensor pack_signs(const FloatTensor& t) {
                                                   << "); convert first");
   const Shape& s = t.shape();
   PackedTensor out(s);
-  for (std::int64_t n = 0; n < s.n; ++n)
-    for (std::int64_t h = 0; h < s.h; ++h)
-      for (std::int64_t w = 0; w < s.w; ++w) {
-        std::uint64_t* words = out.pixel(n, h, w);
-        for (std::int64_t c = 0; c < s.c; ++c) {
-          if (t(n, h, w, c) >= 0.0f) {
-            words[c / kWordBits] |= (std::uint64_t{1} << (c % kWordBits));
-          }
-        }
+  // Hot loop over raw spans: NHWC channels are contiguous per pixel, so
+  // each packed word accumulates in a register and stores once — no
+  // per-bit member loads or read-modify-write word traffic.
+  const float* src = t.data();
+  std::uint64_t* dst = out.data();
+  const std::int64_t pixels = s.n * s.h * s.w;
+  const std::int64_t wpp = out.words_per_pixel();
+  for (std::int64_t p = 0; p < pixels; ++p) {
+    const float* px = src + p * s.c;
+    std::uint64_t* words = dst + p * wpp;
+    for (std::int64_t j = 0; j < wpp; ++j) {
+      const std::int64_t limit =
+          std::min<std::int64_t>(kWordBits, s.c - j * kWordBits);
+      std::uint64_t acc = 0;
+      for (std::int64_t b = 0; b < limit; ++b) {
+        if (px[j * kWordBits + b] >= 0.0f) acc |= std::uint64_t{1} << b;
       }
+      words[j] = acc;
+    }
+  }
   return out;
 }
 

@@ -14,8 +14,11 @@
 #pragma once
 
 #include <cstdint>
+#include <cstring>
+#include <utility>
 #include <vector>
 
+#include "common/alloc_count.hpp"
 #include "common/bitops.hpp"
 #include "common/error.hpp"
 #include "tensor/shape.hpp"
@@ -28,6 +31,13 @@ inline constexpr std::int64_t kWordBits = 64;
 /// Rank-4 binary tensor, channel dimension packed into uint64 words.
 /// Also used for weight banks with the interpretation (n=C_out, h=KH, w=KW,
 /// c=C_in) so conv kernels can reuse the same unit-stride span math.
+///
+/// Storage is owned (zeroed heap buffer, counted by the buffer-allocation
+/// hook) or borrowed — a view over session-arena slot memory the compiled
+/// runner hands to layers, so warm forwards allocate nothing. A borrowed
+/// view is NOT cleared on construction: producers that write byte-granular
+/// output must zero the padding words themselves (ExecContext::make_packed
+/// does this when C is not word-aligned). Copies always deep-copy.
 class PackedTensor {
  public:
   PackedTensor() = default;
@@ -37,21 +47,65 @@ class PackedTensor {
   explicit PackedTensor(Shape shape)
       : shape_(checked_shape(shape)),
         words_per_pixel_(ceil_div(shape.c, kWordBits)),
-        data_(static_cast<std::size_t>(shape.n * shape.h * shape.w *
-                                       words_per_pixel_),
-              0) {}
+        total_words_(shape.n * shape.h * shape.w * words_per_pixel_),
+        owned_(static_cast<std::size_t>(total_words_), 0),
+        data_(owned_.data()) {
+    count_buffer_alloc();
+  }
+
+  /// Borrowed-storage view over `storage` (>= total_words() words, caller
+  /// keeps it alive, 8-byte aligned). Contents are left as-is.
+  PackedTensor(Shape shape, std::uint64_t* storage)
+      : shape_(checked_shape(shape)),
+        words_per_pixel_(ceil_div(shape.c, kWordBits)),
+        total_words_(shape.n * shape.h * shape.w * words_per_pixel_),
+        data_(storage) {
+    PB_CHECK(storage != nullptr, "null packed-tensor view storage");
+  }
+
+  PackedTensor(const PackedTensor& o)
+      : shape_(o.shape_), words_per_pixel_(o.words_per_pixel_),
+        total_words_(o.total_words_),
+        owned_(o.data_ == nullptr
+                   ? std::vector<std::uint64_t>()
+                   : std::vector<std::uint64_t>(o.data_,
+                                                o.data_ + o.total_words_)),
+        data_(owned_.empty() ? nullptr : owned_.data()) {
+    if (!owned_.empty()) count_buffer_alloc();
+  }
+  PackedTensor& operator=(const PackedTensor& o) {
+    if (this != &o) *this = PackedTensor(o);
+    return *this;
+  }
+  PackedTensor(PackedTensor&& o) noexcept
+      : shape_(std::exchange(o.shape_, Shape{})),
+        words_per_pixel_(o.words_per_pixel_), total_words_(o.total_words_),
+        owned_(std::move(o.owned_)), data_(std::exchange(o.data_, nullptr)) {}
+  PackedTensor& operator=(PackedTensor&& o) noexcept {
+    if (this != &o) {
+      shape_ = std::exchange(o.shape_, Shape{});
+      words_per_pixel_ = o.words_per_pixel_;
+      total_words_ = o.total_words_;
+      owned_ = std::move(o.owned_);
+      data_ = std::exchange(o.data_, nullptr);
+    }
+    return *this;
+  }
 
   const Shape& shape() const noexcept { return shape_; }
   std::int64_t channels() const noexcept { return shape_.c; }
   std::int64_t words_per_pixel() const noexcept { return words_per_pixel_; }
-  std::int64_t total_words() const noexcept {
-    return static_cast<std::int64_t>(data_.size());
-  }
+  std::int64_t total_words() const noexcept { return total_words_; }
   /// Packed storage footprint in bytes (the model-size accounting uses this).
   std::int64_t bytes() const noexcept { return total_words() * 8; }
 
-  std::uint64_t* data() noexcept { return data_.data(); }
-  const std::uint64_t* data() const noexcept { return data_.data(); }
+  /// False when this tensor is a borrowed view (slot-backed activation).
+  bool owns_storage() const noexcept {
+    return data_ == nullptr || !owned_.empty();
+  }
+
+  std::uint64_t* data() noexcept { return data_; }
+  const std::uint64_t* data() const noexcept { return data_; }
 
   /// Linear word offset of pixel (n,h,w), word j in [0, words_per_pixel).
   std::int64_t word_offset(std::int64_t n, std::int64_t h, std::int64_t w,
@@ -61,19 +115,18 @@ class PackedTensor {
 
   /// Pointer to the packed channel span of pixel (n,h,w).
   std::uint64_t* pixel(std::int64_t n, std::int64_t h, std::int64_t w) noexcept {
-    return data_.data() + word_offset(n, h, w);
+    return data_ + word_offset(n, h, w);
   }
   const std::uint64_t* pixel(std::int64_t n, std::int64_t h,
                              std::int64_t w) const noexcept {
-    return data_.data() + word_offset(n, h, w);
+    return data_ + word_offset(n, h, w);
   }
 
   /// Reads channel bit c of pixel (n,h,w).
   bool get(std::int64_t n, std::int64_t h, std::int64_t w,
            std::int64_t c) const {
     check_index(n, h, w, c);
-    const std::uint64_t word =
-        data_[static_cast<std::size_t>(word_offset(n, h, w, c / kWordBits))];
+    const std::uint64_t word = data_[word_offset(n, h, w, c / kWordBits)];
     return get_bit(word, static_cast<int>(c % kWordBits));
   }
 
@@ -81,13 +134,18 @@ class PackedTensor {
   void set(std::int64_t n, std::int64_t h, std::int64_t w, std::int64_t c,
            bool bit) {
     check_index(n, h, w, c);
-    auto& word =
-        data_[static_cast<std::size_t>(word_offset(n, h, w, c / kWordBits))];
+    auto& word = data_[word_offset(n, h, w, c / kWordBits)];
     word = set_bit(word, static_cast<int>(c % kWordBits), bit);
   }
 
+  /// Value equality: same logical shape and identical packed words,
+  /// regardless of which side owns its storage.
   friend bool operator==(const PackedTensor& a, const PackedTensor& b) {
-    return a.shape_ == b.shape_ && a.data_ == b.data_;
+    if (!(a.shape_ == b.shape_)) return false;
+    if (a.data_ == b.data_) return true;
+    if (a.data_ == nullptr || b.data_ == nullptr) return false;
+    return std::memcmp(a.data_, b.data_,
+                       static_cast<std::size_t>(a.total_words_) * 8) == 0;
   }
 
  private:
@@ -107,7 +165,9 @@ class PackedTensor {
 
   Shape shape_{};
   std::int64_t words_per_pixel_ = 0;
-  std::vector<std::uint64_t> data_;
+  std::int64_t total_words_ = 0;
+  std::vector<std::uint64_t> owned_;  // empty for borrowed views
+  std::uint64_t* data_ = nullptr;
 };
 
 }  // namespace phonebit::bitpack

@@ -1,0 +1,34 @@
+// PhoneBit — buffer-allocation accounting.
+//
+// The zero-allocation contract of compiled forwards (DESIGN.md §7) is
+// asserted through this counter: every owning tensor-buffer allocation
+// (Tensor, PackedTensor) and every scratch-arena pool growth bumps it, so a
+// test can snapshot the count, run warm forwards, and prove the hot path
+// allocated nothing. The counter tracks *buffer* (device-model) memory —
+// the simulated runtime's host-side profiling log is not device memory and
+// is not counted.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace phonebit {
+
+/// Process-wide count of owning buffer allocations (monotone).
+inline std::atomic<std::int64_t>& buffer_alloc_counter() noexcept {
+  static std::atomic<std::int64_t> count{0};
+  return count;
+}
+
+/// Records one owning buffer allocation.
+inline void count_buffer_alloc() noexcept {
+  buffer_alloc_counter().fetch_add(1, std::memory_order_relaxed);
+}
+
+/// Current allocation count; diff two snapshots around a code region to
+/// count its buffer allocations.
+inline std::int64_t buffer_alloc_count() noexcept {
+  return buffer_alloc_counter().load(std::memory_order_relaxed);
+}
+
+}  // namespace phonebit

@@ -1,4 +1,5 @@
-// PhoneBit — reusable scratch arena for intermediate kernel buffers.
+// PhoneBit — reusable scratch arena for intermediate kernel buffers AND the
+// slot-backed activation slab of compiled forwards.
 //
 // Path B/C of the binary conv (and any layer needing a materialized
 // intermediate) used to heap-allocate activation-sized vectors on every
@@ -8,11 +9,16 @@
 // network and then reused verbatim across Network::forward calls. Growth is
 // accounted against the simulated device via Device::allocate so the OOM
 // behaviour of real GPU buffers is preserved, and growth events are counted
-// so tests can assert the hot path stops allocating after warm-up.
+// (and fed to the buffer-allocation hook, common/alloc_count.hpp) so tests
+// can assert the hot path stops allocating after warm-up.
 //
-// Lifetime contract: a span returned by i32()/u8()/words() stays valid until
-// the *next* request of the same kind — layers grab their buffers up front
-// and kernels (eagerly executed) consume them within the same forward.
+// Lifetime contract: a span returned by i32()/f32()/u8()/words() stays valid
+// until the *next* request of the same kind — layers grab their buffers up
+// front and kernels (eagerly executed) consume them within the same forward.
+// The SLAB pool is different: it backs the compiled plan's activation slots
+// (ExecutionPlan hands layers disjoint slot offsets into it), so its
+// contents stay live across the steps of one forward and are clobbered by
+// the next forward on the same session.
 #pragma once
 
 #include <cstdint>
@@ -22,6 +28,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/alloc_count.hpp"
+#include "common/bitops.hpp"
 #include "common/error.hpp"
 #include "oclsim/runtime.hpp"
 
@@ -42,6 +50,10 @@ class ScratchArena {
   /// int32 scratch of at least `n` elements (conv sums, pooling counts).
   std::int32_t* i32(std::int64_t n) { return ensure(i32_, n); }
 
+  /// float scratch of at least `n` elements (full-precision head
+  /// intermediates: unpacked ±1 activations, flattened feature vectors).
+  float* f32(std::int64_t n) { return ensure(f32_, n); }
+
   /// byte scratch of at least `n` elements (unpacked 0/1 bit maps).
   std::uint8_t* u8(std::int64_t n) { return ensure(u8_, n); }
 
@@ -56,17 +68,28 @@ class ScratchArena {
     return p;
   }
 
+  /// The activation slab of at least `bytes` bytes (8-byte aligned words):
+  /// backs the compiled plan's activation slots. Unlike the scratch pools,
+  /// slab contents persist across the steps of one forward.
+  std::uint64_t* slab(std::int64_t bytes) {
+    return ensure(slab_, ceil_div(bytes, 8));
+  }
+
   /// Pre-grows the typed pools to EXACTLY the given element counts (no
   /// geometric rounding), so a compiled plan's liveness prediction matches
-  /// capacity_bytes() byte-for-byte on a fresh arena. Idempotent when the
-  /// pools already cover the request; subsequent i32()/u8()/words() calls
-  /// within the reserved sizes never grow. Counted as growth events like
-  /// any other growth (warm-up, not hot path).
-  void reserve(std::int64_t i32_elems, std::int64_t u8_elems,
-               std::int64_t word_elems) {
+  /// capacity_bytes() byte-for-byte on a fresh arena. A strict no-op — no
+  /// growth event, no device-accounting movement, no resize — whenever the
+  /// pools already cover the request, so re-running a plan on a warm
+  /// session with identical peaks costs nothing. Growth (warm-up only, not
+  /// hot path) is counted like any other growth.
+  void reserve(std::int64_t i32_elems, std::int64_t f32_elems,
+               std::int64_t u8_elems, std::int64_t word_elems,
+               std::int64_t slab_bytes) {
     reserve_pool(i32_, i32_elems);
+    reserve_pool(f32_, f32_elems);
     reserve_pool(u8_, u8_elems);
     reserve_pool(words_, word_elems);
+    reserve_pool(slab_, ceil_div(slab_bytes, 8));
   }
 
   /// Number of times any pool had to grow since construction. Stable after
@@ -74,7 +97,7 @@ class ScratchArena {
   /// move across repeated forwards.
   int growth_events() const noexcept { return growth_events_; }
 
-  /// Total bytes currently reserved across all pools.
+  /// Total bytes currently reserved across all pools (slab included).
   std::int64_t capacity_bytes() const noexcept { return accounted_bytes_; }
 
  private:
@@ -86,12 +109,7 @@ class ScratchArena {
       // Geometric growth so a pyramid of layer sizes settles in O(log) grows.
       std::size_t cap = pool.size() < 64 ? 64 : pool.size();
       while (cap < need) cap *= 2;
-      const std::int64_t delta =
-          static_cast<std::int64_t>((cap - pool.size()) * sizeof(T));
-      if (device_ != nullptr) device_->allocate(delta);
-      accounted_bytes_ += delta;
-      pool.resize(cap);
-      ++growth_events_;
+      grow(pool, cap);
     }
     return pool.data();
   }
@@ -100,19 +118,27 @@ class ScratchArena {
   void reserve_pool(std::vector<T>& pool, std::int64_t n) {
     PB_CHECK(n >= 0, "negative scratch reservation");
     const auto need = static_cast<std::size_t>(n);
-    if (pool.size() >= need) return;
+    if (pool.size() >= need) return;  // warm no-op: nothing moves
+    grow(pool, need);
+  }
+
+  template <typename T>
+  void grow(std::vector<T>& pool, std::size_t to) {
     const std::int64_t delta =
-        static_cast<std::int64_t>((need - pool.size()) * sizeof(T));
+        static_cast<std::int64_t>((to - pool.size()) * sizeof(T));
     if (device_ != nullptr) device_->allocate(delta);
     accounted_bytes_ += delta;
-    pool.resize(need);
+    pool.resize(to);
     ++growth_events_;
+    count_buffer_alloc();  // the zero-allocation proof hook
   }
 
   oclsim::Device* device_;
   std::vector<std::int32_t> i32_;
+  std::vector<float> f32_;
   std::vector<std::uint8_t> u8_;
   std::vector<std::uint64_t> words_;
+  std::vector<std::uint64_t> slab_;
   std::int64_t accounted_bytes_ = 0;
   int growth_events_ = 0;
 };
@@ -143,6 +169,7 @@ class ArenaPool {
       }
       ++created_;
     }
+    count_buffer_alloc();  // cold arena minted — warm checkout is free
     return std::make_unique<ScratchArena>(device_);
   }
 

@@ -1,12 +1,14 @@
 #include "core/binary_conv.hpp"
 
 #include <algorithm>
+#include <array>
 #include <bit>
 #include <cstring>
 
 #include "bitpack/binary_ops.hpp"
 #include "core/binarize.hpp"
 #include "core/costs.hpp"
+#include "core/pooling.hpp"
 
 namespace phonebit::core {
 
@@ -113,6 +115,9 @@ Blob BinaryConv2d::forward(ExecContext& ctx, const Blob& in) const {
 
 Blob BinaryConv2d::run(ExecContext& ctx, const Blob& in,
                        const PlanStep& step) const {
+  if (step.fused_pool != nullptr) {
+    return forward_fused_pool(ctx, checked_input(in), step);
+  }
   return execute(ctx, checked_input(in), step.variant);
 }
 
@@ -254,6 +259,49 @@ inline std::int64_t window_mismatches(const PackedTensor& in,
   return window_mismatches_border(in, weights, d, n, oy, ox, co, pw);
 }
 
+/// Path A's per-group window accumulator: the 8 filters of workload group g
+/// scored at once. Interior windows run the SHARED-WINDOW schedule — each
+/// input span is loaded once and re-used across the 8 contiguous filters of
+/// the group (xor_popcount_2d_x8) instead of 8 independent window passes
+/// re-reading the same spans. Border/per-tap windows keep the per-filter
+/// routines (the border fraction is small and pad-clamped spans differ per
+/// row anyway).
+inline void group_mismatches(const PackedTensor& in,
+                             const PackedTensor& weights, const ConvDims& d,
+                             std::int64_t n, std::int64_t oy, std::int64_t ox,
+                             std::int64_t g, const std::uint64_t* zeros,
+                             bitpack::PackWidth pw, bool split,
+                             bool y_interior, std::int64_t mism[8]) {
+  if (split && y_interior && ox >= d.x0 && ox < d.x1) {
+    bitpack::xor_popcount_2d_x8(
+        in.pixel(n, oy * d.sh - d.ph, ox * d.sw - d.pw), d.iw * d.words,
+        weights.pixel(g * 8, 0, 0), d.kh * d.kw * d.words, d.kw * d.words,
+        d.kw * d.words, d.kh, pw, mism);
+    return;
+  }
+  for (int f = 0; f < 8; ++f) {
+    mism[f] = window_mismatches(in, weights, d, n, oy, ox, g * 8 + f, zeros,
+                                pw, split, y_interior);
+  }
+}
+
+/// Path A epilogue: folded-BN threshold sign over the 8 group results,
+/// packed into one byte (Fig. 4's private-memory byte).
+inline std::uint8_t group_byte(const std::int64_t mism[8], std::int64_t g,
+                               std::int64_t len, const FoldedBatchNorm& fb,
+                               bool branch_free) {
+  std::uint8_t byte = 0;
+  for (int f = 0; f < 8; ++f) {
+    const std::size_t ci = static_cast<std::size_t>(g * 8 + f);
+    const float x1 = static_cast<float>(len - 2 * mism[f]);
+    const bool bit = branch_free
+                         ? binarize_eqn9(x1, fb.xi[ci], fb.gamma_pos[ci] != 0)
+                         : binarize_eqn8(x1, fb.xi[ci], fb.gamma_pos[ci] != 0);
+    if (bit) byte = static_cast<std::uint8_t>(byte | (1u << f));
+  }
+  return byte;
+}
+
 /// Bit-lanes charged per conv window at granularity `pw`. The row-fused
 /// path streams kh spans of kw*words words with a scalar tail — no lane is
 /// ever wasted (span-keyed selection never overshoots the span), so it is
@@ -274,9 +322,12 @@ inline double window_bitops(const ConvDims& d, bitpack::PackWidth pw,
 /// Work tally of the window-accumulation portion shared by every conv path
 /// (see costs.hpp). Row fusion shows up as fewer scalar bookkeeping ops and
 /// kh instead of kh*kw span setups per window; border windows pay up to one
-/// extra pad-popcount span per filter row.
+/// extra pad-popcount span per filter row. `shared_window` (path A only —
+/// its work item owns the whole 8-filter group) amortizes each interior
+/// input-span setup over the group's 8 filters.
 void charge_windows(KernelCost& cost, const ConvDims& d,
-                    const EngineOptions& opts, bool split) {
+                    const EngineOptions& opts, bool split,
+                    bool shared_window) {
   const double outputs = static_cast<double>(d.n) * d.oh * d.ow * d.c_out;
   const double interior =
       split ? static_cast<double>(d.n) * (d.y1 - d.y0) * (d.x1 - d.x0) *
@@ -288,7 +339,9 @@ void charge_windows(KernelCost& cost, const ConvDims& d,
   cost.span_setup_cycles = costs::kSpanSetupCycles;
   if (split) {
     cost.scalar_ops = interior * 1.0 + border * kh;
-    cost.span_count = interior * kh + border * 2.0 * kh;
+    const double interior_spans =
+        shared_window ? costs::shared_window_spans(kh) : kh;
+    cost.span_count = interior * interior_spans + border * 2.0 * kh;
     cost.instr_overhead_cycles = costs::instr_overhead_fused(opts);
   } else {
     cost.scalar_ops = outputs * taps;
@@ -304,7 +357,7 @@ PackedTensor BinaryConv2d::forward_fused(ExecContext& ctx,
                                          const KernelVariant& v,
                                          bool integrate_packing) const {
   const ConvDims d = make_dims(in, weights_, geom_);
-  PackedTensor out(Shape{d.n, d.oh, d.ow, d.c_out});
+  PackedTensor out = ctx.make_packed(Shape{d.n, d.oh, d.ow, d.c_out});
   const bool split = v.interior_split;
   const std::uint64_t* zeros =
       split ? nullptr : ctx.arena.zero_words(d.words);
@@ -322,7 +375,7 @@ PackedTensor BinaryConv2d::forward_fused(ExecContext& ctx,
   const double outputs = static_cast<double>(d.n) * d.oh * d.ow * d.c_out;
   KernelCost cost;
   cost.bitop_bits = outputs * window_bitops(d, pw, split);
-  charge_windows(cost, d, ctx.opts, split);
+  charge_windows(cost, d, ctx.opts, split, /*shared_window=*/integrate_packing);
   cost.scalar_ops += outputs * 4.0;  // threshold compare + byte/bit insert
   cost.pack_width_bits = bitpack::bits(
       split ? bitpack::cap_pack_width_to_span(pw, d.kw * d.words) : pw);
@@ -332,8 +385,9 @@ PackedTensor BinaryConv2d::forward_fused(ExecContext& ctx,
   cost.alu_efficiency = costs::binary_kernel_eff(ctx.opts);
 
   if (integrate_packing) {
-    // Path A — Fig. 4: one work item owns a tile of output columns for 8
-    // filters and stores one byte per column.
+    // Path A — Fig. 4: one work item owns a tile of output columns for the
+    // 8 filters of its group and stores one byte per column; interior
+    // windows run the shared-window schedule (group_mismatches).
     const std::int64_t groups = d.c_out / 8;
     cost.bytes_written = static_cast<double>(out.bytes());
     auto* out_bytes = reinterpret_cast<std::uint8_t*>(out.data());
@@ -347,21 +401,11 @@ PackedTensor BinaryConv2d::forward_fused(ExecContext& ctx,
           const std::int64_t x_end =
               std::min(d.ow, (it.x + 1) * tile);
           for (std::int64_t ox = it.x * tile; ox < x_end; ++ox) {
-            std::uint8_t byte = 0;
-            for (int f = 0; f < 8; ++f) {
-              const std::int64_t co = g * 8 + f;
-              const std::int64_t mism =
-                  window_mismatches(in, weights_, d, n, it.y, ox, co, zeros,
-                                    pw, split, y_in);
-              const float x1 = static_cast<float>(len - 2 * mism);
-              const std::size_t ci = static_cast<std::size_t>(co);
-              const bool bit =
-                  branch_free
-                      ? binarize_eqn9(x1, fb.xi[ci], fb.gamma_pos[ci] != 0)
-                      : binarize_eqn8(x1, fb.xi[ci], fb.gamma_pos[ci] != 0);
-              if (bit) byte = static_cast<std::uint8_t>(byte | (1u << f));
-            }
-            out_bytes[out.word_offset(n, it.y, ox, 0) * 8 + g] = byte;
+            std::int64_t mism[8];
+            group_mismatches(in, weights_, d, n, it.y, ox, g, zeros, pw,
+                             split, y_in, mism);
+            out_bytes[out.word_offset(n, it.y, ox, 0) * 8 + g] =
+                group_byte(mism, g, len, fb, branch_free);
           }
         });
     return out;
@@ -429,7 +473,7 @@ PackedTensor BinaryConv2d::forward_unfused(ExecContext& ctx,
   // materialized intermediates (what §V-B's fusion eliminates). Both
   // intermediates live in the engine arena.
   const ConvDims d = make_dims(in, weights_, geom_);
-  PackedTensor out(Shape{d.n, d.oh, d.ow, d.c_out});
+  PackedTensor out = ctx.make_packed(Shape{d.n, d.oh, d.ow, d.c_out});
   const bool split = v.interior_split;
   const std::uint64_t* zeros =
       split ? nullptr : ctx.arena.zero_words(d.words);
@@ -444,7 +488,7 @@ PackedTensor BinaryConv2d::forward_unfused(ExecContext& ctx,
   std::int32_t* sums = ctx.arena.i32(out_count);
   KernelCost conv_cost;
   conv_cost.bitop_bits = outputs * window_bitops(d, pw, split);
-  charge_windows(conv_cost, d, ctx.opts, split);
+  charge_windows(conv_cost, d, ctx.opts, split, /*shared_window=*/false);
   conv_cost.pack_width_bits = bitpack::bits(
       split ? bitpack::cap_pack_width_to_span(pw, d.kw * d.words) : pw);
   conv_cost.bytes_read = static_cast<double>(in.bytes() + weights_.bytes());
@@ -512,6 +556,108 @@ PackedTensor BinaryConv2d::forward_unfused(ExecContext& ctx,
           }
         }
         out.data()[out.word_offset(n, it.y, it.x, j)] = word;
+      });
+  return out;
+}
+
+PackedTensor BinaryConv2d::forward_fused_pool(ExecContext& ctx,
+                                              const PackedTensor& in,
+                                              const PlanStep& step) const {
+  // Fused conv→pool step: path A's conv bytes for one pool window row land
+  // in a small stack row buffer, the window max (bitwise OR over the ±1
+  // domain) folds them in registers, and only the POOLED packed map is
+  // written — the full-size conv activation map never exists. Legality
+  // (checked at plan time): non-overlapping gap-free pool windows
+  // (stride == size), so every conv output is computed exactly once.
+  const KernelVariant& v = step.variant;
+  const ConvDims d = make_dims(in, weights_, geom_);
+  const PoolGeometry pg =
+      static_cast<const MaxPool2d*>(step.fused_pool)->geometry();
+  const std::int64_t poh = step.out.shape.h;
+  const std::int64_t pow_ = step.out.shape.w;
+  const std::int64_t lp = pg.lead_pad();
+  PackedTensor out = ctx.make_packed(step.out.shape);
+
+  const bool split = v.interior_split;
+  const std::uint64_t* zeros =
+      split ? nullptr : ctx.arena.zero_words(d.words);
+  const auto pw = v.pack_width;
+  const bool branch_free = ctx.opts.branch_free_binarize;
+  const std::int64_t len = d.kh * d.kw * d.c_in;
+  const std::int64_t tile = std::max<std::int64_t>(
+      1, std::min(v.tile_ow, pow_));
+  const std::int64_t tiles_x = ceil_div(pow_, tile);
+  const std::int64_t groups = d.c_out / 8;
+  const FoldedBatchNorm& fb = folded_;
+
+  // Conv work is unchanged (every conv output is still computed once); the
+  // pool adds its OR bit-ops, and the memory side drops the intermediate:
+  // only the pooled map is written, nothing re-read.
+  const double conv_outputs =
+      static_cast<double>(d.n) * d.oh * d.ow * d.c_out;
+  const double pooled_outputs =
+      static_cast<double>(d.n) * poh * pow_ * d.c_out;
+  KernelCost cost;
+  cost.bitop_bits = conv_outputs * window_bitops(d, pw, split) +
+                    pooled_outputs *
+                        static_cast<double>(pg.size * pg.size - 1);
+  charge_windows(cost, d, ctx.opts, split, /*shared_window=*/true);
+  cost.scalar_ops += conv_outputs * 4.0;  // threshold + byte insert
+  cost.pack_width_bits = bitpack::bits(
+      split ? bitpack::cap_pack_width_to_span(pw, d.kw * d.words) : pw);
+  cost.bytes_read = static_cast<double>(in.bytes() + weights_.bytes()) +
+                    static_cast<double>(d.c_out) * 5.0;
+  cost.bytes_written = static_cast<double>(out.bytes());
+  cost.coalescing = costs::coalescing(ctx.opts);
+  cost.alu_efficiency = costs::binary_kernel_eff(ctx.opts);
+
+  auto* out_bytes = reinterpret_cast<std::uint8_t*>(out.data());
+  ctx.queue.enqueue(
+      name_ + ".bconv_fused_pool", NDRange{tiles_x, poh, d.n * groups}, cost,
+      [&, d, pg, lp, poh, pow_, pw, branch_free, len, groups, split, tile,
+       zeros](const WorkItem& it) {
+        const std::int64_t n = it.z / groups;
+        const std::int64_t g = it.z % groups;
+        const std::int64_t px0 = it.x * tile;
+        const std::int64_t px1 = std::min(pow_, px0 + tile);
+        // Conv columns this tile's windows touch, clamped to the conv map
+        // (the clamp is what "same"-style tail windows rely on).
+        const std::int64_t cx0 =
+            std::max<std::int64_t>(0, px0 * pg.stride - lp);
+        const std::int64_t cx1 = std::min(
+            d.ow, (px1 - 1) * pg.stride - lp + pg.size);
+        const std::int64_t span = cx1 - cx0;
+        // Row buffer: one conv-byte row per pool window row, filled once
+        // per (tile, window row) and consumed by every window of the tile.
+        std::array<std::uint8_t, 3 * 64> rowbuf{};
+        const std::int64_t cy_base = it.y * pg.stride - lp;
+        std::uint8_t row_valid = 0;
+        for (std::int64_t ky = 0; ky < pg.size; ++ky) {
+          const std::int64_t cy = cy_base + ky;
+          if (cy < 0 || cy >= d.oh || span <= 0) continue;
+          row_valid = static_cast<std::uint8_t>(row_valid | (1u << ky));
+          const bool y_in = cy >= d.y0 && cy < d.y1;
+          std::uint8_t* row = rowbuf.data() + ky * span;
+          for (std::int64_t cx = cx0; cx < cx1; ++cx) {
+            std::int64_t mism[8];
+            group_mismatches(in, weights_, d, n, cy, cx, g, zeros, pw,
+                             split, y_in, mism);
+            row[cx - cx0] = group_byte(mism, g, len, fb, branch_free);
+          }
+        }
+        for (std::int64_t px = px0; px < px1; ++px) {
+          std::uint8_t acc = 0;  // all -1: the pool padding value
+          for (std::int64_t ky = 0; ky < pg.size; ++ky) {
+            if ((row_valid & (1u << ky)) == 0) continue;
+            const std::uint8_t* row = rowbuf.data() + ky * span;
+            for (std::int64_t kx = 0; kx < pg.size; ++kx) {
+              const std::int64_t cx = px * pg.stride - lp + kx;
+              if (cx < cx0 || cx >= cx1) continue;
+              acc = static_cast<std::uint8_t>(acc | row[cx - cx0]);
+            }
+          }
+          out_bytes[out.word_offset(n, it.y, px, 0) * 8 + g] = acc;
+        }
       });
   return out;
 }

@@ -84,6 +84,13 @@ class BinaryConv2d final : public Layer {
   bitpack::PackedTensor forward_unfused(ExecContext& ctx,
                                         const bitpack::PackedTensor& in,
                                         const KernelVariant& v) const;
+  /// Compiled conv→pool fused step (plan.cpp's rewrite, DESIGN.md §7): one
+  /// kernel computes path-A conv bytes into a per-row register buffer and
+  /// ORs each pool window out of it, emitting the pooled packed map
+  /// directly — the unpooled conv activation map is never written.
+  bitpack::PackedTensor forward_fused_pool(ExecContext& ctx,
+                                           const bitpack::PackedTensor& in,
+                                           const PlanStep& step) const;
 
   std::string name_;
   bitpack::PackedTensor weights_;

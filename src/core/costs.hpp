@@ -57,6 +57,14 @@ inline constexpr double kSpanSetupCycles = 6.0;
 /// address increment per vector op.
 inline constexpr double kRowFusedInstrOverheadCycles = 0.5;
 
+/// Span-setup units per OUTPUT of the shared-window interior schedule
+/// (8-filter workload groups, Fig. 4): the group-window streams its kh
+/// input row spans ONCE (setup amortized over the 8 filters that score
+/// against them) and pays one lane-accumulator reduction per filter —
+/// versus `kh` full span setups per filter when each filter re-walks the
+/// window independently.
+inline double shared_window_spans(double kh) { return kh / 8.0 + 1.0; }
+
 /// Additional instruction overhead when vectorized loads are off (each
 /// operand arrives in pieces).
 inline constexpr double kScalarLoadInstrOverhead = 2.0;

@@ -1,7 +1,9 @@
 #include "core/dense.hpp"
 
+#include <algorithm>
+#include <cstring>
+
 #include "bitpack/binary_ops.hpp"
-#include "bitpack/flatten.hpp"
 #include "core/binarize.hpp"
 #include "core/costs.hpp"
 #include "simd/vec.hpp"
@@ -42,6 +44,12 @@ void BinaryDense::plan(PlanContext& pc) const {
   const std::int64_t features = in.shape.h * in.shape.w * in.shape.c;
   PB_CHECK(features == in_features(), name_ << ": input features " << features
                                             << " != " << in_features());
+  // Word-aligned channels flatten zero-copy (the packed words of one NHWC
+  // sample ARE the flattened bit vector); otherwise the bits re-pack into
+  // arena words scratch to close the per-pixel padding gaps.
+  if (in.shape.c % bitpack::kWordBits != 0) {
+    pc.need_words(in.shape.n * weights_.words_per_pixel());
+  }
   KernelVariant v;
   v.kernel = "bdense_fused";
   v.pack_width = dense_pack_width(pc.opts());
@@ -78,18 +86,41 @@ Blob BinaryDense::run(ExecContext& ctx, const Blob& in,
 
 PackedTensor BinaryDense::execute(ExecContext& ctx, const PackedTensor& in,
                                   const KernelVariant& v) const {
-  const PackedTensor flat = bitpack::flatten_packed(in);
-  PB_CHECK(flat.shape().c == in_features(),
-           name_ << ": input features " << flat.shape().c << " != "
-                 << in_features());
+  const Shape& is = in.shape();
+  const std::int64_t features = is.h * is.w * is.c;
+  PB_CHECK(features == in_features(), name_ << ": input features " << features
+                                            << " != " << in_features());
 
-  const std::int64_t n = flat.shape().n;
+  const std::int64_t n = is.n;
   const std::int64_t u = units();
   const std::int64_t words = weights_.words_per_pixel();
+
+  // Flatten. NHWC channel-innermost packing means that when C is word-
+  // aligned, the packed words of one sample ARE the flattened feature bit
+  // vector — the GEMV reads the input words in place, no copy, no
+  // allocation. Unaligned channels re-pack into arena words scratch
+  // (declared at plan time) to close the per-pixel padding gaps.
+  const std::uint64_t* flat = in.data();
+  if (is.c % bitpack::kWordBits != 0) {
+    std::uint64_t* repacked = ctx.arena.words(n * words);
+    std::memset(repacked, 0, static_cast<std::size_t>(n * words) * 8);
+    for (std::int64_t s = 0; s < n; ++s) {
+      std::int64_t bit = 0;
+      for (std::int64_t h = 0; h < is.h; ++h)
+        for (std::int64_t w = 0; w < is.w; ++w)
+          for (std::int64_t c = 0; c < is.c; ++c, ++bit)
+            if (in.get(s, h, w, c)) {
+              repacked[s * words + bit / bitpack::kWordBits] |=
+                  std::uint64_t{1} << (bit % bitpack::kWordBits);
+            }
+    }
+    flat = repacked;
+  }
+
   const std::int64_t groups = u / 8;
   const auto pw = v.pack_width;
   const bool branch_free = ctx.opts.branch_free_binarize;
-  PackedTensor out(Shape{n, 1, 1, u});
+  PackedTensor out = ctx.make_packed(Shape{n, 1, 1, u});
   const FoldedBatchNorm& fb = folded_;
 
   KernelCost cost;
@@ -100,18 +131,17 @@ PackedTensor BinaryDense::execute(ExecContext& ctx, const PackedTensor& in,
   cost.scalar_ops = static_cast<double>(n * u) * 4.0;
   cost.pack_width_bits = bitpack::bits(pw);
   cost.instr_overhead_cycles = costs::instr_overhead(ctx.opts);
-  cost.bytes_read = static_cast<double>(flat.bytes() + weights_.bytes());
+  cost.bytes_read = static_cast<double>(n * words * 8 + weights_.bytes());
   cost.bytes_written = static_cast<double>(out.bytes());
   cost.coalescing = costs::coalescing(ctx.opts);
   cost.alu_efficiency = costs::binary_kernel_eff(ctx.opts);
 
   auto* out_bytes = reinterpret_cast<std::uint8_t*>(out.data());
-  const std::int64_t features = in_features();
   ctx.queue.enqueue(
       name_ + ".bdense_fused", NDRange{groups, n, 1}, cost,
-      [&, words, groups, branch_free, pw, features](const WorkItem& it) {
+      [&, words, groups, branch_free, pw, features, flat](const WorkItem& it) {
         const std::int64_t sample = it.y;
-        const std::uint64_t* x = flat.pixel(sample, 0, 0);
+        const std::uint64_t* x = flat + sample * words;
         std::uint8_t byte = 0;
         for (int f = 0; f < 8; ++f) {
           const std::int64_t unit = it.x * 8 + f;
@@ -156,6 +186,9 @@ void FloatDense::plan(PlanContext& pc) const {
   const std::int64_t features = in.shape.h * in.shape.w * in.shape.c;
   PB_CHECK(features == in_features(), name_ << ": input features " << features
                                             << " != " << in_features());
+  // The flattened (packed: unpacked-to-±1) input vector lives in arena f32
+  // scratch, not a per-forward heap tensor.
+  pc.need_f32(in.shape.n * features);
   KernelVariant v;
   v.kernel = in.kind == BlobKind::kPacked ? "unpack+fdense_dot" : "fdense_dot";
   pc.select(std::move(v));
@@ -163,35 +196,37 @@ void FloatDense::plan(PlanContext& pc) const {
 }
 
 Blob FloatDense::forward(ExecContext& ctx, const Blob& in) const {
-  // Expand packed input to ±1 floats; flatten float input if spatial.
+  // Expand packed input to ±1 floats / flatten float input, into arena f32
+  // scratch (never a per-forward heap tensor).
   FloatTensor x;
   if (const auto* packed = std::get_if<PackedTensor>(&in)) {
-    const PackedTensor flat = bitpack::flatten_packed(*packed);
-    x = FloatTensor(flat.shape(), Layout::kNHWC);
+    const Shape ps = packed->shape();
+    const std::int64_t feat = ps.h * ps.w * ps.c;
+    x = FloatTensor(Shape{ps.n, 1, 1, feat}, Layout::kNHWC,
+                    ctx.arena.f32(ps.n * feat));
     KernelCost cost;
-    cost.scalar_ops = static_cast<double>(flat.shape().elems());
-    cost.bytes_read = static_cast<double>(flat.bytes());
+    cost.scalar_ops = static_cast<double>(ps.n * feat);
+    cost.bytes_read = static_cast<double>(packed->bytes());
     cost.bytes_written = static_cast<double>(x.bytes());
     cost.alu_efficiency = costs::kAuxKernelEff;
     cost.coalescing = costs::coalescing(ctx.opts);
     ctx.queue.enqueue_chunked(
-        name_ + ".unpack", NDRange{flat.shape().elems() / flat.shape().c,
-                                   1, 1},
-        cost, [&](std::int64_t begin, std::int64_t end) {
-          const std::int64_t c = flat.shape().c;
-          (void)begin;
-          (void)end;
+        name_ + ".unpack", NDRange{ps.n, 1, 1}, cost,
+        [&, ps](std::int64_t begin, std::int64_t end) {
           for (std::int64_t s = begin; s < end; ++s) {
-            for (std::int64_t i = 0; i < c; ++i) {
-              x(s, 0, 0, i) = flat.get(s, 0, 0, i) ? 1.0f : -1.0f;
-            }
+            std::int64_t i = 0;
+            for (std::int64_t h = 0; h < ps.h; ++h)
+              for (std::int64_t w = 0; w < ps.w; ++w)
+                for (std::int64_t c = 0; c < ps.c; ++c, ++i)
+                  x(s, 0, 0, i) = packed->get(s, h, w, c) ? 1.0f : -1.0f;
           }
         });
   } else {
     const auto* f = std::get_if<FloatTensor>(&in);
     PB_CHECK(f != nullptr, name_ << ": expects packed or float input");
     const Shape s = f->shape();
-    x = FloatTensor(Shape{s.n, 1, 1, s.h * s.w * s.c}, Layout::kNHWC);
+    x = FloatTensor(Shape{s.n, 1, 1, s.h * s.w * s.c}, Layout::kNHWC,
+                    ctx.arena.f32(s.elems()));
     PB_CHECK(f->layout() == Layout::kNHWC, name_ << ": input must be NHWC");
     std::copy(f->data(), f->data() + s.elems(), x.data());
   }
@@ -202,7 +237,7 @@ Blob FloatDense::forward(ExecContext& ctx, const Blob& in) const {
   const std::int64_t n = x.shape().n;
   const std::int64_t u = units();
   const std::int64_t features = in_features();
-  FloatTensor out(Shape{n, 1, 1, u}, Layout::kNHWC);
+  FloatTensor out = ctx.make_float(Shape{n, 1, 1, u}, Layout::kNHWC);
 
   KernelCost cost;
   cost.scalar_ops = static_cast<double>(n * u * features);

@@ -42,6 +42,8 @@ void FloatConv2d::plan(PlanContext& pc) const {
   PB_CHECK(in.shape.c == in_channels(),
            name_ << ": input has " << in.shape.c << " channels, filter "
                  << in_channels());
+  // A packed input is unpacked to ±1 floats in arena f32 scratch first.
+  if (in.kind == BlobKind::kPacked) pc.need_f32(in.shape.elems());
   KernelVariant v;
   v.kernel = in.kind == BlobKind::kPacked ? "unpack+fconv_dot" : "fconv_dot";
   pc.select(std::move(v));
@@ -52,9 +54,9 @@ void FloatConv2d::plan(PlanContext& pc) const {
 
 Blob FloatConv2d::forward(ExecContext& ctx, const Blob& in) const {
   if (const auto* packed = std::get_if<PackedTensor>(&in)) {
-    // Unpack kernel: packed bits -> ±1 floats.
+    // Unpack kernel: packed bits -> ±1 floats, into arena f32 scratch.
     const Shape s = packed->shape();
-    FloatTensor expanded(s, Layout::kNHWC);
+    FloatTensor expanded(s, Layout::kNHWC, ctx.arena.f32(s.elems()));
     KernelCost cost;
     cost.scalar_ops = static_cast<double>(s.elems());
     cost.bytes_read = static_cast<double>(packed->bytes());
@@ -83,7 +85,7 @@ FloatTensor FloatConv2d::conv(ExecContext& ctx, const FloatTensor& in) const {
   const std::int64_t ow = geom_.out_w(is.w);
   const std::int64_t c_out = out_channels();
   const std::int64_t kh = geom_.kernel_h, kw = geom_.kernel_w;
-  FloatTensor out(Shape{is.n, oh, ow, c_out}, Layout::kNHWC);
+  FloatTensor out = ctx.make_float(Shape{is.n, oh, ow, c_out}, Layout::kNHWC);
 
   KernelCost cost;
   const double outputs = static_cast<double>(is.n) * oh * ow * c_out;

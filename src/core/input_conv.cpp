@@ -163,7 +163,7 @@ PackedTensor InputConv2d::execute(ExecContext& ctx, const U8Tensor& image,
   // Kernel 2: fused plane conv + BN + binarize + pack (Fig. 4 workload:
   // 8 filters per item when C_out allows).
   PB_CHECK(c_out % 8 == 0, name_ << ": C_out must be a multiple of 8");
-  PackedTensor out(Shape{is.n, oh, ow, c_out});
+  PackedTensor out = ctx.make_packed(Shape{is.n, oh, ow, c_out});
   const std::int64_t groups = c_out / 8;
   const bool branch_free = ctx.opts.branch_free_binarize;
   const FoldedBatchNorm& fb = folded_;
@@ -179,11 +179,17 @@ PackedTensor InputConv2d::execute(ExecContext& ctx, const U8Tensor& image,
     // Row-fused schedule: per plane, an interior window is kh spans of
     // kw*words words (one strided and_popcount with a scalar tail, so the
     // exact word bits are charged); the hoisted window sum adds kh popcount
-    // spans per plane per output pixel.
+    // spans per plane per output pixel. The filter-side spans run the
+    // shared-window schedule (and_popcount_2d_x8): each plane span is
+    // loaded once per group and scored against all 8 filters, so its setup
+    // amortizes 8x (costs::shared_window_spans).
     const double row_bits =
         static_cast<double>(kw * words * bitpack::kWordBits);
     cost.bitop_bits = outputs * 8.0 * 2.0 * static_cast<double>(kh) * row_bits;
-    cost.span_count = (outputs + opixels) * 8.0 * static_cast<double>(kh);
+    cost.span_count =
+        outputs * 8.0 *
+            costs::shared_window_spans(static_cast<double>(kh)) +
+        opixels * 8.0 * static_cast<double>(kh);
     cost.span_setup_cycles = costs::kSpanSetupCycles;
     cost.instr_overhead_cycles = costs::instr_overhead_fused(ctx.opts);
     cost.pack_width_bits =
@@ -261,34 +267,42 @@ PackedTensor InputConv2d::execute(ExecContext& ctx, const U8Tensor& image,
           }
         }
 
-        std::uint8_t byte = 0;
-        for (int f = 0; f < 8; ++f) {
-          const std::int64_t co = g * 8 + f;
-          std::int64_t weighted_and = 0;
-          if (interior) {
-            // One strided whole-window and_popcount per plane: kh plane
-            // rows (pitch row_pitch) against kh contiguous filter rows.
-            for (int k = 0; k < 8; ++k) {
-              weighted_and +=
-                  (std::int64_t{1} << k) *
-                  bitpack::and_popcount_2d(plane_span(k, n, iy0, ix0),
-                                           row_pitch, weights_.pixel(co, 0, 0),
-                                           kw * words, kw * words, kh, pw);
+        std::int64_t weighted[8] = {};
+        if (interior) {
+          // Shared-window schedule: each plane's whole-window span set is
+          // streamed ONCE and scored against the 8 contiguous filters of
+          // the group (and_popcount_2d_x8) — kh plane rows (pitch
+          // row_pitch) against kh contiguous filter rows, instead of the 8
+          // filters each re-reading the same plane spans.
+          for (int k = 0; k < 8; ++k) {
+            std::int64_t adds[8];
+            bitpack::and_popcount_2d_x8(
+                plane_span(k, n, iy0, ix0), row_pitch,
+                weights_.pixel(g * 8, 0, 0), kh * kw * words, kw * words,
+                kw * words, kh, pw, adds);
+            for (int f = 0; f < 8; ++f) {
+              weighted[f] += (std::int64_t{1} << k) * adds[f];
             }
-          } else if (split) {
+          }
+        } else if (split) {
+          for (int f = 0; f < 8; ++f) {
+            const std::int64_t co = g * 8 + f;
             for (std::int64_t ky = 0; ky < kh; ++ky) {
               const std::int64_t iy = iy0 + ky;
               if (iy < 0 || iy >= is.h || hi <= lo) continue;
               const std::uint64_t* wrow = weights_.pixel(co, ky, 0);
               for (int k = 0; k < 8; ++k) {
-                weighted_and +=
+                weighted[f] +=
                     (std::int64_t{1} << k) *
                     bitpack::and_popcount(plane_span(k, n, iy, ix0 + lo),
                                           wrow + lo * words, (hi - lo) * words,
                                           pw);
               }
             }
-          } else {
+          }
+        } else {
+          for (int f = 0; f < 8; ++f) {
+            const std::int64_t co = g * 8 + f;
             for (std::int64_t ky = 0; ky < kh; ++ky) {
               const std::int64_t iy = iy0 + ky;
               for (std::int64_t kx = 0; kx < kw; ++kx) {
@@ -299,16 +313,19 @@ PackedTensor InputConv2d::execute(ExecContext& ctx, const U8Tensor& image,
                 for (int k = 0; k < 8; ++k) {
                   const std::uint64_t* pspan =
                       inside ? plane_span(k, n, iy, ix) : zeros;
-                  weighted_and += (std::int64_t{1} << k) *
-                                  bitpack::and_popcount(pspan, wspan, words,
-                                                        pw);
+                  weighted[f] += (std::int64_t{1} << k) *
+                                 bitpack::and_popcount(pspan, wspan, words,
+                                                       pw);
                 }
               }
             }
           }
+        }
+        std::uint8_t byte = 0;
+        for (int f = 0; f < 8; ++f) {
           // s = sum_k 2^k (2*popcount(p&w) - popcount(p))  (Eqn 2)
-          const float x1v = static_cast<float>(2 * weighted_and - window_sum);
-          const std::size_t ci = static_cast<std::size_t>(co);
+          const float x1v = static_cast<float>(2 * weighted[f] - window_sum);
+          const std::size_t ci = static_cast<std::size_t>(g * 8 + f);
           const bool bit =
               branch_free
                   ? binarize_eqn9(x1v, fb.xi[ci], fb.gamma_pos[ci] != 0)

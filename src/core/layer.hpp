@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <variant>
@@ -44,6 +45,17 @@ struct SessionStats {
   std::int64_t planned_runs = 0;
 };
 
+/// Slot-backed storage for the current step's output: a disjoint region of
+/// the session arena's activation slab, assigned by the compiled plan's
+/// liveness pass. Layers never touch this directly — they allocate their
+/// output through ExecContext::make_packed/make_float, which hands out a
+/// borrowed view when a binding is present and falls back to an owning
+/// tensor (counted by the buffer-allocation hook) when it is not.
+struct OutputBinding {
+  std::uint64_t* base = nullptr;  ///< 8-byte-aligned slab region
+  std::int64_t bytes = 0;         ///< region size (>= the step's blob)
+};
+
 /// Execution state threaded through a forward pass. Produced by an
 /// ExecSession (engine.hpp); every member references session-owned state, so
 /// a context must not outlive its session. `opts` is the session's
@@ -55,6 +67,42 @@ struct ExecContext {
   const EngineOptions& opts;
   ScratchArena& arena;
   SessionStats* stats = nullptr;
+  /// The compiled runner's slot binding for the CURRENT step's output
+  /// (empty on the uncompiled path and for the owned network output).
+  OutputBinding out = {};
+
+  /// Allocates the step's packed output: a view over the bound slot when
+  /// one is present (padding words zeroed when C is not word-aligned, so
+  /// byte-granular producers inherit the all-zero-padding invariant from
+  /// recycled slab memory), else a fresh owning tensor. Consumes the
+  /// binding — one output per step.
+  bitpack::PackedTensor make_packed(const Shape& shape) {
+    const std::int64_t words =
+        shape.n * shape.h * shape.w * ceil_div(shape.c, bitpack::kWordBits);
+    if (out.base != nullptr && words * 8 <= out.bytes) {
+      std::uint64_t* base = out.base;
+      out = {};
+      if (shape.c % bitpack::kWordBits != 0) {
+        std::memset(base, 0, static_cast<std::size_t>(words) * 8);
+      }
+      return bitpack::PackedTensor(shape, base);
+    }
+    out = {};
+    return bitpack::PackedTensor(shape);
+  }
+
+  /// Allocates the step's float output: slab view if bound (uncleared —
+  /// float producers write every element), else owning. Consumes the
+  /// binding.
+  FloatTensor make_float(const Shape& shape, Layout layout = Layout::kNHWC) {
+    if (out.base != nullptr && shape.elems() * 4 <= out.bytes) {
+      float* base = reinterpret_cast<float*>(out.base);
+      out = {};
+      return FloatTensor(shape, layout, base);
+    }
+    out = {};
+    return FloatTensor(shape, layout);
+  }
 };
 
 class PlanContext;  // plan.hpp — compile-time shape/variant negotiation

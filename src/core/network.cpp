@@ -11,7 +11,7 @@ ForwardResult Network::forward(ExecContext& ctx, Blob input) const {
   // SessionStats::variant_selections counts.
   const ExecutionPlan plan =
       compile(ctx.opts, describe_blob(input), ctx.stats);
-  return plan.run(ctx, std::move(input));
+  return plan.run(ctx, input);
 }
 
 FloatTensor Network::forward_float(ExecContext& ctx,

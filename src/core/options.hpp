@@ -26,6 +26,17 @@ struct EngineOptions {
   /// their bits into one byte in private memory (Fig. 4).
   bool integrate_packing = true;
 
+  /// Plan-level cross-layer fusion (DESIGN.md §7): rewrite compiled
+  /// `BinaryConv2d → MaxPool` step chains into one fused step whose conv
+  /// epilogue applies the pool max (bitwise OR over conv output bytes) in
+  /// registers and emits the pooled packed map directly — the full-size
+  /// conv activation map is never written. Fuses only when the producing
+  /// conv compiled to the fully fused path A and the pool windows are
+  /// non-overlapping and gap-free (stride == size, size <= 3); other chains
+  /// keep their separate steps. Off = every layer is its own step (the
+  /// per-layer-attribution / ablation configuration).
+  bool fuse_conv_pool = true;
+
   /// §VI-B: channel threshold above which packing runs as a separate kernel
   /// (private memory cannot hold the 8-filter working set).
   std::int64_t packing_channel_threshold = 256;

@@ -6,15 +6,18 @@
 //   (a) infer every inter-layer blob shape/kind and validate the pipeline
 //       up front (a malformed network fails at compile, not mid-forward),
 //   (b) run a buffer-liveness pass assigning each intermediate blob a
-//       ping-pong slot id and computing the exact activation/scratch peaks
-//       before the first forward (the scratch peak is reserved in the
-//       session arena byte-exactly; the slot ids are the memory *plan* —
-//       activation tensors still allocate per forward, backing them with
-//       slot storage is the ROADMAP follow-up),
+//       ping-pong slot id with a fixed byte offset into the session arena's
+//       activation slab, and computing the exact activation/scratch peaks
+//       before the first forward (both reserved byte-exactly at run; every
+//       intermediate tensor is a borrowed view over its slot, so a warm
+//       session performs zero buffer allocations per forward),
 //   (c) select each layer's kernel variant (execution path, pack width,
 //       interior split, tile width) once from geometry + EngineOptions,
-//   (d) resolve the binarize/BN-fold fusion into the producing kernel where
-//       the layer contract allows (path A/B vs the unfused path C).
+//   (d) resolve fusion: BN+binarize folds into the producing kernel where
+//       the layer contract allows (path A/B vs the unfused path C), and a
+//       plan-level pass rewrites `BinaryConv2d → MaxPool` chains into one
+//       fused step whose epilogue pools conv bytes in registers — the
+//       full-size conv activation map is never written (DESIGN.md §7).
 // The resulting ExecutionPlan is immutable and shareable: any number of
 // sessions can run one plan concurrently, the same way they share a const
 // Network. This is the compiled-model / per-invocation cut daBNN and Larq
@@ -100,18 +103,23 @@ struct KernelVariant {
 /// never cross a step, so the peak per pool is the max over steps.
 struct ScratchNeed {
   std::int64_t i32 = 0;
+  std::int64_t f32 = 0;
   std::int64_t u8 = 0;
   std::int64_t words = 0;
 
-  std::int64_t bytes() const noexcept { return i32 * 4 + u8 + words * 8; }
+  std::int64_t bytes() const noexcept {
+    return i32 * 4 + f32 * 4 + u8 + words * 8;
+  }
   void max_with(const ScratchNeed& o) noexcept {
     i32 = i32 > o.i32 ? i32 : o.i32;
+    f32 = f32 > o.f32 ? f32 : o.f32;
     u8 = u8 > o.u8 ? u8 : o.u8;
     words = words > o.words ? words : o.words;
   }
 };
 
-/// One compiled layer invocation.
+/// One compiled layer invocation — possibly covering a fused chain of
+/// layers (the conv→pool rewrite, DESIGN.md §7).
 struct PlanStep {
   const Layer* layer = nullptr;
   BlobDesc in{};
@@ -121,12 +129,34 @@ struct PlanStep {
   /// Activation slot holding this step's output (-1: the network output,
   /// which is handed to the caller rather than recycled).
   int slot = -1;
+  /// Fused trailing max-pool (null: no fusion). When set, `out` is the
+  /// POOLED descriptor, `fused_mid` the conv's unpooled output descriptor
+  /// (never materialized — the epilogue pools conv bytes in registers),
+  /// and `layer` remains the producing conv, which executes both.
+  const Layer* fused_pool = nullptr;
+  BlobDesc fused_mid{};
+  /// Display name ("conv2", or "conv2+pool2" when fused) — precomputed at
+  /// compile so the hot run loop never concatenates strings.
+  std::string display;
+
+  const std::string& name() const noexcept { return display; }
 };
 
-/// One slot of the statically laid-out activation arena: sized to the
-/// largest intermediate blob the liveness pass assigned to it.
+/// One slot of the statically laid-out activation slab: sized to the
+/// largest intermediate blob the liveness pass assigned to it, placed at a
+/// fixed byte offset in the session arena's slab.
 struct ActivationSlot {
   std::int64_t bytes = 0;
+  std::int64_t offset = 0;  ///< 8-byte-aligned offset into the slab
+};
+
+/// Per-run knobs of ExecutionPlan::run.
+struct RunOptions {
+  /// Hand the network output out as a borrowed VIEW into the session's
+  /// activation slab instead of a fresh owning tensor: the steady-state
+  /// zero-allocation serving mode. The view is valid until the next run on
+  /// the same session; callers that keep outputs must copy them out.
+  bool borrow_output = false;
 };
 
 /// What Layer::plan sees: the inferred input descriptor and the options the
@@ -156,12 +186,13 @@ class PlanContext {
   }
 
   /// Scratch-arena requirements of this step (elements, per typed pool).
-  /// The arena keeps ONE live span per kind (every i32()/u8()/words() call
-  /// returns the same pool base), so a layer needing several same-kind
+  /// The arena keeps ONE live span per kind (every i32()/f32()/u8()/words()
+  /// call returns the same pool base), so a layer needing several same-kind
   /// buffers must carve them out of a single combined request — and its
   /// declarations here must sum to that request (InputConv2d's planes +
   /// zeros span is the pattern). Requests of different kinds are disjoint.
   void need_i32(std::int64_t n) { scratch_.i32 += n; }
+  void need_f32(std::int64_t n) { scratch_.f32 += n; }
   void need_u8(std::int64_t n) { scratch_.u8 += n; }
   void need_words(std::int64_t n) { scratch_.words += n; }
 
@@ -209,14 +240,26 @@ class ExecutionPlan {
     return total;
   }
 
-  /// Runs the plan on a session: reserves the exact scratch peak, executes
-  /// every step with its compiled variant (no per-forward re-selection) and
-  /// slices the per-layer report from the session queue. The input blob must
-  /// match the descriptor the plan was compiled for.
-  ForwardResult run(ExecSession& session, Blob input) const;
+  /// Exact size of the session-arena activation slab one forward needs:
+  /// every slot's 8-byte-aligned region plus the output staging region
+  /// (used by borrow_output runs). Reserved alongside the scratch peak.
+  std::int64_t slab_bytes() const noexcept { return slab_bytes_; }
+
+  /// Runs the plan on a session: reserves the exact scratch/slab peaks,
+  /// executes every step with its compiled variant (no per-forward
+  /// re-selection), backing each intermediate activation with its assigned
+  /// slab slot — a warm session performs ZERO buffer allocations per
+  /// forward (one owning output tensor unless `opts.borrow_output`) — and
+  /// slices the per-step report from the session queue. The input blob
+  /// must match the descriptor the plan was compiled for.
+  ForwardResult run(ExecSession& session, const Blob& input,
+                    const RunOptions& opts = {}) const;
   /// Same, against an already-built context (the context's options are
-  /// superseded by the plan's compiled snapshot).
-  ForwardResult run(ExecContext& ctx, Blob input) const;
+  /// superseded by the plan's compiled snapshot). The input is only read —
+  /// never copied or consumed — so a steady-state caller can reuse one
+  /// input blob across forwards without any per-call buffer traffic.
+  ForwardResult run(ExecContext& ctx, const Blob& input,
+                    const RunOptions& opts = {}) const;
 
   /// Human-readable plan: steps, variants, slots, peak bytes (the
   /// quickstart `plan_dump` mode prints this).
@@ -235,6 +278,8 @@ class ExecutionPlan {
   std::vector<PlanStep> steps_;
   std::vector<ActivationSlot> slots_;
   ScratchNeed scratch_peak_{};
+  std::int64_t slab_bytes_ = 0;      ///< slots + output staging, 8-aligned
+  std::int64_t output_offset_ = 0;   ///< output staging region in the slab
 };
 
 }  // namespace phonebit::core

@@ -29,7 +29,7 @@ Blob MaxPool2d::forward(ExecContext& ctx, const Blob& in) const {
   const Shape& is = packed->shape();
   const std::int64_t oh = geom_.out_dim(is.h);
   const std::int64_t ow = geom_.out_dim(is.w);
-  PackedTensor out(Shape{is.n, oh, ow, is.c});
+  PackedTensor out = ctx.make_packed(Shape{is.n, oh, ow, is.c});
   const std::int64_t words = packed->words_per_pixel();
 
   KernelCost cost;

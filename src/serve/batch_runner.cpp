@@ -61,33 +61,68 @@ std::size_t BatchRunner::compiled_plans() const {
   return plans_.size();
 }
 
+int BatchRunner::total_arena_growth_events() const {
+  int total = 0;
+  for (const auto& s : sessions_) {
+    if (s != nullptr) total += s->arena().growth_events();
+  }
+  return total;
+}
+
 BatchSummary BatchRunner::run(std::vector<core::Blob> inputs) {
+  // One run() at a time per runner (documented contract): the persistent
+  // worker sessions are exclusively owned per batch, so a concurrent call
+  // must fail loudly rather than race two forwards onto one session.
+  PB_CHECK(!running_.exchange(true),
+           "BatchRunner::run called concurrently — a runner serves one "
+           "batch at a time; create one runner per concurrent stream");
+  struct RunningGuard {
+    std::atomic<bool>& flag;
+    ~RunningGuard() { flag.store(false); }
+  } guard{running_};
+
   BatchSummary summary;
   summary.requests = static_cast<int>(inputs.size());
   summary.workers = pool_.size();
   summary.results.resize(inputs.size());
   if (inputs.empty()) return summary;
 
-  // One task per request (not parallel_for: its small-n inline path would
-  // serialize the batch on this thread, and requests are coarse enough that
-  // chunking buys nothing). A local completion group keeps the runner
-  // independent of anything else submitted to the pool.
+  // Persistent worker sessions, minted once on the caller thread (at most
+  // one per worker) and reused across requests AND batches: request i runs
+  // on session i % workers, so each session's slot-backed activation slab
+  // and scratch arena stay warm — the plan's reserve is a no-op and the
+  // steady-state request path never grows an arena.
+  const std::size_t workers =
+      std::min<std::size_t>(static_cast<std::size_t>(pool_.size()),
+                            inputs.size());
+  while (sessions_.size() < workers) {
+    sessions_.push_back(
+        std::make_unique<core::ExecSession>(engine_.create_session()));
+  }
+
+  // One task per worker owning a strided share of the requests (not
+  // parallel_for: its small-n inline path would serialize the batch on
+  // this thread). A local completion group keeps the runner independent of
+  // anything else submitted to the pool.
   std::mutex mu;
   std::condition_variable cv;
-  std::size_t pending = inputs.size();
+  std::size_t pending = workers;
   std::exception_ptr first_error;
 
   const double t0 = now_ms();
-  for (std::size_t i = 0; i < inputs.size(); ++i) {
+  for (std::size_t w = 0; w < workers; ++w) {
     pool_.submit([this, &inputs, &summary, &mu, &cv, &pending, &first_error,
-                  i] {
+                  w, workers] {
       std::exception_ptr error;
-      try {
-        const auto plan = plan_for(core::describe_blob(inputs[i]));
-        core::ExecSession session = engine_.create_session();
-        summary.results[i] = plan->run(session, std::move(inputs[i]));
-      } catch (...) {
-        error = std::current_exception();
+      core::ExecSession& session = *sessions_[w];
+      for (std::size_t i = w; i < inputs.size(); i += workers) {
+        try {
+          const auto plan = plan_for(core::describe_blob(inputs[i]));
+          session.reset_profile();
+          summary.results[i] = plan->run(session, inputs[i]);
+        } catch (...) {
+          if (error == nullptr) error = std::current_exception();
+        }
       }
       std::lock_guard<std::mutex> lock(mu);
       if (error != nullptr && first_error == nullptr) first_error = error;

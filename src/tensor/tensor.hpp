@@ -1,16 +1,24 @@
 // PhoneBit — dense rank-4 host tensors.
 //
-// A Tensor<T> owns contiguous storage in either NHWC or NCHW order. The
+// A Tensor<T> holds contiguous storage in either NHWC or NCHW order. The
 // logical index (n, h, w, c) is layout-independent; at()/operator() map it to
 // the right linear offset, and to_layout() converts between orders (used by
 // the layout ablation and the NCHW baseline).
+//
+// Storage is either OWNED (the default: a zero-initialized heap buffer,
+// counted by the buffer-allocation hook) or BORROWED (a view over caller
+// memory — the compiled execution path backs activation tensors with the
+// session arena's slot slab, so a warm forward allocates nothing). Copying
+// always deep-copies into owned storage; moving transfers the view.
 #pragma once
 
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
+#include "common/alloc_count.hpp"
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "tensor/shape.hpp"
@@ -22,10 +30,49 @@ class Tensor {
  public:
   Tensor() = default;
 
-  /// Allocates zero-initialized storage for `shape` in `layout` order.
+  /// Allocates zero-initialized owned storage for `shape` in `layout` order.
   explicit Tensor(Shape shape, Layout layout = Layout::kNHWC)
-      : shape_(shape), layout_(layout),
-        data_(checked_size(shape), T{}) {}
+      : shape_(shape), layout_(layout), owned_(checked_size(shape), T{}),
+        data_(owned_.data()) {
+    count_buffer_alloc();
+  }
+
+  /// Borrowed-storage view over `storage` (>= elems() elements, caller
+  /// keeps it alive and aligned). Contents are NOT cleared — the producer
+  /// must write every element it later reads.
+  Tensor(Shape shape, Layout layout, T* storage)
+      : shape_(shape), layout_(layout), data_(storage) {
+    PB_CHECK(storage != nullptr, "null tensor view storage");
+    (void)checked_size(shape);
+  }
+
+  /// Copies deep-copy into owned storage (a copy of a view owns its data).
+  Tensor(const Tensor& o)
+      : shape_(o.shape_), layout_(o.layout_),
+        owned_(o.data_ == nullptr
+                   ? std::vector<T>()
+                   : std::vector<T>(o.data_, o.data_ + o.elems())),
+        data_(owned_.empty() ? nullptr : owned_.data()) {
+    if (!owned_.empty()) count_buffer_alloc();
+  }
+  Tensor& operator=(const Tensor& o) {
+    if (this != &o) *this = Tensor(o);
+    return *this;
+  }
+  // Moves preserve the storage mode: a moved vector keeps its buffer
+  // address, so data_ stays valid for owners and views alike.
+  Tensor(Tensor&& o) noexcept
+      : shape_(std::exchange(o.shape_, Shape{})), layout_(o.layout_),
+        owned_(std::move(o.owned_)), data_(std::exchange(o.data_, nullptr)) {}
+  Tensor& operator=(Tensor&& o) noexcept {
+    if (this != &o) {
+      shape_ = std::exchange(o.shape_, Shape{});
+      layout_ = o.layout_;
+      owned_ = std::move(o.owned_);
+      data_ = std::exchange(o.data_, nullptr);
+    }
+    return *this;
+  }
 
   const Shape& shape() const noexcept { return shape_; }
   Layout layout() const noexcept { return layout_; }
@@ -34,8 +81,13 @@ class Tensor {
     return elems() * static_cast<std::int64_t>(sizeof(T));
   }
 
-  T* data() noexcept { return data_.data(); }
-  const T* data() const noexcept { return data_.data(); }
+  /// False when this tensor is a borrowed view (slot-backed activation).
+  bool owns_storage() const noexcept {
+    return data_ == nullptr || !owned_.empty();
+  }
+
+  T* data() noexcept { return data_; }
+  const T* data() const noexcept { return data_; }
 
   /// Linear offset of logical index (n,h,w,c) under this tensor's layout.
   std::int64_t offset(std::int64_t n, std::int64_t h, std::int64_t w,
@@ -49,34 +101,34 @@ class Tensor {
   /// Checked element access.
   T& at(std::int64_t n, std::int64_t h, std::int64_t w, std::int64_t c) {
     check_index(n, h, w, c);
-    return data_[static_cast<std::size_t>(offset(n, h, w, c))];
+    return data_[offset(n, h, w, c)];
   }
   const T& at(std::int64_t n, std::int64_t h, std::int64_t w,
               std::int64_t c) const {
     check_index(n, h, w, c);
-    return data_[static_cast<std::size_t>(offset(n, h, w, c))];
+    return data_[offset(n, h, w, c)];
   }
 
   /// Unchecked element access (hot loops).
   T& operator()(std::int64_t n, std::int64_t h, std::int64_t w,
                 std::int64_t c) noexcept {
-    return data_[static_cast<std::size_t>(offset(n, h, w, c))];
+    return data_[offset(n, h, w, c)];
   }
   const T& operator()(std::int64_t n, std::int64_t h, std::int64_t w,
                       std::int64_t c) const noexcept {
-    return data_[static_cast<std::size_t>(offset(n, h, w, c))];
+    return data_[offset(n, h, w, c)];
   }
 
   /// Fills every element with `v`.
-  void fill(T v) { std::fill(data_.begin(), data_.end(), v); }
+  void fill(T v) { std::fill(data_, data_ + elems(), v); }
 
   /// Fills with deterministic pseudo-random values (float: N(0, sigma)).
   void fill_random(Rng& rng, float sigma = 1.0f) {
-    for (auto& x : data_) {
+    for (std::int64_t i = 0; i < elems(); ++i) {
       if constexpr (std::is_floating_point_v<T>) {
-        x = static_cast<T>(rng.normal() * sigma);
+        data_[i] = static_cast<T>(rng.normal() * sigma);
       } else {
-        x = static_cast<T>(rng());
+        data_[i] = static_cast<T>(rng());
       }
     }
   }
@@ -126,7 +178,8 @@ class Tensor {
 
   Shape shape_{};
   Layout layout_ = Layout::kNHWC;
-  std::vector<T> data_;
+  std::vector<T> owned_;  // empty for borrowed views
+  T* data_ = nullptr;
 };
 
 using FloatTensor = Tensor<float>;

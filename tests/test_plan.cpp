@@ -34,9 +34,12 @@ BlobDesc u8_desc(const Shape& s) { return BlobDesc{BlobKind::kU8, s}; }
 TEST(Plan, ShapeInferenceWalksThePipeline) {
   const FloatModel model = quick_model();
   auto net = core::convert_to_phonebit(model);
-  core::Engine engine(testing::test_device());
+  // Structural assertions about the one-step-per-layer pipeline use the
+  // fusion-off configuration; the conv→pool rewrite has its own tests.
+  EngineOptions opts;
+  opts.fuse_conv_pool = false;
   const ExecutionPlan plan =
-      net->compile(engine, u8_desc(model.spec.input));
+      net->compile(opts, u8_desc(model.spec.input));
 
   ASSERT_EQ(plan.steps().size(), net->size());
   EXPECT_EQ(plan.input().kind, BlobKind::kU8);
@@ -111,9 +114,10 @@ TEST(Plan, CompiledMatchesBnnReference) {
   EXPECT_TRUE(allclose(result.float_output(), ref.output, 1e-3f));
 }
 
-/// The liveness pass's scratch prediction is exact: a fresh arena, after
-/// one compiled forward, holds exactly peak_scratch_bytes() — across option
-/// sets exercising every conv path (A, B, C, and the zeros-span legacy arm).
+/// The liveness pass's memory prediction is exact: a fresh arena, after one
+/// compiled forward, holds exactly peak_scratch_bytes() + slab_bytes() (the
+/// slot-backed activation slab) — across option sets exercising every conv
+/// path (A, B, C, and the zeros-span legacy arm).
 TEST(Plan, ArenaPeakMatchesLivenessPrediction) {
   struct OptCase {
     const char* label;
@@ -144,8 +148,10 @@ TEST(Plan, ArenaPeakMatchesLivenessPrediction) {
     // exactly on the liveness pass's number, not a geometric overshoot.
     ASSERT_EQ(session.arena().capacity_bytes(), 0) << c.label;
     plan.run(session, core::Blob{image});
-    EXPECT_EQ(session.arena().capacity_bytes(), plan.peak_scratch_bytes())
+    EXPECT_EQ(session.arena().capacity_bytes(),
+              plan.peak_scratch_bytes() + plan.slab_bytes())
         << c.label;
+    EXPECT_GT(plan.slab_bytes(), 0) << c.label;
     if (plan.peak_scratch_bytes() > 0) some_case_uses_scratch = true;
   }
   EXPECT_TRUE(some_case_uses_scratch);
@@ -174,7 +180,8 @@ TEST(Plan, ZeroGrowthAndZeroReselectionAfterCompile) {
     EXPECT_EQ(session.stats().planned_runs, i + 1);
     // Zero arena growth after the first run's exact reservation.
     if (i == 0) continue;
-    EXPECT_EQ(session.arena().capacity_bytes(), plan.peak_scratch_bytes());
+    EXPECT_EQ(session.arena().capacity_bytes(),
+              plan.peak_scratch_bytes() + plan.slab_bytes());
   }
   const int grows_after_first = session.arena().growth_events();
   plan.run(session, core::Blob{image});
@@ -288,10 +295,11 @@ TEST(Plan, VariantsRecordAheadOfTimeSelection) {
       net->compile(engine, u8_desc(model.spec.input));
 
   // quicknet under paper defaults: every binary conv is narrow enough for
-  // the fully fused path A with the interior split on.
+  // the fully fused path A with the interior split on (and, followed by
+  // its pool, the conv→pool rewrite).
   bool saw_conv = false;
   for (const auto& step : plan.steps()) {
-    if (step.variant.kernel == "bconv_fused") {
+    if (step.variant.kernel.rfind("bconv_fused", 0) == 0) {
       saw_conv = true;
       EXPECT_EQ(step.variant.path, KernelVariant::Path::kConvFused);
       EXPECT_TRUE(step.variant.interior_split);
@@ -317,6 +325,198 @@ TEST(Plan, VariantsRecordAheadOfTimeSelection) {
   EXPECT_NE(dump.find("pw="), std::string::npos);
   EXPECT_NE(dump.find("scratch peak"), std::string::npos);
   EXPECT_NE(dump.find("bconv_fused"), std::string::npos);
+}
+
+/// The conv→pool rewrite: fused plans collapse `BinaryConv2d → MaxPool`
+/// chains into single steps with pooled output descriptors and per-slot
+/// slab offsets, and the dump surfaces both.
+TEST(Plan, FusesConvPoolChains) {
+  const FloatModel model = quick_model(301);
+  auto net = core::convert_to_phonebit(model);
+  core::Engine engine(testing::test_device());
+  const ExecutionPlan plan = net->compile(engine, u8_desc(model.spec.input));
+
+  // quicknet: conv2+pool2 and conv3+pool3 fuse (conv1 is the bit-plane
+  // input conv and keeps its own pool), so two steps disappear.
+  ASSERT_EQ(plan.steps().size(), net->size() - 2);
+  int fused_steps = 0;
+  for (const auto& step : plan.steps()) {
+    if (step.fused_pool == nullptr) continue;
+    ++fused_steps;
+    EXPECT_EQ(step.variant.path, KernelVariant::Path::kConvFused);
+    EXPECT_NE(step.variant.kernel.find("+maxpool"), std::string::npos);
+    // The pooled descriptor replaced the conv output; the conv output
+    // survives only as the never-materialized fused_mid.
+    EXPECT_EQ(step.out.shape.h, step.fused_mid.shape.h / 2);
+    EXPECT_EQ(step.out.shape.c, step.fused_mid.shape.c);
+    EXPECT_NE(step.name().find("+pool"), std::string::npos);
+  }
+  EXPECT_EQ(fused_steps, 2);
+
+  // Slots are sized/offset for the POOLED blobs; the dump prints fused
+  // kernels and per-slot backing offsets.
+  const std::string dump = plan.dump();
+  EXPECT_NE(dump.find("+maxpool"), std::string::npos);
+  EXPECT_NE(dump.find("@"), std::string::npos);
+  EXPECT_NE(dump.find("activation slab"), std::string::npos);
+
+  // The ablation switch restores one step per layer.
+  EngineOptions unfused;
+  unfused.fuse_conv_pool = false;
+  EXPECT_EQ(net->compile(unfused, u8_desc(model.spec.input)).steps().size(),
+            net->size());
+}
+
+/// Zoo-wide fused-vs-unfused bit-exactness: the fused epilogue's in-register
+/// pool must reproduce the separate pool step exactly.
+TEST(Plan, FusedMatchesUnfusedAcrossZoo) {
+  struct Case {
+    std::string name;
+    core::NetworkSpec spec;
+    std::uint64_t seed;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"quicknet", models::quicknet(10), 310});
+  models::ZooOptions yolo_zoo;
+  yolo_zoo.shrink_log2 = 3;
+  cases.push_back({"yolov2-tiny", models::yolov2_tiny(yolo_zoo), 311});
+  models::ZooOptions big_zoo;
+  big_zoo.shrink_log2 = 4;
+  cases.push_back({"alexnet", models::alexnet(big_zoo), 312});
+  cases.push_back({"vgg16", models::vgg16(big_zoo), 313});
+
+  for (const Case& c : cases) {
+    const FloatModel model = FloatModel::random(c.spec, c.seed);
+    const U8Tensor image = datasets::random_image(model.spec.input, c.seed);
+    auto net = core::convert_to_phonebit(model);
+    core::Engine engine(testing::test_device());
+
+    EngineOptions fused_opts = engine.options();
+    fused_opts.fuse_conv_pool = true;
+    EngineOptions unfused_opts = engine.options();
+    unfused_opts.fuse_conv_pool = false;
+    const ExecutionPlan fused =
+        net->compile(fused_opts, u8_desc(image.shape()));
+    const ExecutionPlan unfused =
+        net->compile(unfused_opts, u8_desc(image.shape()));
+
+    auto s1 = engine.create_session();
+    auto s2 = engine.create_session();
+    const auto a = fused.run(s1, core::Blob{image});
+    const auto b = unfused.run(s2, core::Blob{image});
+    EXPECT_TRUE(allclose(a.float_output(), b.float_output(), 0.0f))
+        << c.name << ": fused forward diverged from unfused";
+    EXPECT_LE(a.modeled_ms, b.modeled_ms)
+        << c.name << ": fusion did not help modeled time";
+  }
+}
+
+namespace fusion_cases {
+
+/// Two-layer conv→pool net over a packed input, fused vs unfused.
+void expect_fused_bit_exact(std::int64_t hw, std::int64_t c_in,
+                            std::int64_t c_out, std::int64_t conv_stride,
+                            core::PoolGeometry pg, bool expect_fused,
+                            std::uint64_t seed) {
+  ConvGeometry g;
+  g.stride_h = g.stride_w = conv_stride;
+  g.pad_h = g.pad_w = 1;
+  const FloatTensor w =
+      testing::random_sign_tensor(Shape{c_out, 3, 3, c_in}, seed);
+  core::Network net("conv-pool");
+  net.emplace<core::BinaryConv2d>("conv", bitpack::pack_filter_signs(w),
+                                  testing::random_bn(c_out, seed + 1),
+                                  std::vector<float>{}, g);
+  net.emplace<core::MaxPool2d>("pool", pg);
+
+  const FloatTensor acts =
+      testing::random_sign_tensor(Shape{1, hw, hw, c_in}, seed + 2);
+  const core::Blob input{bitpack::pack_signs(acts)};
+  const BlobDesc desc = core::describe_blob(input);
+
+  core::Engine engine(testing::test_device());
+  EngineOptions fused_opts = engine.options();
+  EngineOptions unfused_opts = engine.options();
+  unfused_opts.fuse_conv_pool = false;
+  const ExecutionPlan fused = net.compile(fused_opts, desc);
+  const ExecutionPlan unfused = net.compile(unfused_opts, desc);
+  EXPECT_EQ(fused.steps().size(), expect_fused ? 1u : 2u)
+      << hw << "x" << hw << " stride " << conv_stride;
+
+  auto s1 = engine.create_session();
+  auto s2 = engine.create_session();
+  const auto a = fused.run(s1, input);
+  const auto b = unfused.run(s2, input);
+  const auto& pa = std::get<bitpack::PackedTensor>(a.output);
+  const auto& pb = std::get<bitpack::PackedTensor>(b.output);
+  EXPECT_TRUE(pa == pb) << "pooled bits diverged (" << hw << "x" << hw
+                        << ", conv stride " << conv_stride << ")";
+}
+
+}  // namespace fusion_cases
+
+/// Fusion correctness at the geometry edges: odd spatial dims where the
+/// tail-padded pool window clamps, a stride-2 conv feeding the pool, and
+/// the legality rules (overlapping windows and non-path-A convs do NOT
+/// fuse).
+TEST(Plan, FusionHandlesClampedAndStridedPools) {
+  // Odd conv output (9x9) + darknet-style tail_pad stride-2 pool: output
+  // ceil(9/2) = 5, the last window row/column clamps to in-bounds taps.
+  core::PoolGeometry tail;
+  tail.size = 2;
+  tail.stride = 2;
+  tail.tail_pad = true;
+  fusion_cases::expect_fused_bit_exact(9, 64, 16, 1, tail, true, 320);
+
+  // Even input, plain 2x2/s2 pool, conv stride 2 feeding it.
+  core::PoolGeometry plain;
+  plain.size = 2;
+  plain.stride = 2;
+  fusion_cases::expect_fused_bit_exact(17, 64, 16, 2, plain, true, 321);
+
+  // Odd input with the non-padded pool (window never clamps, trailing row
+  // dropped) — still fused, still exact.
+  fusion_cases::expect_fused_bit_exact(11, 64, 24, 1, plain, true, 322);
+
+  // Lead-padded pool (pad=1, stride==size): the first window starts at
+  // -1, exercising the fused kernel's negative-cx/cy clamp.
+  core::PoolGeometry lead;
+  lead.size = 2;
+  lead.stride = 2;
+  lead.pad = 1;
+  fusion_cases::expect_fused_bit_exact(9, 64, 16, 1, lead, true, 324);
+
+  // Legality: YOLOv2-Tiny's overlapping stride-1 "same" pool would
+  // recompute conv outputs — stays a separate step (and stays correct).
+  core::PoolGeometry same;
+  same.size = 2;
+  same.stride = 1;
+  same.tail_pad = true;
+  fusion_cases::expect_fused_bit_exact(9, 64, 16, 1, same, false, 323);
+}
+
+/// Legality: only path-A convs fuse — a conv compiled to the separate-pack
+/// path B (channels above the private-memory threshold) keeps its pool.
+TEST(Plan, FusionSkipsNonPathAConvs) {
+  ConvGeometry g;
+  g.pad_h = g.pad_w = 1;
+  const FloatTensor w =
+      testing::random_sign_tensor(Shape{16, 3, 3, 64}, 330);
+  core::Network net("wide-conv-pool");
+  net.emplace<core::BinaryConv2d>("conv", bitpack::pack_filter_signs(w),
+                                  testing::random_bn(16, 331),
+                                  std::vector<float>{}, g);
+  core::PoolGeometry pg;
+  net.emplace<core::MaxPool2d>("pool", pg);
+
+  EngineOptions opts;
+  opts.packing_channel_threshold = 32;  // force path B for c_in = 64
+  const ExecutionPlan plan = net.compile(
+      opts, BlobDesc{BlobKind::kPacked, Shape{1, 8, 8, 64}});
+  ASSERT_EQ(plan.steps().size(), 2u);
+  EXPECT_EQ(plan.steps()[0].variant.path,
+            KernelVariant::Path::kConvSeparatePack);
+  EXPECT_EQ(plan.steps()[0].fused_pool, nullptr);
 }
 
 /// One plan, many sessions: concurrent compiled forwards are bit-exact and

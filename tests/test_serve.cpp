@@ -83,13 +83,17 @@ TEST(BatchRunner, SummaryAggregatesPerRequestReports) {
   // All six requests shared one input shape -> exactly one compiled plan.
   EXPECT_EQ(runner.compiled_plans(), 1u);
 
-  // Per-layer merge: one slot per network layer, costs/launches summed over
-  // every request, modeled total consistent with the request totals.
-  ASSERT_EQ(summary.merged_layers.size(), net->size());
+  // Per-step merge: one slot per compiled plan step (fused conv+pool
+  // chains report as one entry), costs/launches summed over every request,
+  // modeled total consistent with the request totals.
+  const core::ExecutionPlan plan = net->compile(
+      engine.options(),
+      core::BlobDesc{core::BlobKind::kU8, Shape{1, 32, 32, 3}});
+  ASSERT_EQ(summary.merged_layers.size(), plan.steps().size());
   double merged_total = 0.0;
   for (std::size_t j = 0; j < summary.merged_layers.size(); ++j) {
     const auto& m = summary.merged_layers[j];
-    EXPECT_EQ(m.name, net->layers()[j]->name());
+    EXPECT_EQ(m.name, plan.steps()[j].name());
     EXPECT_GE(m.launches, summary.requests);  // >= 1 launch per request
     EXPECT_EQ(m.cost.launches, m.launches);
     merged_total += m.modeled_ms;
@@ -111,6 +115,35 @@ TEST(BatchRunner, WarmBatchesStopAllocating) {
   for (int round = 0; round < 2; ++round) {
     runner.run(make_inputs(8, 1100 + static_cast<std::uint64_t>(round)));
     EXPECT_EQ(engine.arena_pool().created(), created) << "round " << round;
+    EXPECT_EQ(device->allocated_bytes(), warm_bytes) << "round " << round;
+  }
+}
+
+/// Worker sessions (and their slot-backed activation arenas) persist across
+/// requests AND batches of the same plan: after the warm-up batch the
+/// runner mints no sessions and no arena grows — the plan's per-run reserve
+/// is a warm no-op, not a per-request re-reserve.
+TEST(BatchRunner, ReusesWorkerSessionArenasInSteadyState) {
+  auto net = quick_net(77);
+  auto device = testing::test_device();
+  core::Engine engine(device);
+  serve::BatchRunner runner(engine, *net, 4);
+  EXPECT_EQ(runner.sessions(), 0u);  // sessions are minted lazily
+
+  runner.run(make_inputs(8, 1400));  // warm-up: sessions + exact reserves
+  const std::size_t sessions = runner.sessions();
+  EXPECT_EQ(sessions, 4u);
+  const int warm_growth = runner.total_arena_growth_events();
+  EXPECT_GT(warm_growth, 0);
+  const std::int64_t warm_bytes = device->allocated_bytes();
+
+  for (int round = 0; round < 3; ++round) {
+    runner.run(make_inputs(8, 1500 + static_cast<std::uint64_t>(round)));
+    // Zero arena growth in steady state: same sessions, same arenas, same
+    // capacities, no device-memory movement.
+    EXPECT_EQ(runner.sessions(), sessions) << "round " << round;
+    EXPECT_EQ(runner.total_arena_growth_events(), warm_growth)
+        << "round " << round;
     EXPECT_EQ(device->allocated_bytes(), warm_bytes) << "round " << round;
   }
 }

@@ -81,6 +81,45 @@ TEST(Session, PrivateEventLogs) {
   EXPECT_GT(s2.queue().events().size(), 0u);
 }
 
+/// ScratchArena::reserve is a strict no-op when capacity already covers the
+/// request: re-running a plan on a warm session moves no capacity, no
+/// growth counter and no device accounting — and smaller requests never
+/// shrink or churn the pools.
+TEST(Session, ReserveIsANoOpOnWarmArena) {
+  auto device = testing::test_device();
+  const std::int64_t base_bytes = device->allocated_bytes();
+  core::ScratchArena arena(device.get());
+
+  arena.reserve(100, 50, 200, 30, 1024);
+  const std::int64_t warm_capacity = arena.capacity_bytes();
+  const int warm_growth = arena.growth_events();
+  const std::int64_t warm_device = device->allocated_bytes();
+  EXPECT_EQ(warm_capacity, 100 * 4 + 50 * 4 + 200 + 30 * 8 + 1024);
+
+  // Identical peaks (the warm re-run of one plan) and smaller peaks (a
+  // second, smaller plan on the same session): both must be free.
+  arena.reserve(100, 50, 200, 30, 1024);
+  arena.reserve(10, 5, 20, 3, 64);
+  EXPECT_EQ(arena.capacity_bytes(), warm_capacity);
+  EXPECT_EQ(arena.growth_events(), warm_growth);
+  EXPECT_EQ(device->allocated_bytes(), warm_device);
+
+  // Spans handed out within the reserved sizes never grow either.
+  arena.i32(100);
+  arena.f32(50);
+  arena.u8(200);
+  arena.words(30);
+  arena.slab(1024);
+  EXPECT_EQ(arena.growth_events(), warm_growth);
+  EXPECT_EQ(device->allocated_bytes(), warm_device);
+
+  // A genuinely larger peak grows exactly the delta.
+  arena.reserve(200, 50, 200, 30, 1024);
+  EXPECT_EQ(arena.capacity_bytes(), warm_capacity + 100 * 4);
+  EXPECT_EQ(arena.growth_events(), warm_growth + 1);
+  (void)base_bytes;
+}
+
 TEST(Session, ArenaPoolReusesWarmArenas) {
   const FloatModel model = quick_model();
   const U8Tensor image = datasets::cifar_like_image(43);
