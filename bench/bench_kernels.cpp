@@ -263,44 +263,16 @@ int compare_to_baseline(const std::vector<bench::BenchRecord>& fresh,
                         double tolerance_pct) {
   std::vector<bench::BenchRecord> baseline;
   if (!bench::read_bench_json(baseline_path, baseline)) return 2;
-  int regressions = 0, missing = 0, checked = 0;
-  for (const auto& b : baseline) {
-    const bench::BenchRecord* match = nullptr;
-    for (const auto& f : fresh) {
-      if (f.op == b.op && f.geometry == b.geometry) {
-        match = &f;
-        break;
-      }
-    }
-    if (match == nullptr) {
-      std::printf("MISSING    %-14s %-30s (tracked record no longer "
-                  "produced)\n",
-                  b.op.c_str(), b.geometry.c_str());
-      ++missing;
-      continue;
-    }
-    if (b.modeled_ms <= 0.0) continue;  // host-only record: not gated
-    ++checked;
-    const double limit = b.modeled_ms * (1.0 + tolerance_pct / 100.0);
-    const double delta_pct =
-        100.0 * (match->modeled_ms - b.modeled_ms) / b.modeled_ms;
-    if (match->modeled_ms > limit) {
-      std::printf("REGRESSED  %-14s %-30s modeled %.4f -> %.4f ms "
-                  "(%+.2f%% > %.1f%%)\n",
-                  b.op.c_str(), b.geometry.c_str(), b.modeled_ms,
-                  match->modeled_ms, delta_pct, tolerance_pct);
-      ++regressions;
-    } else {
-      std::printf("ok         %-14s %-30s modeled %.4f -> %.4f ms "
-                  "(%+.2f%%)\n",
-                  b.op.c_str(), b.geometry.c_str(), b.modeled_ms,
-                  match->modeled_ms, delta_pct);
-    }
-  }
+  // The comparison itself (including the missing-record gate: a tracked
+  // record absent from the fresh run fails like a regression) lives in
+  // bench_util.hpp so tests/test_bench_compare.cpp can pin its exit
+  // behaviour without re-running the benches.
+  const bench::CompareSummary sum =
+      bench::compare_bench_records(fresh, baseline, tolerance_pct, stdout);
   std::printf("\nbench_compare: %d modeled records checked, %d regressed, "
               "%d missing (tolerance %.1f%%)\n",
-              checked, regressions, missing, tolerance_pct);
-  return (regressions > 0 || missing > 0) ? 1 : 0;
+              sum.checked, sum.regressions, sum.missing, tolerance_pct);
+  return sum.ok() ? 0 : 1;
 }
 
 }  // namespace

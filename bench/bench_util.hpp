@@ -93,6 +93,72 @@ inline bool read_bench_json(const std::string& path,
   return !records.empty();
 }
 
+/// Outcome of one baseline-vs-fresh comparison (bench_kernels --check).
+struct CompareSummary {
+  int checked = 0;      ///< modeled records gated against the baseline
+  int regressions = 0;  ///< modeled time beyond tolerance
+  int missing = 0;      ///< baseline records the fresh run did not produce
+
+  /// Exit status of the gate: ANY regression or missing record fails the
+  /// check — a tracked record silently disappearing (a bench deleted or
+  /// renamed without updating the baseline) must fail CI exactly like a
+  /// time regression, otherwise coverage decays unnoticed.
+  bool ok() const noexcept { return regressions == 0 && missing == 0; }
+};
+
+/// Diffs `fresh` records against the checked-in `baseline` (tolerance in
+/// percent on the deterministic modeled times; host-only records — modeled
+/// <= 0 — are matched for presence but never time-gated). Pure comparison
+/// so the gate is unit-testable; printing stays with the caller via `log`
+/// (pass nullptr to silence).
+inline CompareSummary compare_bench_records(
+    const std::vector<BenchRecord>& fresh,
+    const std::vector<BenchRecord>& baseline, double tolerance_pct,
+    std::FILE* log) {
+  CompareSummary sum;
+  for (const auto& b : baseline) {
+    const BenchRecord* match = nullptr;
+    for (const auto& f : fresh) {
+      if (f.op == b.op && f.geometry == b.geometry) {
+        match = &f;
+        break;
+      }
+    }
+    if (match == nullptr) {
+      if (log != nullptr) {
+        std::fprintf(log,
+                     "MISSING    %-14s %-30s (tracked record no longer "
+                     "produced)\n",
+                     b.op.c_str(), b.geometry.c_str());
+      }
+      ++sum.missing;
+      continue;
+    }
+    if (b.modeled_ms <= 0.0) continue;  // host-only record: not gated
+    ++sum.checked;
+    const double limit = b.modeled_ms * (1.0 + tolerance_pct / 100.0);
+    const double delta_pct =
+        100.0 * (match->modeled_ms - b.modeled_ms) / b.modeled_ms;
+    if (match->modeled_ms > limit) {
+      if (log != nullptr) {
+        std::fprintf(log,
+                     "REGRESSED  %-14s %-30s modeled %.4f -> %.4f ms "
+                     "(%+.2f%% > %.1f%%)\n",
+                     b.op.c_str(), b.geometry.c_str(), b.modeled_ms,
+                     match->modeled_ms, delta_pct, tolerance_pct);
+      }
+      ++sum.regressions;
+    } else if (log != nullptr) {
+      std::fprintf(log,
+                   "ok         %-14s %-30s modeled %.4f -> %.4f ms "
+                   "(%+.2f%%)\n",
+                   b.op.c_str(), b.geometry.c_str(), b.modeled_ms,
+                   match->modeled_ms, delta_pct);
+    }
+  }
+  return sum;
+}
+
 /// PHONEBIT_BENCH_FAST=1 shrinks networks for quick smoke runs; the default
 /// is the paper's full-size networks.
 inline int bench_shrink() {

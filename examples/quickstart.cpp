@@ -12,6 +12,11 @@
 // `quickstart fused_dump` additionally self-checks the conv→pool fusion
 // pass: it verifies the printed plan contains fused steps and per-slot
 // slab backing offsets (the quickstart_fused_dump ctest target).
+// `quickstart artifact` exercises the compiled-artifact deployment
+// boundary end to end: compile → artifact::save(.pba) →
+// Engine::load_artifact → run the LOADED plan, self-checking that it
+// reproduces the in-memory compiled forward bit-exactly with zero
+// re-planning (the quickstart_artifact ctest target).
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -27,6 +32,13 @@ int main(int argc, char** argv) {
       argc > 1 && std::strcmp(argv[1], "fused_dump") == 0;
   const bool plan_dump =
       fused_dump || (argc > 1 && std::strcmp(argv[1], "plan_dump") == 0);
+  const bool artifact_mode =
+      argc > 1 && std::strcmp(argv[1], "artifact") == 0;
+  // The ctest targets run every mode concurrently in the build dir: each
+  // mode writes its own scratch files so the runs never race on them.
+  const std::string mode = argc > 1 ? argv[1] : "run";
+  const std::string pbm_path = "quicknet_" + mode + ".pbm";
+  const std::string pba_path = "quicknet_" + mode + ".pba";
 
   // (1) A trained model. In a real deployment this comes from a BNN
   // training framework; here it is a deterministic synthetic checkpoint.
@@ -44,8 +56,8 @@ int main(int argc, char** argv) {
 
   // (3) Round-trip through the on-disk format (the artifact you'd push to
   // the phone).
-  core::save_model(*net, "quicknet.pbm");
-  auto deployed = core::load_model("quicknet.pbm");
+  core::save_model(*net, pbm_path);
+  auto deployed = core::load_model(pbm_path);
 
   // (4) Compile for the simulated Snapdragon 855 (Adreno 640), then run.
   // compile() walks the pipeline once — shape inference, buffer-liveness
@@ -63,7 +75,7 @@ int main(int argc, char** argv) {
   if (plan_dump) {
     const std::string dump = plan.dump();
     std::printf("%s", dump.c_str());
-    std::remove("quicknet.pbm");
+    std::remove(pbm_path.c_str());
     if (fused_dump) {
       // Self-checking smoke: the fused plan must surface fused conv→pool
       // steps and the per-slot slab backing offsets.
@@ -89,6 +101,34 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  if (artifact_mode) {
+    // The full compiled-artifact deployment boundary: serialize the plan
+    // alongside the network, reload through the engine (which validates
+    // the device profile) and prove the loaded plan replays the in-memory
+    // forward bit-exactly — zero re-planning, zero re-selection.
+    artifact::save(*deployed, plan, pba_path);
+    const artifact::LoadedArtifact loaded = engine.load_artifact(pba_path);
+    auto s1 = engine.create_session();
+    auto s2 = engine.create_session();
+    const auto fresh = plan.run(s1, core::Blob{image});
+    const auto replay = loaded.plan.run(s2, core::Blob{image});
+    std::remove(pba_path.c_str());
+    std::remove(pbm_path.c_str());
+    if (!allclose(replay.float_output(), fresh.float_output(), 0.0f)) {
+      std::fprintf(stderr, "artifact: loaded forward diverged\n");
+      return 1;
+    }
+    if (replay.modeled_ms != fresh.modeled_ms ||
+        s2.stats().variant_selections != 0 || s2.stats().compiles != 0) {
+      std::fprintf(stderr, "artifact: loaded plan re-planned or drifted\n");
+      return 1;
+    }
+    std::printf("artifact: ok (%zu steps, save -> load -> run bit-exact, "
+                "%.4f ms modeled)\n",
+                loaded.plan.steps().size(), replay.modeled_ms);
+    return 0;
+  }
+
   auto session = engine.create_session();
   const auto result = plan.run(session, core::Blob{image});
   const FloatTensor& scores = result.float_output();
@@ -107,6 +147,6 @@ int main(int argc, char** argv) {
   }
   std::printf("total: %.4f ms modeled (%.1f ms host wall)\n",
               result.modeled_ms, result.host_ms);
-  std::remove("quicknet.pbm");
+  std::remove(pbm_path.c_str());
   return 0;
 }

@@ -138,6 +138,25 @@ class PackedTensor {
     word = set_bit(word, static_cast<int>(c % kWordBits), bit);
   }
 
+  /// True when every bit beyond the true channel count is zero in every
+  /// pixel's tail word — the pad-word invariant the xor/and+popcount
+  /// kernels rely on (and pack.cpp guarantees for freshly packed data).
+  /// The artifact loader re-checks it on deserialized weight banks so a
+  /// corrupted file cannot smuggle phantom channels into the Eqn-1 dot.
+  bool padding_clear() const noexcept {
+    const std::int64_t rem = shape_.c % kWordBits;
+    if (rem == 0 || data_ == nullptr) return true;
+    const std::uint64_t pad_mask = ~((std::uint64_t{1} << rem) - 1);
+    const std::int64_t pixels = shape_.n * shape_.h * shape_.w;
+    for (std::int64_t p = 0; p < pixels; ++p) {
+      if ((data_[p * words_per_pixel_ + words_per_pixel_ - 1] & pad_mask) !=
+          0) {
+        return false;
+      }
+    }
+    return true;
+  }
+
   /// Value equality: same logical shape and identical packed words,
   /// regardless of which side owns its storage.
   friend bool operator==(const PackedTensor& a, const PackedTensor& b) {

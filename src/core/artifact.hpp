@@ -1,0 +1,110 @@
+// PhoneBit — serializable compiled artifacts (.pba).
+//
+// PhoneBit's deployment story (Fig. 2) is ahead-of-time: the converter runs
+// on a workstation and the phone receives a ready-to-run artifact, never
+// paying conversion or planning cost at startup. The .pbm model format
+// (model_format.hpp) ships the *network*; this module ships the *compiled*
+// network — the layer graph with its BN-folded packed weights PLUS the
+// ExecutionPlan that Network::compile produced: per-step kernel selections
+// (conv path, pack width, interior split, tile, fusion rewrites), the
+// activation-slot table with its fixed slab offsets, and the exact
+// scratch/slab peaks. load() reconstructs an immutable Network +
+// ExecutionPlan with ZERO re-planning: no shape inference, no liveness
+// pass, no kernel selection — the plan's implicit in-memory invariants are
+// an explicit on-disk contract, validated field by field.
+//
+// Container layout (all fields host little-endian; DESIGN.md §8):
+//
+//   byte  0  u32  magic            "PBA!" (0x21414250)
+//   byte  4  u32  format version   (exact match required; no back-compat)
+//   byte  8  u32  endianness mark  0x01020304 as written by the producer
+//   byte 12  u32  header bytes     32
+//   byte 16  u64  payload bytes    (file size - 32 must equal this)
+//   byte 24  u64  payload FNV-1a64 checksum
+//   byte 32  payload: four framed sections, in fixed order
+//              [u32 tag | u64 body bytes | body]
+//            tags: 1 network, 2 options, 3 input, 4 plan
+//
+// Every load-time mismatch — bad magic/version/endianness, truncation,
+// checksum failure, invalid enum, violated structural invariant (weight
+// pad words, slot-table layout, step edges, scratch peaks) — throws
+// InvalidArgument naming the offending section and absolute byte offset.
+// The loader never trusts a length or enum it has not checked, so a
+// corrupted or truncated file fails loudly instead of crashing.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/network.hpp"
+#include "core/plan.hpp"
+
+namespace phonebit::artifact {
+
+// --- container constants (the stable on-disk contract; tests pin these) ---
+
+inline constexpr std::uint32_t kMagic = 0x21414250u;  // "PBA!" little-endian
+inline constexpr std::uint32_t kFormatVersion = 1;
+inline constexpr std::uint32_t kEndianMark = 0x01020304u;
+inline constexpr std::int64_t kHeaderBytes = 32;
+
+/// Header field offsets (bytes from the start of the file).
+inline constexpr std::int64_t kMagicOffset = 0;
+inline constexpr std::int64_t kVersionOffset = 4;
+inline constexpr std::int64_t kEndianOffset = 8;
+inline constexpr std::int64_t kHeaderBytesOffset = 12;
+inline constexpr std::int64_t kPayloadBytesOffset = 16;
+inline constexpr std::int64_t kChecksumOffset = 24;
+
+/// Section tags, in their required file order.
+enum class Section : std::uint32_t {
+  kNetwork = 1,  ///< layer graph + packed weights + raw BN/bias params
+  kOptions = 2,  ///< the EngineOptions snapshot the plan was compiled with
+  kInput = 3,    ///< the BlobDesc the plan accepts
+  kPlan = 4,     ///< steps, kernel variants, slot table, peaks
+};
+
+const char* section_name(Section s) noexcept;
+
+/// One entry of an artifact's section table (body offsets are absolute file
+/// offsets). Exposed for tooling (`pbc dump`) and for the corruption tests,
+/// which need to aim byte flips at a specific section.
+struct SectionInfo {
+  Section tag{};
+  std::int64_t body_offset = 0;
+  std::int64_t body_bytes = 0;
+};
+
+/// Reads just the header + section frames of `path` (magic/version/
+/// endianness/length validated; checksum and bodies NOT decoded).
+std::vector<SectionInfo> section_table(const std::string& path);
+
+/// A deserialized artifact: the network owns the layers, the plan holds
+/// non-owning pointers into them — keep both together (moving the struct is
+/// safe; layers live on the heap behind stable unique_ptrs).
+struct LoadedArtifact {
+  std::unique_ptr<core::Network> network;
+  core::ExecutionPlan plan;
+};
+
+/// Serializes `net` + the plan compiled from it to `path`. Throws
+/// InvalidArgument when the plan does not belong to `net` or a layer is not
+/// serializable, FormatError on I/O failure. Output is deterministic: the
+/// same (network, plan) always produces byte-identical files, so artifact
+/// checksums are stable build outputs.
+void save(const core::Network& net, const core::ExecutionPlan& plan,
+          const std::string& path);
+
+/// Loads an artifact written by save(): reconstructs the Network and its
+/// ExecutionPlan with zero re-planning, validating the full structural
+/// contract along the way. Throws InvalidArgument naming the offending
+/// section and byte offset on any mismatch.
+LoadedArtifact load(const std::string& path);
+
+/// The artifact payload checksum (FNV-1a 64) — exposed so tests and tools
+/// can recompute/patch the header after a deliberate payload edit.
+std::uint64_t checksum(const void* data, std::size_t n) noexcept;
+
+}  // namespace phonebit::artifact

@@ -38,6 +38,8 @@ class BinaryDense final : public Layer {
   std::int64_t in_features() const noexcept { return weights_.shape().c; }
   const bitpack::PackedTensor& weights() const noexcept { return weights_; }
   const FoldedBatchNorm& folded_bn() const noexcept { return folded_; }
+  const std::vector<BatchNormParams>& raw_bn() const noexcept { return bn_; }
+  const std::vector<float>& bias() const noexcept { return bias_; }
 
  private:
   /// Span-keyed granularity of the GEMV's fused feature span.

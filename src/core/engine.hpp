@@ -12,10 +12,16 @@
 #include <memory>
 #include <utility>
 
+#include <string>
+
 #include "core/arena.hpp"
 #include "core/layer.hpp"
 #include "core/options.hpp"
 #include "oclsim/runtime.hpp"
+
+namespace phonebit::artifact {
+struct LoadedArtifact;  // artifact.hpp — deserialized network + plan
+}
 
 namespace phonebit::core {
 
@@ -99,6 +105,17 @@ class Engine {
   ExecSession create_session() {
     return ExecSession(arena_pool_, *device_, oclsim::ExecUnit::kGpu, opts_);
   }
+
+  /// Loads a compiled artifact (.pba, artifact.hpp) and validates it
+  /// against this engine's device profile: the plan's exact activation
+  /// slab + scratch peak plus the packed parameters must fit the device's
+  /// RAM budget (throws OutOfMemoryError when they cannot — the artifact
+  /// was compiled for a bigger phone). Format/structure mismatches throw
+  /// InvalidArgument naming the offending section and byte offset. The
+  /// returned plan runs on this engine's sessions with zero re-planning.
+  /// Defined in artifact.cpp.
+  ::phonebit::artifact::LoadedArtifact load_artifact(
+      const std::string& path) const;
 
   const EngineOptions& options() const noexcept { return opts_; }
   /// Mutable options — configuration phase only. Existing sessions hold

@@ -53,6 +53,8 @@ class InputConv2d final : public Layer {
   std::int64_t in_channels() const noexcept { return weights_.shape().c; }
   const bitpack::PackedTensor& weights() const noexcept { return weights_; }
   const FoldedBatchNorm& folded_bn() const noexcept { return folded_; }
+  const std::vector<BatchNormParams>& raw_bn() const noexcept { return bn_; }
+  const std::vector<float>& bias() const noexcept { return bias_; }
 
  private:
   KernelVariant select_variant(const Shape& in_shape,

@@ -9,156 +9,17 @@
 #include "core/float_conv.hpp"
 #include "core/input_conv.hpp"
 #include "core/pooling.hpp"
+#include "core/wire.hpp"
 
 namespace phonebit::core {
 namespace {
 
+using wire::ByteReader;
+using wire::ByteWriter;
+using wire::LayerKind;  // shared with the .pba artifact — one numbering
+
 constexpr std::uint32_t kMagic = 0x54494250u;  // "PBIT" little-endian
 constexpr std::uint32_t kVersion = 1;
-
-enum class LayerKind : std::uint8_t {
-  kInputConv = 0,
-  kBinaryConv = 1,
-  kMaxPool = 2,
-  kBinaryDense = 3,
-  kFloatConv = 4,
-  kFloatDense = 5,
-};
-
-// --- little-endian primitive I/O -------------------------------------------
-
-template <typename T>
-void write_pod(std::ostream& os, const T& v) {
-  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
-}
-
-template <typename T>
-T read_pod(std::istream& is) {
-  T v{};
-  is.read(reinterpret_cast<char*>(&v), sizeof(T));
-  if (!is) throw FormatError("unexpected end of model file");
-  return v;
-}
-
-void write_string(std::ostream& os, const std::string& s) {
-  write_pod<std::uint32_t>(os, static_cast<std::uint32_t>(s.size()));
-  os.write(s.data(), static_cast<std::streamsize>(s.size()));
-}
-
-std::string read_string(std::istream& is) {
-  const auto len = read_pod<std::uint32_t>(is);
-  if (len > (1u << 20)) throw FormatError("implausible string length");
-  std::string s(len, '\0');
-  is.read(s.data(), len);
-  if (!is) throw FormatError("unexpected end of model file");
-  return s;
-}
-
-void write_shape(std::ostream& os, const Shape& s) {
-  write_pod<std::int64_t>(os, s.n);
-  write_pod<std::int64_t>(os, s.h);
-  write_pod<std::int64_t>(os, s.w);
-  write_pod<std::int64_t>(os, s.c);
-}
-
-Shape read_shape(std::istream& is) {
-  Shape s;
-  s.n = read_pod<std::int64_t>(is);
-  s.h = read_pod<std::int64_t>(is);
-  s.w = read_pod<std::int64_t>(is);
-  s.c = read_pod<std::int64_t>(is);
-  return s;
-}
-
-void write_geom(std::ostream& os, const ConvGeometry& g) {
-  write_pod<std::int64_t>(os, g.kernel_h);
-  write_pod<std::int64_t>(os, g.kernel_w);
-  write_pod<std::int64_t>(os, g.stride_h);
-  write_pod<std::int64_t>(os, g.stride_w);
-  write_pod<std::int64_t>(os, g.pad_h);
-  write_pod<std::int64_t>(os, g.pad_w);
-}
-
-ConvGeometry read_geom(std::istream& is) {
-  ConvGeometry g;
-  g.kernel_h = read_pod<std::int64_t>(is);
-  g.kernel_w = read_pod<std::int64_t>(is);
-  g.stride_h = read_pod<std::int64_t>(is);
-  g.stride_w = read_pod<std::int64_t>(is);
-  g.pad_h = read_pod<std::int64_t>(is);
-  g.pad_w = read_pod<std::int64_t>(is);
-  return g;
-}
-
-void write_packed(std::ostream& os, const bitpack::PackedTensor& p) {
-  write_shape(os, p.shape());
-  write_pod<std::int64_t>(os, p.total_words());
-  os.write(reinterpret_cast<const char*>(p.data()),
-           static_cast<std::streamsize>(p.total_words() * 8));
-}
-
-bitpack::PackedTensor read_packed(std::istream& is) {
-  const Shape s = read_shape(is);
-  bitpack::PackedTensor p(s);
-  const auto words = read_pod<std::int64_t>(is);
-  if (words != p.total_words()) throw FormatError("packed word count mismatch");
-  is.read(reinterpret_cast<char*>(p.data()),
-          static_cast<std::streamsize>(words * 8));
-  if (!is) throw FormatError("unexpected end of packed data");
-  return p;
-}
-
-void write_floats(std::ostream& os, const std::vector<float>& v) {
-  write_pod<std::uint64_t>(os, v.size());
-  os.write(reinterpret_cast<const char*>(v.data()),
-           static_cast<std::streamsize>(v.size() * 4));
-}
-
-std::vector<float> read_floats(std::istream& is) {
-  const auto n = read_pod<std::uint64_t>(is);
-  std::vector<float> v(n);
-  is.read(reinterpret_cast<char*>(v.data()),
-          static_cast<std::streamsize>(n * 4));
-  if (!is) throw FormatError("unexpected end of float data");
-  return v;
-}
-
-void write_float_tensor(std::ostream& os, const FloatTensor& t) {
-  PB_CHECK(t.layout() == Layout::kNHWC, "serialize NHWC tensors only");
-  write_shape(os, t.shape());
-  os.write(reinterpret_cast<const char*>(t.data()),
-           static_cast<std::streamsize>(t.bytes()));
-}
-
-FloatTensor read_float_tensor(std::istream& is) {
-  const Shape s = read_shape(is);
-  FloatTensor t(s, Layout::kNHWC);
-  is.read(reinterpret_cast<char*>(t.data()),
-          static_cast<std::streamsize>(t.bytes()));
-  if (!is) throw FormatError("unexpected end of tensor data");
-  return t;
-}
-
-void write_folded_bn(std::ostream& os, const FoldedBatchNorm& f) {
-  write_floats(os, f.xi);
-  write_pod<std::uint64_t>(os, f.gamma_pos.size());
-  os.write(reinterpret_cast<const char*>(f.gamma_pos.data()),
-           static_cast<std::streamsize>(f.gamma_pos.size()));
-}
-
-FoldedBatchNorm read_folded_bn(std::istream& is) {
-  FoldedBatchNorm f;
-  f.xi = read_floats(is);
-  const auto n = read_pod<std::uint64_t>(is);
-  f.gamma_pos.resize(n);
-  is.read(reinterpret_cast<char*>(f.gamma_pos.data()),
-          static_cast<std::streamsize>(n));
-  if (!is) throw FormatError("unexpected end of BN data");
-  if (f.xi.size() != f.gamma_pos.size()) {
-    throw FormatError("folded BN arrays disagree in length");
-  }
-  return f;
-}
 
 /// Raw BN parameters that binarize identically to the folded constants:
 /// gamma = ±1, sigma = 1, mu = xi, beta = 0, bias = 0
@@ -180,85 +41,96 @@ std::vector<BatchNormParams> synthesize_bn(const FoldedBatchNorm& f) {
 }  // namespace
 
 void save_model(const Network& net, const std::string& path) {
-  std::ofstream os(path, std::ios::binary);
-  if (!os) throw FormatError("cannot open '" + path + "' for writing");
-  write_pod(os, kMagic);
-  write_pod(os, kVersion);
-  write_string(os, net.name());
-  write_pod<std::uint32_t>(os, static_cast<std::uint32_t>(net.size()));
+  ByteWriter w;
+  w.pod(kMagic);
+  w.pod(kVersion);
+  w.str(net.name());
+  w.pod<std::uint32_t>(static_cast<std::uint32_t>(net.size()));
 
   for (const auto& layer : net.layers()) {
     if (const auto* l = dynamic_cast<const InputConv2d*>(layer.get())) {
-      write_pod(os, static_cast<std::uint8_t>(LayerKind::kInputConv));
-      write_string(os, l->name());
-      write_geom(os, l->geometry());
-      write_packed(os, l->weights());
-      write_folded_bn(os, l->folded_bn());
+      w.pod(static_cast<std::uint8_t>(LayerKind::kInputConv));
+      w.str(l->name());
+      w.geom(l->geometry());
+      w.packed(l->weights());
+      w.folded_bn(l->folded_bn());
     } else if (const auto* l = dynamic_cast<const BinaryConv2d*>(layer.get())) {
-      write_pod(os, static_cast<std::uint8_t>(LayerKind::kBinaryConv));
-      write_string(os, l->name());
-      write_geom(os, l->geometry());
-      write_packed(os, l->weights());
-      write_folded_bn(os, l->folded_bn());
+      w.pod(static_cast<std::uint8_t>(LayerKind::kBinaryConv));
+      w.str(l->name());
+      w.geom(l->geometry());
+      w.packed(l->weights());
+      w.folded_bn(l->folded_bn());
     } else if (const auto* l = dynamic_cast<const MaxPool2d*>(layer.get())) {
-      write_pod(os, static_cast<std::uint8_t>(LayerKind::kMaxPool));
-      write_string(os, l->name());
-      write_pod<std::int64_t>(os, l->geometry().size);
-      write_pod<std::int64_t>(os, l->geometry().stride);
-      write_pod<std::int64_t>(os, l->geometry().pad);
-      write_pod<std::uint8_t>(os, l->geometry().tail_pad ? 1 : 0);
+      w.pod(static_cast<std::uint8_t>(LayerKind::kMaxPool));
+      w.str(l->name());
+      w.pod<std::int64_t>(l->geometry().size);
+      w.pod<std::int64_t>(l->geometry().stride);
+      w.pod<std::int64_t>(l->geometry().pad);
+      w.pod<std::uint8_t>(l->geometry().tail_pad ? 1 : 0);
     } else if (const auto* l = dynamic_cast<const BinaryDense*>(layer.get())) {
-      write_pod(os, static_cast<std::uint8_t>(LayerKind::kBinaryDense));
-      write_string(os, l->name());
-      write_packed(os, l->weights());
-      write_folded_bn(os, l->folded_bn());
+      w.pod(static_cast<std::uint8_t>(LayerKind::kBinaryDense));
+      w.str(l->name());
+      w.packed(l->weights());
+      w.folded_bn(l->folded_bn());
     } else if (const auto* l = dynamic_cast<const FloatConv2d*>(layer.get())) {
-      write_pod(os, static_cast<std::uint8_t>(LayerKind::kFloatConv));
-      write_string(os, l->name());
-      write_geom(os, l->geometry());
-      write_float_tensor(os, l->weights());
-      write_floats(os, l->bias());
+      w.pod(static_cast<std::uint8_t>(LayerKind::kFloatConv));
+      w.str(l->name());
+      w.geom(l->geometry());
+      w.float_tensor(l->weights());
+      w.floats(l->bias());
     } else if (const auto* l = dynamic_cast<const FloatDense*>(layer.get())) {
-      write_pod(os, static_cast<std::uint8_t>(LayerKind::kFloatDense));
-      write_string(os, l->name());
-      write_float_tensor(os, l->weights());
-      write_floats(os, l->bias());
+      w.pod(static_cast<std::uint8_t>(LayerKind::kFloatDense));
+      w.str(l->name());
+      w.float_tensor(l->weights());
+      w.floats(l->bias());
     } else {
       throw InvalidArgument("layer '" + layer->name() +
                             "' is not serializable");
     }
   }
+
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) throw FormatError("cannot open '" + path + "' for writing");
+  os.write(reinterpret_cast<const char*>(w.buffer().data()),
+           static_cast<std::streamsize>(w.buffer().size()));
   if (!os) throw FormatError("write failure on '" + path + "'");
 }
 
 std::unique_ptr<Network> load_model(const std::string& path) {
-  std::ifstream is(path, std::ios::binary);
-  if (!is) throw FormatError("cannot open '" + path + "'");
-  if (read_pod<std::uint32_t>(is) != kMagic) {
+  // Model-file failures are FormatError (the historical .pbm contract);
+  // the reader still reports the section + byte offset.
+  const std::vector<std::uint8_t> buf = wire::read_file(
+      path, [](const std::string& msg) { throw FormatError(msg); });
+  ByteReader r(buf.data(), buf.size(), [&path](const std::string& msg) {
+    throw FormatError("model '" + path + "': " + msg);
+  });
+
+  if (r.pod<std::uint32_t>() != kMagic) {
     throw FormatError("'" + path + "' is not a PhoneBit model (bad magic)");
   }
-  if (read_pod<std::uint32_t>(is) != kVersion) {
+  if (r.pod<std::uint32_t>() != kVersion) {
     throw FormatError("unsupported PhoneBit model version");
   }
-  auto net = std::make_unique<Network>(read_string(is));
-  const auto count = read_pod<std::uint32_t>(is);
+  auto net = std::make_unique<Network>(r.str());
+  const auto count = r.pod<std::uint32_t>();
+  r.set_section("layers");
   for (std::uint32_t i = 0; i < count; ++i) {
-    const auto kind = static_cast<LayerKind>(read_pod<std::uint8_t>(is));
-    const std::string name = read_string(is);
+    const auto kind = static_cast<LayerKind>(r.pod<std::uint8_t>());
+    const std::string name = r.str();
     switch (kind) {
       case LayerKind::kInputConv: {
-        const ConvGeometry g = read_geom(is);
-        auto w = read_packed(is);
-        const FoldedBatchNorm f = read_folded_bn(is);
+        const ConvGeometry g = r.geom();
+        auto w = r.packed();
+        const FoldedBatchNorm f = r.folded_bn();
         net->add(std::make_unique<InputConv2d>(name, std::move(w),
                                                synthesize_bn(f),
                                                std::vector<float>{}, g));
         break;
       }
       case LayerKind::kBinaryConv: {
-        const ConvGeometry g = read_geom(is);
-        auto w = read_packed(is);
-        const FoldedBatchNorm f = read_folded_bn(is);
+        const ConvGeometry g = r.geom();
+        auto w = r.packed();
+        const FoldedBatchNorm f = r.folded_bn();
         net->add(std::make_unique<BinaryConv2d>(name, std::move(w),
                                                 synthesize_bn(f),
                                                 std::vector<float>{}, g));
@@ -266,32 +138,32 @@ std::unique_ptr<Network> load_model(const std::string& path) {
       }
       case LayerKind::kMaxPool: {
         PoolGeometry g;
-        g.size = read_pod<std::int64_t>(is);
-        g.stride = read_pod<std::int64_t>(is);
-        g.pad = read_pod<std::int64_t>(is);
-        g.tail_pad = read_pod<std::uint8_t>(is) != 0;
+        g.size = r.pod<std::int64_t>();
+        g.stride = r.pod<std::int64_t>();
+        g.pad = r.pod<std::int64_t>();
+        g.tail_pad = r.pod<std::uint8_t>() != 0;
         net->add(std::make_unique<MaxPool2d>(name, g));
         break;
       }
       case LayerKind::kBinaryDense: {
-        auto w = read_packed(is);
-        const FoldedBatchNorm f = read_folded_bn(is);
+        auto w = r.packed();
+        const FoldedBatchNorm f = r.folded_bn();
         net->add(std::make_unique<BinaryDense>(name, std::move(w),
                                                synthesize_bn(f),
                                                std::vector<float>{}));
         break;
       }
       case LayerKind::kFloatConv: {
-        const ConvGeometry g = read_geom(is);
-        auto w = read_float_tensor(is);
-        auto bias = read_floats(is);
+        const ConvGeometry g = r.geom();
+        auto w = r.float_tensor();
+        auto bias = r.floats();
         net->add(std::make_unique<FloatConv2d>(name, std::move(w),
                                                std::move(bias), g));
         break;
       }
       case LayerKind::kFloatDense: {
-        auto w = read_float_tensor(is);
-        auto bias = read_floats(is);
+        auto w = r.float_tensor();
+        auto bias = r.floats();
         net->add(std::make_unique<FloatDense>(name, std::move(w),
                                               std::move(bias)));
         break;

@@ -9,6 +9,10 @@
 // load_model() reconstructs a runnable Network; for the no-integration
 // ablation the folded constants are re-expressed as equivalent raw BN
 // parameters (gamma = ±1, sigma = 1, mu = xi), which binarize identically.
+//
+// Primitive encode/decode lives in core/wire.hpp, shared with the compiled
+// artifact container (core/artifact.hpp) — .pbm ships the network, .pba
+// ships the network PLUS its compiled ExecutionPlan.
 #pragma once
 
 #include <memory>

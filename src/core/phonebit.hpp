@@ -4,6 +4,7 @@
 // simulated device, engine, layers, converter and model format.
 #pragma once
 
+#include "core/artifact.hpp"
 #include "core/binarize.hpp"
 #include "core/binary_conv.hpp"
 #include "core/bn_fold.hpp"

@@ -11,9 +11,6 @@ namespace phonebit::core {
 
 namespace {
 
-/// Rounds a slab region up to the arena's 8-byte word alignment.
-std::int64_t align8(std::int64_t bytes) { return ceil_div(bytes, 8) * 8; }
-
 /// Widest conv-output span one fused work item may buffer (bytes per conv
 /// row in its register/stack row buffer); the fused tile width is clamped
 /// so the span fits.
@@ -36,11 +33,19 @@ bool can_fuse_conv_pool(const PlanStep& conv, const PlanStep& pool) {
   if (dynamic_cast<const BinaryConv2d*>(conv.layer) == nullptr) return false;
   const auto* mp = dynamic_cast<const MaxPool2d*>(pool.layer);
   if (mp == nullptr) return false;
-  const PoolGeometry& g = mp->geometry();
-  return g.stride == g.size && g.size >= 2 && g.size <= kMaxFusedPoolSize;
+  return fused_pool_geometry_legal(mp->geometry());
 }
 
 }  // namespace
+
+bool fused_pool_geometry_legal(const PoolGeometry& g) noexcept {
+  return g.stride == g.size && g.size >= 2 && g.size <= kMaxFusedPoolSize;
+}
+
+std::int64_t max_fused_tile(const PoolGeometry& g) noexcept {
+  return std::max<std::int64_t>(
+      1, (kMaxFusedSpanBytes - g.size) / g.stride + 1);
+}
 
 BlobDesc describe_blob(const Blob& b) {
   if (const auto* f = std::get_if<FloatTensor>(&b)) {
@@ -109,12 +114,9 @@ ExecutionPlan Network::compile(const EngineOptions& opts, const BlobDesc& input,
         // per window row.
         const auto& pg =
             static_cast<const MaxPool2d*>(pool.layer)->geometry();
-        const std::int64_t max_tile =
-            std::max<std::int64_t>(1, (kMaxFusedSpanBytes - pg.size) /
-                                              pg.stride +
-                                          1);
         step.variant.tile_ow = std::max<std::int64_t>(
-            1, std::min({step.variant.tile_ow, step.out.shape.w, max_tile}));
+            1, std::min({step.variant.tile_ow, step.out.shape.w,
+                         max_fused_tile(pg)}));
         ++i;  // the pool step is absorbed
       }
       fused.push_back(std::move(step));
@@ -148,10 +150,10 @@ ExecutionPlan Network::compile(const EngineOptions& opts, const BlobDesc& input,
   std::int64_t off = 0;
   for (ActivationSlot& s : plan.slots_) {
     s.offset = off;
-    off += align8(s.bytes);
+    off += slab_align(s.bytes);
   }
   plan.output_offset_ = off;
-  plan.slab_bytes_ = off + align8(plan.steps_.back().out.bytes());
+  plan.slab_bytes_ = off + slab_align(plan.steps_.back().out.bytes());
 
   if (stats != nullptr) ++stats->compiles;
   return plan;

@@ -32,7 +32,35 @@
 #include "core/engine.hpp"
 #include "core/network.hpp"
 
+namespace phonebit::artifact {
+class PlanCodec;  // artifact.cpp — (de)serializes plans field by field
+}
+
 namespace phonebit::core {
+
+/// Rounds a slab region up to the arena's 8-byte word alignment. Shared by
+/// the liveness pass (plan.cpp) and the artifact loader's slab-layout
+/// revalidation (artifact.cpp) so the two cannot disagree.
+inline std::int64_t slab_align(std::int64_t bytes) noexcept {
+  return ceil_div(bytes, 8) * 8;
+}
+
+struct PoolGeometry;  // pooling.hpp
+
+/// Pool-side legality of the conv→pool fused step (DESIGN.md §7): windows
+/// non-overlapping and gap-free (stride == size), small enough for the
+/// fused kernel's fixed per-row buffer. Shared by the compile-time rewrite
+/// (plan.cpp) and the artifact loader's revalidation (artifact.cpp) — the
+/// fused kernel indexes a fixed stack buffer by this geometry, so a
+/// deserialized step must re-pass the SAME predicate or a checksum-resealed
+/// artifact could drive an out-of-bounds write.
+bool fused_pool_geometry_legal(const PoolGeometry& g) noexcept;
+
+/// Largest output-x tile a fused step may record for pool geometry `g`:
+/// one work item buffers (tile-1)*stride + size conv bytes per window row,
+/// which must fit the fused kernel's fixed row buffer. Shared like
+/// fused_pool_geometry_legal (the loader rejects tiles beyond this cap).
+std::int64_t max_fused_tile(const PoolGeometry& g) noexcept;
 
 /// Which alternative of the Blob variant a planned edge carries.
 enum class BlobKind { kFloat, kU8, kPacked };
@@ -198,6 +226,10 @@ class PlanContext {
 
  private:
   friend class Network;
+  // The artifact loader replays each layer's plan() against the
+  // deserialized descriptors to prove a loaded step's shapes are exactly
+  // what the layer would infer (artifact.cpp).
+  friend class ::phonebit::artifact::PlanCodec;
 
   BlobDesc in_;
   const EngineOptions& opts_;
@@ -245,6 +277,10 @@ class ExecutionPlan {
   /// (used by borrow_output runs). Reserved alongside the scratch peak.
   std::int64_t slab_bytes() const noexcept { return slab_bytes_; }
 
+  /// Byte offset of the output staging region inside the slab (the region
+  /// borrow_output runs hand out as the result view).
+  std::int64_t output_offset() const noexcept { return output_offset_; }
+
   /// Runs the plan on a session: reserves the exact scratch/slab peaks,
   /// executes every step with its compiled variant (no per-forward
   /// re-selection), backing each intermediate activation with its assigned
@@ -267,9 +303,14 @@ class ExecutionPlan {
 
  private:
   friend class Network;
+  // The artifact codec rebuilds a plan field by field from a validated
+  // .pba payload — the ONE path besides Network::compile that may
+  // construct a plan (artifact.hpp).
+  friend class ::phonebit::artifact::PlanCodec;
 
-  // Only Network::compile builds plans: a default-constructed plan would
-  // have no steps, making output()/run() meaningless.
+  // Only Network::compile and the artifact loader build plans: a
+  // default-constructed plan would have no steps, making output()/run()
+  // meaningless.
   ExecutionPlan() = default;
 
   std::string name_;

@@ -178,6 +178,32 @@ NetworkSpec vgg16(const ZooOptions& opts) {
   return net;
 }
 
+NetworkSpec spec_by_name(const std::string& name, const ZooOptions& opts,
+                         std::optional<std::int64_t> classes) {
+  if (name == "quicknet") {
+    // quicknet is already CIFAR-sized and has no shrunken variant —
+    // dropping the flag silently would emit an unexpected artifact.
+    PB_CHECK(opts.shrink_log2 == 0,
+             "quicknet has no shrunken variant — shrink applies to the "
+             "paper networks");
+    return quicknet(classes.value_or(10));
+  }
+  // The paper networks carry fixed heads (1000-way ImageNet fc, the
+  // 125-channel VOC detector): silently ignoring a class override — ANY
+  // explicit value, including quicknet's default — would emit an artifact
+  // with the wrong head, so reject it instead.
+  PB_CHECK(!classes.has_value(),
+           "'" << name << "' has a fixed classification head — a class "
+                          "count applies only to quicknet");
+  if (name == "alexnet") return alexnet(opts);
+  if (name == "yolov2-tiny" || name == "yolov2_tiny") {
+    return yolov2_tiny(opts);
+  }
+  if (name == "vgg16") return vgg16(opts);
+  throw InvalidArgument("unknown zoo model '" + name +
+                        "' (known: quicknet, alexnet, yolov2-tiny, vgg16)");
+}
+
 NetworkSpec quicknet(std::int64_t classes) {
   PB_CHECK(classes > 0, "quicknet needs at least one class");
   NetworkSpec net;

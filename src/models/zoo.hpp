@@ -13,6 +13,8 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
+#include <string>
 
 #include "core/float_model.hpp"
 
@@ -39,5 +41,16 @@ core::NetworkSpec vgg16(const ZooOptions& opts = {});
 
 /// A small CIFAR-sized CNN for the quickstart example and the trainer.
 core::NetworkSpec quicknet(std::int64_t classes = 10);
+
+/// Looks an architecture up by name ("quicknet", "alexnet", "yolov2-tiny",
+/// "vgg16") — the registry behind the `pbc` compile-to-artifact CLI.
+/// Throws InvalidArgument for unknown names (listing the known ones) and
+/// for option overrides the architecture cannot honor: `classes` (engaged
+/// only when the caller explicitly set it) applies to quicknet alone —
+/// the paper networks carry fixed heads — and quicknet has no shrunken
+/// variant.
+core::NetworkSpec spec_by_name(
+    const std::string& name, const ZooOptions& opts = {},
+    std::optional<std::int64_t> classes = std::nullopt);
 
 }  // namespace phonebit::models

@@ -8,9 +8,20 @@
 #include <mutex>
 #include <utility>
 
+#include "core/artifact.hpp"
+
 namespace phonebit::serve {
 
 namespace {
+
+/// The artifact constructor binds net_ to the loaded network — reject a
+/// null artifact before the reference member is formed.
+const core::Network& artifact_network(
+    const std::shared_ptr<const artifact::LoadedArtifact>& art) {
+  PB_CHECK(art != nullptr && art->network != nullptr,
+           "BatchRunner needs a loaded artifact");
+  return *art->network;
+}
 
 double now_ms() {
   using clock = std::chrono::steady_clock;
@@ -35,8 +46,22 @@ BatchRunner::BatchRunner(core::Engine& engine, const core::Network& net,
                          int workers)
     : engine_(engine), net_(net), pool_(workers > 0 ? workers : 4) {}
 
+BatchRunner::BatchRunner(
+    core::Engine& engine,
+    std::shared_ptr<const artifact::LoadedArtifact> artifact, int workers)
+    : engine_(engine), net_(artifact_network(artifact)),
+      artifact_(std::move(artifact)), pool_(workers > 0 ? workers : 4) {}
+
 std::shared_ptr<const core::ExecutionPlan> BatchRunner::plan_for(
     const core::BlobDesc& desc) {
+  // Artifact fast path: requests matching the shipped descriptor run the
+  // deserialized plan as-is — no compile, no cache, no options staleness
+  // (the artifact IS the pinned snapshot). The aliasing shared_ptr keeps
+  // the whole artifact (plan + the network its steps point into) alive.
+  if (artifact_ != nullptr && desc == artifact_->plan.input()) {
+    return std::shared_ptr<const core::ExecutionPlan>(artifact_,
+                                                      &artifact_->plan);
+  }
   std::lock_guard<std::mutex> lock(plan_mu_);
   // Plans embed the options they were compiled against; if the engine was
   // reconfigured between batches (the ablation workflow), the cache is

@@ -28,6 +28,10 @@
 #include "core/network.hpp"
 #include "core/plan.hpp"
 
+namespace phonebit::artifact {
+struct LoadedArtifact;  // core/artifact.hpp
+}
+
 namespace phonebit::serve {
 
 /// Aggregate outcome of one batch of independent requests.
@@ -71,6 +75,18 @@ class BatchRunner {
   /// at a time; create one runner per concurrent batch stream.
   BatchRunner(core::Engine& engine, const core::Network& net, int workers = 0);
 
+  /// Serves a LOADED artifact (Engine::load_artifact): every worker runs
+  /// the artifact's deserialized ExecutionPlan directly — the deployment
+  /// configuration where the serving process never compiles at all.
+  /// Requests whose input matches the artifact's descriptor share its plan
+  /// (pinned to the artifact's compiled options snapshot — engine
+  /// reconfiguration does not touch it); other shapes fall back to the
+  /// lazy compile cache against the artifact's network. The runner keeps
+  /// the artifact alive for its own lifetime.
+  BatchRunner(core::Engine& engine,
+              std::shared_ptr<const artifact::LoadedArtifact> artifact,
+              int workers = 0);
+
   /// Forwards every input, blocking until the whole batch is done. Throws
   /// the first request's error, if any request failed.
   BatchSummary run(std::vector<core::Blob> inputs);
@@ -95,6 +111,10 @@ class BatchRunner {
 
   core::Engine& engine_;
   const core::Network& net_;
+  /// Set on the artifact constructor only: keeps the loaded network (which
+  /// `net_` references) and its plan alive, and pins the plan served for
+  /// the artifact's input descriptor.
+  std::shared_ptr<const artifact::LoadedArtifact> artifact_;
   ThreadPool pool_;
   /// One persistent session per worker, created lazily on the run() caller
   /// thread. Worker w exclusively owns sessions_[w] while a batch runs —

@@ -48,7 +48,7 @@ TEST(AllocCount, WarmCompiledForwardAllocatesNothing) {
     const auto* out = std::get_if<FloatTensor>(&result.output);
     ASSERT_NE(out, nullptr);
     EXPECT_FALSE(out->owns_storage()) << "run " << i;
-    EXPECT_TRUE(allclose(*out, expected, 0.0f)) << "run " << i;
+    EXPECT_TRUE(testing::expect_bitexact(*out, expected)) << "run " << i;
   }
   EXPECT_EQ(buffer_alloc_count(), before)
       << "a warm compiled forward heap-allocated a buffer";
@@ -60,7 +60,7 @@ TEST(AllocCount, WarmCompiledForwardAllocatesNothing) {
   const auto owned = plan.run(session, input);
   EXPECT_EQ(buffer_alloc_count(), before_owned + 1);
   EXPECT_TRUE(std::get<FloatTensor>(owned.output).owns_storage());
-  EXPECT_TRUE(allclose(owned.float_output(), expected, 0.0f));
+  EXPECT_TRUE(testing::expect_bitexact(owned.float_output(), expected));
 }
 
 /// The contract holds with the conv→pool fusion off too (every layer its

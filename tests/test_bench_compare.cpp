@@ -1,0 +1,74 @@
+// The bench_kernels --check gate (bench/bench_util.hpp's
+// compare_bench_records): modeled-time regressions AND missing tracked
+// records must both fail the check — a bench that silently stops producing
+// a record tracked in BENCH_kernels.json is a coverage regression, not a
+// pass.
+#include <gtest/gtest.h>
+
+#include "bench/bench_util.hpp"
+
+namespace phonebit {
+namespace {
+
+using bench::BenchRecord;
+using bench::compare_bench_records;
+
+std::vector<BenchRecord> baseline() {
+  return {
+      {"bconv", "3x3/s1/fast", 1.0, 5.0},
+      {"bconv", "7x7/s2/fast", 2.0, 8.0},
+      {"pack_signs", "32x32/c64", 0.5, 0.0},  // host-only: never time-gated
+  };
+}
+
+TEST(BenchCompare, PassesWhenAllRecordsMatchWithinTolerance) {
+  auto fresh = baseline();
+  fresh[0].modeled_ms = 5.05;  // +1% < 2% tolerance
+  const auto sum = compare_bench_records(fresh, baseline(), 2.0, nullptr);
+  EXPECT_TRUE(sum.ok());
+  EXPECT_EQ(sum.checked, 2);  // the host-only record is matched, not gated
+  EXPECT_EQ(sum.regressions, 0);
+  EXPECT_EQ(sum.missing, 0);
+}
+
+TEST(BenchCompare, FailsOnModeledTimeRegression) {
+  auto fresh = baseline();
+  fresh[1].modeled_ms = 9.0;  // +12.5% > 2%
+  const auto sum = compare_bench_records(fresh, baseline(), 2.0, nullptr);
+  EXPECT_FALSE(sum.ok());
+  EXPECT_EQ(sum.regressions, 1);
+  EXPECT_EQ(sum.missing, 0);
+}
+
+TEST(BenchCompare, FailsWhenTrackedRecordGoesMissing) {
+  // A tracked record absent from the fresh run must fail exactly like a
+  // regression — even when every record that IS produced looks fine.
+  auto fresh = baseline();
+  fresh.erase(fresh.begin());  // "bconv 3x3/s1/fast" no longer produced
+  const auto sum = compare_bench_records(fresh, baseline(), 2.0, nullptr);
+  EXPECT_FALSE(sum.ok());
+  EXPECT_EQ(sum.missing, 1);
+  EXPECT_EQ(sum.regressions, 0);
+  EXPECT_EQ(sum.checked, 1);
+}
+
+TEST(BenchCompare, MissingHostOnlyRecordStillFails) {
+  // Host-only records (modeled <= 0) are exempt from time gating but NOT
+  // from the presence gate.
+  auto fresh = baseline();
+  fresh.pop_back();  // drop "pack_signs"
+  const auto sum = compare_bench_records(fresh, baseline(), 2.0, nullptr);
+  EXPECT_FALSE(sum.ok());
+  EXPECT_EQ(sum.missing, 1);
+}
+
+TEST(BenchCompare, ImprovementsAndNewRecordsAreFine) {
+  auto fresh = baseline();
+  fresh[0].modeled_ms = 3.0;                       // faster: ok
+  fresh.push_back({"new_op", "geo", 1.0, 1.0});    // untracked extra: ok
+  const auto sum = compare_bench_records(fresh, baseline(), 2.0, nullptr);
+  EXPECT_TRUE(sum.ok());
+}
+
+}  // namespace
+}  // namespace phonebit

@@ -38,7 +38,7 @@ TEST_F(ModelFormatTest, RoundtripPreservesOutputs) {
   auto c2 = s2.context();
   const FloatTensor a = net->forward_float(c1, image);
   const FloatTensor b = loaded->forward_float(c2, image);
-  EXPECT_TRUE(allclose(a, b, 0.0f)) << "serialized model diverged";
+  EXPECT_TRUE(testing::expect_bitexact(a, b)) << "serialized model diverged";
 }
 
 TEST_F(ModelFormatTest, RoundtripYoloShapedNetwork) {
@@ -56,8 +56,8 @@ TEST_F(ModelFormatTest, RoundtripYoloShapedNetwork) {
   auto c1 = s1.context();
   auto s2 = e2.create_session();
   auto c2 = s2.context();
-  EXPECT_TRUE(allclose(net->forward_float(c1, image),
-                       loaded->forward_float(c2, image), 0.0f));
+  EXPECT_TRUE(testing::expect_bitexact(net->forward_float(c1, image),
+                                       loaded->forward_float(c2, image)));
 }
 
 TEST_F(ModelFormatTest, FileSizeTracksParamBytes) {

@@ -44,11 +44,11 @@ TEST(BatchRunner, MatchesSerialBitExactly) {
   for (int i = 0; i < kRequests; ++i) {
     auto session = engine.create_session();
     auto ctx = session.context();
-    const FloatTensor serial = net->forward_float(
-        ctx, datasets::cifar_like_image(900 + static_cast<std::uint64_t>(i)));
-    EXPECT_TRUE(allclose(summary.results[static_cast<std::size_t>(i)]
-                             .float_output(),
-                         serial, 0.0f))
+    const auto serial = net->forward(
+        ctx, core::Blob{datasets::cifar_like_image(
+                 900 + static_cast<std::uint64_t>(i))});
+    EXPECT_TRUE(testing::expect_bitexact(
+        summary.results[static_cast<std::size_t>(i)], serial))
         << "request " << i << " diverged from serial";
   }
 }

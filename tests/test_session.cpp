@@ -199,7 +199,7 @@ TEST(Session, ConcurrentForwardsBitExactAndZeroGrowth) {
   std::vector<FloatTensor> warm;
   run_round(warm);
   for (std::size_t i = 0; i < images.size(); ++i) {
-    EXPECT_TRUE(allclose(warm[i], serial[i], 0.0f))
+    EXPECT_TRUE(testing::expect_bitexact(warm[i], serial[i]))
         << "warm-up forward " << i << " diverged from serial";
   }
   const int created = engine.arena_pool().created();
@@ -212,7 +212,7 @@ TEST(Session, ConcurrentForwardsBitExactAndZeroGrowth) {
     std::vector<FloatTensor> out;
     run_round(out);
     for (std::size_t i = 0; i < images.size(); ++i) {
-      EXPECT_TRUE(allclose(out[i], serial[i], 0.0f))
+      EXPECT_TRUE(testing::expect_bitexact(out[i], serial[i]))
           << "round " << round << " forward " << i << " diverged";
     }
     EXPECT_EQ(engine.arena_pool().created(), created) << "round " << round;

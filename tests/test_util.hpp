@@ -1,6 +1,11 @@
-// PhoneBit tests — shared fixtures and generators.
+// PhoneBit tests — shared fixtures, generators and the bit-exactness
+// comparators used by every differential test (compiled vs uncompiled,
+// fused vs unfused, loaded artifact vs fresh compile, batch vs serial).
 #pragma once
 
+#include <gtest/gtest.h>
+
+#include <cstring>
 #include <memory>
 
 #include "bitpack/pack.hpp"
@@ -10,6 +15,80 @@
 #include "tensor/tensor.hpp"
 
 namespace phonebit::testing {
+
+/// Bit-exact float-tensor equality: same shape, same layout, identical
+/// bytes (stricter than allclose(.., 0.0f): distinguishes -0/+0 and never
+/// accepts NaN drift). Storage ownership is irrelevant — a borrowed slab
+/// view compares equal to an owning copy with the same contents.
+inline ::testing::AssertionResult expect_bitexact(const FloatTensor& a,
+                                                  const FloatTensor& b) {
+  if (!(a.shape() == b.shape())) {
+    return ::testing::AssertionFailure()
+           << "shapes differ: " << a.shape().str() << " vs "
+           << b.shape().str();
+  }
+  if (a.layout() != b.layout()) {
+    return ::testing::AssertionFailure() << "layouts differ";
+  }
+  if (std::memcmp(a.data(), b.data(), static_cast<std::size_t>(a.bytes())) !=
+      0) {
+    return ::testing::AssertionFailure()
+           << "float tensors differ (max abs diff " << max_abs_diff(a, b)
+           << ")";
+  }
+  return ::testing::AssertionSuccess();
+}
+
+/// Bit-exact blob equality: same variant alternative, same shape, identical
+/// packed words / bytes / floats.
+inline ::testing::AssertionResult expect_bitexact(const core::Blob& a,
+                                                  const core::Blob& b) {
+  if (a.index() != b.index()) {
+    return ::testing::AssertionFailure() << "blob kinds differ";
+  }
+  if (const auto* fa = std::get_if<FloatTensor>(&a)) {
+    return expect_bitexact(*fa, std::get<FloatTensor>(b));
+  }
+  if (const auto* ua = std::get_if<U8Tensor>(&a)) {
+    const auto& ub = std::get<U8Tensor>(b);
+    if (!(ua->shape() == ub.shape())) {
+      return ::testing::AssertionFailure()
+             << "u8 shapes differ: " << ua->shape().str() << " vs "
+             << ub.shape().str();
+    }
+    if (std::memcmp(ua->data(), ub.data(),
+                    static_cast<std::size_t>(ua->bytes())) != 0) {
+      return ::testing::AssertionFailure() << "u8 tensors differ";
+    }
+    return ::testing::AssertionSuccess();
+  }
+  const auto& pa = std::get<bitpack::PackedTensor>(a);
+  const auto& pb = std::get<bitpack::PackedTensor>(b);
+  if (!(pa == pb)) {
+    return ::testing::AssertionFailure()
+           << "packed tensors differ (" << pa.shape().str() << " vs "
+           << pb.shape().str() << ")";
+  }
+  return ::testing::AssertionSuccess();
+}
+
+/// Bit-exact forward equality — the comparator behind every differential
+/// suite: two ForwardResults that claim to be the SAME computation must
+/// agree on the output bits AND on the deterministic modeled device time
+/// (a modeled-time drift means a different kernel schedule ran, even if
+/// the bits happen to match).
+inline ::testing::AssertionResult expect_bitexact(
+    const core::ForwardResult& a, const core::ForwardResult& b) {
+  const ::testing::AssertionResult out = expect_bitexact(a.output, b.output);
+  if (!out) return out;
+  const double drift = a.modeled_ms - b.modeled_ms;
+  if (drift > 1e-9 || drift < -1e-9) {
+    return ::testing::AssertionFailure()
+           << "modeled time drifted: " << a.modeled_ms << " vs "
+           << b.modeled_ms << " ms";
+  }
+  return ::testing::AssertionSuccess();
+}
 
 /// Shared simulated device (SD855) for tests; host threads capped so unit
 /// tests stay cheap to spawn.

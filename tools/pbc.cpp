@@ -1,0 +1,219 @@
+// pbc — the PhoneBit artifact compiler (the workstation half of Fig. 2).
+//
+// Compiles a model into a ready-to-run .pba artifact: the layer graph with
+// BN-folded packed weights PLUS the compiled ExecutionPlan (kernel
+// selections, fusion rewrites, activation-slot table, exact memory peaks),
+// so the phone-side engine loads and runs with zero re-planning.
+//
+//   pbc compile --model <zoo name> [-o out.pba] [--shrink N] [--seed S]
+//               [--classes C] [--no-fuse-conv-pool]
+//       Builds a deterministic synthetic checkpoint of the named zoo
+//       architecture, converts + compiles it, writes the artifact.
+//   pbc compile --pbm model.pbm --input NxHxWxC [-o out.pba] [...]
+//       Compiles a converted .pbm model for the given 8-bit input shape.
+//   pbc dump <file.pba>
+//       Prints the section table, network summary and full plan dump.
+//   pbc selfcheck [--model <zoo name>] [...]
+//       Compile → save → load → run both plans on the same input and
+//       verify bit-exactness; exit 0 on success (the ctest smoke target).
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/phonebit.hpp"
+#include "datasets/synthetic.hpp"
+#include "models/zoo.hpp"
+
+namespace {
+
+using namespace phonebit;
+
+struct Args {
+  std::string mode;
+  std::string model = "quicknet";
+  std::string pbm;
+  std::string out = "model.pba";
+  std::string file;  // dump target
+  Shape input{};
+  bool have_input = false;
+  int shrink = 0;
+  std::uint64_t seed = 42;
+  std::optional<std::int64_t> classes;  // engaged only by --classes
+  bool fuse_conv_pool = true;
+};
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  pbc compile --model <quicknet|alexnet|yolov2-tiny|vgg16>\n"
+      "              [-o out.pba] [--shrink N] [--seed S]\n"
+      "              [--classes C (quicknet only)] [--no-fuse-conv-pool]\n"
+      "  pbc compile --pbm model.pbm --input NxHxWxC [-o out.pba]\n"
+      "  pbc dump <file.pba>\n"
+      "  pbc selfcheck [--model <name>] [--shrink N] [--seed S]\n");
+  return 2;
+}
+
+bool parse_shape(const char* s, Shape& out) {
+  long long n, h, w, c;
+  if (std::sscanf(s, "%lldx%lldx%lldx%lld", &n, &h, &w, &c) != 4) return false;
+  out = Shape{n, h, w, c};
+  return n > 0 && h > 0 && w > 0 && c > 0;
+}
+
+bool parse(int argc, char** argv, Args& a) {
+  if (argc < 2) return false;
+  a.mode = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (flag == "--model") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      a.model = v;
+    } else if (flag == "--pbm") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      a.pbm = v;
+    } else if (flag == "-o" || flag == "--out") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      a.out = v;
+    } else if (flag == "--input") {
+      const char* v = value();
+      if (v == nullptr || !parse_shape(v, a.input)) return false;
+      a.have_input = true;
+    } else if (flag == "--shrink") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      a.shrink = std::atoi(v);
+    } else if (flag == "--seed") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      a.seed = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (flag == "--classes") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      a.classes = std::atoll(v);
+    } else if (flag == "--no-fuse-conv-pool") {
+      a.fuse_conv_pool = false;
+    } else if (a.mode == "dump" && a.file.empty() && flag[0] != '-') {
+      a.file = flag;
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Builds (network, input shape) from the CLI arguments: either a synthetic
+/// checkpoint of a zoo architecture or a converted .pbm from disk.
+std::unique_ptr<core::Network> build_network(const Args& a, Shape& input) {
+  if (!a.pbm.empty()) {
+    PB_CHECK(a.have_input, "--pbm needs --input NxHxWxC (the .pbm format "
+                           "does not record the input shape)");
+    input = a.input;
+    return core::load_model(a.pbm);
+  }
+  models::ZooOptions zoo;
+  zoo.shrink_log2 = a.shrink;
+  const auto spec = models::spec_by_name(a.model, zoo, a.classes);
+  const auto trained = core::FloatModel::random(spec, a.seed);
+  input = spec.input;
+  return core::convert_to_phonebit(trained);
+}
+
+int compile_mode(const Args& a, bool selfcheck) {
+  Shape input;
+  auto net = build_network(a, input);
+
+  auto device = std::make_shared<oclsim::Device>(
+      oclsim::DeviceProfile::snapdragon855());
+  core::EngineOptions opts;
+  opts.fuse_conv_pool = a.fuse_conv_pool;
+  core::Engine engine(device, opts);
+
+  const core::BlobDesc desc{core::BlobKind::kU8, input};
+  const core::ExecutionPlan plan = net->compile(engine, desc);
+  artifact::save(*net, plan, a.out);
+
+  std::printf("compiled '%s' -> %s\n", net->name().c_str(), a.out.c_str());
+  std::printf("  input %s, %zu plan steps, %lld param bytes\n",
+              desc.str().c_str(), plan.steps().size(),
+              static_cast<long long>(net->param_bytes()));
+  std::printf("  activation slab %lld B, scratch peak %lld B\n",
+              static_cast<long long>(plan.slab_bytes()),
+              static_cast<long long>(plan.peak_scratch_bytes()));
+  if (!selfcheck) return 0;
+
+  // selfcheck: the loaded artifact must replay the compiled plan
+  // bit-exactly (outputs AND modeled time) with zero re-selection.
+  const artifact::LoadedArtifact loaded = engine.load_artifact(a.out);
+  const U8Tensor image = datasets::random_image(input, a.seed + 1);
+  auto s1 = engine.create_session();
+  auto s2 = engine.create_session();
+  const auto fresh = plan.run(s1, core::Blob{image});
+  const auto replay = loaded.plan.run(s2, core::Blob{image});
+  if (s2.stats().variant_selections != 0) {
+    std::fprintf(stderr, "selfcheck: loaded plan re-selected variants\n");
+    return 1;
+  }
+  const auto* fo = std::get_if<FloatTensor>(&fresh.output);
+  const auto* ro = std::get_if<FloatTensor>(&replay.output);
+  if (fo != nullptr && ro != nullptr) {
+    if (!allclose(*fo, *ro, 0.0f)) {
+      std::fprintf(stderr, "selfcheck: loaded forward diverged\n");
+      return 1;
+    }
+  } else if (!(std::get<bitpack::PackedTensor>(fresh.output) ==
+               std::get<bitpack::PackedTensor>(replay.output))) {
+    std::fprintf(stderr, "selfcheck: loaded packed output diverged\n");
+    return 1;
+  }
+  if (fresh.modeled_ms != replay.modeled_ms) {
+    std::fprintf(stderr, "selfcheck: modeled time drifted (%f vs %f)\n",
+                 fresh.modeled_ms, replay.modeled_ms);
+    return 1;
+  }
+  std::remove(a.out.c_str());
+  std::printf("selfcheck: ok (save -> load -> run bit-exact, "
+              "zero re-selection)\n");
+  return 0;
+}
+
+int dump_mode(const Args& a) {
+  if (a.file.empty()) return usage();
+  for (const auto& sec : artifact::section_table(a.file)) {
+    std::printf("section %-8s @%-8lld %lld bytes\n",
+                artifact::section_name(sec.tag),
+                static_cast<long long>(sec.body_offset),
+                static_cast<long long>(sec.body_bytes));
+  }
+  const artifact::LoadedArtifact art = artifact::load(a.file);
+  std::printf("network '%s': %zu layers, %lld param bytes\n",
+              art.network->name().c_str(), art.network->size(),
+              static_cast<long long>(art.network->param_bytes()));
+  std::printf("%s", art.plan.dump().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args a;
+  if (!parse(argc, argv, a)) return usage();
+  try {
+    if (a.mode == "compile") return compile_mode(a, /*selfcheck=*/false);
+    if (a.mode == "selfcheck") return compile_mode(a, /*selfcheck=*/true);
+    if (a.mode == "dump") return dump_mode(a);
+  } catch (const phonebit::Error& e) {
+    std::fprintf(stderr, "pbc: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
