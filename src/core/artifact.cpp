@@ -881,4 +881,10 @@ artifact::LoadedArtifact Engine::load_artifact(const std::string& path) const {
   return art;
 }
 
+std::shared_ptr<const artifact::LoadedArtifact> Engine::load_artifact_shared(
+    const std::string& path) const {
+  return std::make_shared<const artifact::LoadedArtifact>(
+      load_artifact(path));
+}
+
 }  // namespace phonebit::core

@@ -117,6 +117,14 @@ class Engine {
   ::phonebit::artifact::LoadedArtifact load_artifact(
       const std::string& path) const;
 
+  /// load_artifact, wrapped for repositories: the shared_ptr form every
+  /// multi-request consumer wants (serve::BatchRunner pins plans through
+  /// it, serve::ModelServer's hot-swap replaces entries with it while
+  /// in-flight requests keep the old artifact alive). Same validation and
+  /// exceptions as load_artifact. Defined in artifact.cpp.
+  std::shared_ptr<const ::phonebit::artifact::LoadedArtifact>
+  load_artifact_shared(const std::string& path) const;
+
   const EngineOptions& options() const noexcept { return opts_; }
   /// Mutable options — configuration phase only. Existing sessions hold
   /// their creation-time snapshot and are unaffected.

@@ -40,17 +40,43 @@ double percentile(const std::vector<double>& sorted, double q) {
   return sorted[rank];
 }
 
+/// What a status's error text shows for a non-Error exception.
+std::string describe_exception(const std::exception_ptr& e) {
+  try {
+    std::rethrow_exception(e);
+  } catch (const std::exception& ex) {
+    return ex.what();
+  } catch (...) {
+    return "unknown exception";
+  }
+}
+
 }  // namespace
 
+const char* status_name(StatusCode c) noexcept {
+  switch (c) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kShed: return "shed";
+    case StatusCode::kDeadlineExceeded: return "deadline_exceeded";
+    case StatusCode::kFailed: return "failed";
+  }
+  return "?";
+}
+
 BatchRunner::BatchRunner(core::Engine& engine, const core::Network& net,
-                         int workers)
-    : engine_(engine), net_(net), pool_(workers > 0 ? workers : 4) {}
+                         int workers, std::string name)
+    : engine_(engine), net_(net),
+      name_(name.empty() ? net.name() : std::move(name)),
+      pool_(workers > 0 ? workers : 4) {}
 
 BatchRunner::BatchRunner(
     core::Engine& engine,
-    std::shared_ptr<const artifact::LoadedArtifact> artifact, int workers)
+    std::shared_ptr<const artifact::LoadedArtifact> artifact, int workers,
+    std::string name)
     : engine_(engine), net_(artifact_network(artifact)),
-      artifact_(std::move(artifact)), pool_(workers > 0 ? workers : 4) {}
+      artifact_(std::move(artifact)),
+      name_(name.empty() ? net_.name() : std::move(name)),
+      pool_(workers > 0 ? workers : 4) {}
 
 std::shared_ptr<const core::ExecutionPlan> BatchRunner::plan_for(
     const core::BlobDesc& desc) {
@@ -95,21 +121,38 @@ int BatchRunner::total_arena_growth_events() const {
 }
 
 BatchSummary BatchRunner::run(std::vector<core::Blob> inputs) {
+  return run_impl(std::move(inputs), nullptr);
+}
+
+BatchSummary BatchRunner::run_or_throw(std::vector<core::Blob> inputs) {
+  std::exception_ptr first_error;
+  BatchSummary summary = run_impl(std::move(inputs), &first_error);
+  if (first_error != nullptr) std::rethrow_exception(first_error);
+  return summary;
+}
+
+BatchSummary BatchRunner::run_impl(std::vector<core::Blob> inputs,
+                                   std::exception_ptr* first_error) {
   // One run() at a time per runner (documented contract): the persistent
   // worker sessions are exclusively owned per batch, so a concurrent call
-  // must fail loudly rather than race two forwards onto one session.
-  PB_CHECK(!running_.exchange(true),
-           "BatchRunner::run called concurrently — a runner serves one "
-           "batch at a time; create one runner per concurrent stream");
+  // must fail loudly rather than race two forwards onto one session. The
+  // acq_rel exchange claims the runner; the guard's release store hands it
+  // back, pairing with the next winner's acquire.
+  PB_CHECK(!running_.exchange(true, std::memory_order_acq_rel),
+           "BatchRunner '" << name_
+                           << "': run called concurrently — a runner serves "
+                              "one batch at a time; create one runner per "
+                              "concurrent stream");
   struct RunningGuard {
     std::atomic<bool>& flag;
-    ~RunningGuard() { flag.store(false); }
+    ~RunningGuard() { flag.store(false, std::memory_order_release); }
   } guard{running_};
 
   BatchSummary summary;
   summary.requests = static_cast<int>(inputs.size());
   summary.workers = pool_.size();
   summary.results.resize(inputs.size());
+  summary.statuses.resize(inputs.size());
   if (inputs.empty()) return summary;
 
   // Persistent worker sessions, minted once on the caller thread (at most
@@ -128,15 +171,17 @@ BatchSummary BatchRunner::run(std::vector<core::Blob> inputs) {
   // One task per worker owning a strided share of the requests (not
   // parallel_for: its small-n inline path would serialize the batch on
   // this thread). A local completion group keeps the runner independent of
-  // anything else submitted to the pool.
+  // anything else submitted to the pool. A request that throws records a
+  // kFailed status in ITS slot and the loop moves on — neighbors keep
+  // their results (first-error-wins destroyed them before PR 6).
   std::mutex mu;
   std::condition_variable cv;
   std::size_t pending = workers;
-  std::exception_ptr first_error;
+  std::exception_ptr batch_error;
 
   const double t0 = now_ms();
   for (std::size_t w = 0; w < workers; ++w) {
-    pool_.submit([this, &inputs, &summary, &mu, &cv, &pending, &first_error,
+    pool_.submit([this, &inputs, &summary, &mu, &cv, &pending, &batch_error,
                   w, workers] {
       std::exception_ptr error;
       core::ExecSession& session = *sessions_[w];
@@ -146,11 +191,14 @@ BatchSummary BatchRunner::run(std::vector<core::Blob> inputs) {
           session.reset_profile();
           summary.results[i] = plan->run(session, inputs[i]);
         } catch (...) {
+          summary.statuses[i].code = StatusCode::kFailed;
+          summary.statuses[i].error =
+              describe_exception(std::current_exception());
           if (error == nullptr) error = std::current_exception();
         }
       }
       std::lock_guard<std::mutex> lock(mu);
-      if (error != nullptr && first_error == nullptr) first_error = error;
+      if (error != nullptr && batch_error == nullptr) batch_error = error;
       if (--pending == 0) cv.notify_all();
     });
   }
@@ -159,12 +207,23 @@ BatchSummary BatchRunner::run(std::vector<core::Blob> inputs) {
     cv.wait(lock, [&pending] { return pending == 0; });
   }
   summary.wall_ms = now_ms() - t0;
-  if (first_error != nullptr) std::rethrow_exception(first_error);
+  if (first_error != nullptr) *first_error = batch_error;
 
-  // Latency/throughput aggregation plus the per-layer merge: layer order is
-  // identical across requests (one shared network), so slot j of every
-  // report describes the same layer.
-  for (const core::ForwardResult& r : summary.results) {
+  // Latency/throughput aggregation plus the per-layer merge over the Ok
+  // requests: layer order is identical across requests (one shared
+  // network), so slot j of every report describes the same layer. Failed
+  // requests are counted but contribute nothing — their result slots are
+  // default-constructed.
+  std::vector<double> latencies;
+  latencies.reserve(summary.results.size());
+  for (std::size_t i = 0; i < summary.results.size(); ++i) {
+    if (!summary.statuses[i].ok()) {
+      ++summary.failed;
+      continue;
+    }
+    ++summary.ok;
+    const core::ForwardResult& r = summary.results[i];
+    latencies.push_back(r.modeled_ms);
     summary.total_modeled_ms += r.modeled_ms;
     summary.max_modeled_ms = std::max(summary.max_modeled_ms, r.modeled_ms);
     if (summary.merged_layers.empty()) {
@@ -183,17 +242,12 @@ BatchSummary BatchRunner::run(std::vector<core::Blob> inputs) {
       m.cost.accumulate(r.report[j].cost);
     }
   }
-  std::vector<double> latencies;
-  latencies.reserve(summary.results.size());
-  for (const core::ForwardResult& r : summary.results) {
-    latencies.push_back(r.modeled_ms);
-  }
   std::sort(latencies.begin(), latencies.end());
   summary.p50_modeled_ms = percentile(latencies, 50.0);
   summary.p95_modeled_ms = percentile(latencies, 95.0);
   summary.p99_modeled_ms = percentile(latencies, 99.0);
   summary.mean_modeled_ms =
-      summary.total_modeled_ms / static_cast<double>(summary.requests);
+      summary.ok > 0 ? summary.total_modeled_ms / summary.ok : 0.0;
   summary.throughput_rps = summary.wall_ms > 0
                                ? 1e3 * static_cast<double>(summary.requests) /
                                      summary.wall_ms

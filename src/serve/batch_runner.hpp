@@ -10,6 +10,11 @@
 // together with an aggregate throughput/latency summary including p50/p95/
 // p99 tail latency.
 //
+// Failure is a value here, not an exception escape: each request's outcome
+// comes back as a RequestStatus next to its result, so one poisoned input
+// cannot destroy its neighbors' finished work (run_or_throw keeps the old
+// throwing contract for callers that want it).
+//
 // Request-level parallelism is intentionally a *separate* thread pool from
 // the simulated device's work-item pool: request workers block in
 // CommandQueue::enqueue while device workers chew through kernel chunks, so
@@ -18,8 +23,10 @@
 #pragma once
 
 #include <atomic>
+#include <exception>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -34,28 +41,57 @@ struct LoadedArtifact;  // core/artifact.hpp
 
 namespace phonebit::serve {
 
+/// Outcome classification of one served request. Every request submitted to
+/// the serving layer is accounted for with exactly one of these — nothing is
+/// silently dropped (DESIGN.md §9):
+///   kOk               the forward ran; `results[i]` holds its output.
+///   kShed             rejected at admission (queue over its watermark) —
+///                     never executed.
+///   kDeadlineExceeded past its deadline before execution could complete —
+///                     shed at dispatch or abandoned between retries, never
+///                     half-run.
+///   kFailed           the request itself failed (bad input, exhausted
+///                     transient-fault retries); `error` carries the text.
+enum class StatusCode { kOk, kShed, kDeadlineExceeded, kFailed };
+
+const char* status_name(StatusCode c) noexcept;
+
+struct RequestStatus {
+  StatusCode code = StatusCode::kOk;
+  std::string error;  ///< kFailed only: the failing request's error text
+
+  bool ok() const noexcept { return code == StatusCode::kOk; }
+};
+
 /// Aggregate outcome of one batch of independent requests.
 struct BatchSummary {
-  /// Per-request results, in input order.
+  /// Per-request results, in input order. A request that did not reach kOk
+  /// leaves its slot default-constructed — its neighbors' results are
+  /// preserved regardless.
   std::vector<core::ForwardResult> results;
 
+  /// Per-request outcome, in input order (same length as `results`).
+  std::vector<RequestStatus> statuses;
+
   int requests = 0;
+  int ok = 0;      ///< requests with StatusCode::kOk
+  int failed = 0;  ///< requests with StatusCode::kFailed
   int workers = 0;
 
   double wall_ms = 0.0;           ///< host wall time of the whole batch
   double throughput_rps = 0.0;    ///< requests / host wall second
   double total_modeled_ms = 0.0;  ///< sum of per-request modeled device ms
-  double mean_modeled_ms = 0.0;   ///< mean per-request modeled latency
+  double mean_modeled_ms = 0.0;   ///< mean per-request modeled latency (Ok)
   double max_modeled_ms = 0.0;    ///< slowest request's modeled latency
 
   /// Tail latency over the batch's per-request modeled latencies
-  /// (nearest-rank percentiles; p50 <= p95 <= p99 <= max).
+  /// (nearest-rank percentiles over Ok requests; p50 <= p95 <= p99 <= max).
   double p50_modeled_ms = 0.0;
   double p95_modeled_ms = 0.0;
   double p99_modeled_ms = 0.0;
 
-  /// Per-layer report summed across every request (same layer order as the
-  /// network; costs merged with KernelCost::accumulate).
+  /// Per-layer report summed across every Ok request (same layer order as
+  /// the network; costs merged with KernelCost::accumulate).
   std::vector<core::LayerReport> merged_layers;
 };
 
@@ -72,8 +108,10 @@ struct BatchSummary {
 class BatchRunner {
  public:
   /// `workers` <= 0 selects a small default (4). A runner serves one run()
-  /// at a time; create one runner per concurrent batch stream.
-  BatchRunner(core::Engine& engine, const core::Network& net, int workers = 0);
+  /// at a time; create one runner per concurrent batch stream. `name` tags
+  /// the runner in error messages (defaults to the network's name).
+  BatchRunner(core::Engine& engine, const core::Network& net, int workers = 0,
+              std::string name = {});
 
   /// Serves a LOADED artifact (Engine::load_artifact): every worker runs
   /// the artifact's deserialized ExecutionPlan directly — the deployment
@@ -85,13 +123,30 @@ class BatchRunner {
   /// the artifact alive for its own lifetime.
   BatchRunner(core::Engine& engine,
               std::shared_ptr<const artifact::LoadedArtifact> artifact,
-              int workers = 0);
+              int workers = 0, std::string name = {});
 
-  /// Forwards every input, blocking until the whole batch is done. Throws
-  /// the first request's error, if any request failed.
+  /// Forwards every input, blocking until the whole batch is done. Never
+  /// throws for per-request failures: each request's outcome lands in
+  /// `statuses` (kOk or kFailed{error}) and a failed request leaves every
+  /// neighbor's finished result intact.
   BatchSummary run(std::vector<core::Blob> inputs);
 
+  /// Legacy contract: like run(), but rethrows the first failed request's
+  /// original exception after the whole batch has drained (all neighbors
+  /// still ran to completion first).
+  BatchSummary run_or_throw(std::vector<core::Blob> inputs);
+
   int workers() const noexcept { return pool_.size(); }
+
+  /// The tag used in this runner's error messages.
+  const std::string& name() const noexcept { return name_; }
+
+  /// True while a run() is in flight on some thread (acquire load — safe to
+  /// poll from other threads; the value is advisory, a concurrent run() is
+  /// still rejected atomically by run itself).
+  bool busy() const noexcept {
+    return running_.load(std::memory_order_acquire);
+  }
 
   /// Distinct input descriptors compiled so far (plan-cache size).
   std::size_t compiled_plans() const;
@@ -109,19 +164,27 @@ class BatchRunner {
   std::shared_ptr<const core::ExecutionPlan> plan_for(
       const core::BlobDesc& desc);
 
+  /// Shared body of run / run_or_throw: `first_error` (optional) receives
+  /// the first failed request's original exception for rethrowing.
+  BatchSummary run_impl(std::vector<core::Blob> inputs,
+                        std::exception_ptr* first_error);
+
   core::Engine& engine_;
   const core::Network& net_;
   /// Set on the artifact constructor only: keeps the loaded network (which
   /// `net_` references) and its plan alive, and pins the plan served for
   /// the artifact's input descriptor.
   std::shared_ptr<const artifact::LoadedArtifact> artifact_;
+  std::string name_;
   ThreadPool pool_;
   /// One persistent session per worker, created lazily on the run() caller
   /// thread. Worker w exclusively owns sessions_[w] while a batch runs —
   /// which is why a runner serves ONE run() at a time: `running_` turns a
   /// concurrent second call (which would race two forwards onto one
-  /// session's activation slab) into an InvalidArgument instead of
-  /// corruption.
+  /// session's activation slab) into an InvalidArgument naming the runner
+  /// instead of corruption. The flag is claimed with an acq_rel exchange
+  /// and released with a release store, so the losing caller's error path
+  /// synchronizes-with the winning run (clean under TSan).
   std::vector<std::unique_ptr<core::ExecSession>> sessions_;
   std::atomic<bool> running_{false};
   mutable std::mutex plan_mu_;

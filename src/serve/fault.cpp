@@ -1,0 +1,68 @@
+#include "serve/fault.hpp"
+
+#include <sstream>
+
+namespace phonebit::serve {
+
+namespace {
+
+/// splitmix64 finalizer — the same mixer Rng uses for seeding.
+std::uint64_t mix(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// Counter-based uniform draw in [0, 1): a pure function of the key, so a
+/// verdict never depends on how many OTHER verdicts were drawn before it
+/// (the property a shared RNG stream cannot give a multi-threaded server).
+double uniform(std::uint64_t seed, std::uint64_t stream, std::uint64_t a,
+               std::uint64_t b) noexcept {
+  const std::uint64_t h = mix(mix(mix(seed ^ (stream * 0xa24baed4963ee407ull)) + a) + b);
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+bool FaultPlan::transient_fault(std::uint64_t request,
+                                int attempt) const noexcept {
+  return transient_rate > 0.0 &&
+         uniform(seed, 1, request, static_cast<std::uint64_t>(attempt)) <
+             transient_rate;
+}
+
+double FaultPlan::latency_spike_ms(std::uint64_t request,
+                                   int attempt) const noexcept {
+  return (spike_rate > 0.0 &&
+          uniform(seed, 2, request, static_cast<std::uint64_t>(attempt)) <
+              spike_rate)
+             ? spike_ms
+             : 0.0;
+}
+
+bool FaultPlan::artifact_load_fails(std::uint64_t load_seq) const noexcept {
+  return artifact_load_rate > 0.0 &&
+         uniform(seed, 3, load_seq, 0) < artifact_load_rate;
+}
+
+std::string FaultPlan::str() const {
+  std::ostringstream os;
+  os << "faults{seed=" << seed;
+  if (!enabled()) {
+    os << " none}";
+    return os.str();
+  }
+  if (transient_rate > 0.0) os << " transient=" << transient_rate * 100 << "%";
+  if (spike_rate > 0.0) {
+    os << " spike=" << spike_rate * 100 << "%/" << spike_ms << "ms";
+  }
+  if (artifact_load_rate > 0.0) {
+    os << " artifact_load=" << artifact_load_rate * 100 << "%";
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace phonebit::serve

@@ -1,0 +1,429 @@
+#include "serve/model_server.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <deque>
+#include <functional>
+#include <numeric>
+#include <utility>
+
+#include "core/artifact.hpp"
+
+namespace phonebit::serve {
+
+namespace {
+
+double now_ms() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double, std::milli>(
+             clock::now().time_since_epoch())
+      .count();
+}
+
+/// Nearest-rank percentile of an ascending-sorted sample.
+double percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto n = static_cast<double>(sorted.size());
+  auto rank = static_cast<std::size_t>(std::ceil(q / 100.0 * n));
+  if (rank > 0) --rank;
+  if (rank >= sorted.size()) rank = sorted.size() - 1;
+  return sorted[rank];
+}
+
+/// Min-heap of simulated lane free-times (smallest on top).
+struct LaneHeap {
+  explicit LaneHeap(int lanes)
+      : free_ms(static_cast<std::size_t>(lanes > 0 ? lanes : 1), 0.0) {}
+
+  double min() const noexcept { return free_ms.front(); }
+
+  /// Advances the earliest-free lane to `until`.
+  void advance_min(double until) {
+    std::pop_heap(free_ms.begin(), free_ms.end(), std::greater<>{});
+    free_ms.back() = until;
+    std::push_heap(free_ms.begin(), free_ms.end(), std::greater<>{});
+  }
+
+  std::vector<double> free_ms;  // heap-ordered, std::greater comparator
+};
+
+}  // namespace
+
+ModelServer::ModelServer(core::Engine& engine, ServerConfig config,
+                         FaultPlan faults, std::string name)
+    : engine_(engine), config_(config), faults_(faults),
+      name_(name.empty() ? "model-server" : std::move(name)) {}
+
+ModelServer::Entry* ModelServer::find_entry(const std::string& model) {
+  for (Entry& e : repo_) {
+    if (e.model == model) return &e;
+  }
+  return nullptr;
+}
+
+const ModelServer::Entry* ModelServer::find_entry(
+    const std::string& model) const {
+  for (const Entry& e : repo_) {
+    if (e.model == model) return &e;
+  }
+  return nullptr;
+}
+
+ModelServer::Snapshot ModelServer::snapshot(const std::string& model) const {
+  std::lock_guard<std::mutex> lock(repo_mu_);
+  const Entry* e = find_entry(model);
+  if (e == nullptr) return {};
+  return Snapshot{e->artifact, e->runner, e->version};
+}
+
+std::shared_ptr<const artifact::LoadedArtifact> ModelServer::checked_load(
+    const std::string& path) {
+  // Every load attempt consumes one fault-sequence number BEFORE the real
+  // load, so an injected failure is deterministic no matter how the real
+  // filesystem behaves.
+  const std::uint64_t seq = load_seq_++;
+  PB_CHECK(!faults_.artifact_load_fails(seq),
+           "ModelServer '" << name_ << "': injected artifact-load fault for '"
+                           << path << "' (load " << seq << ")");
+  return engine_.load_artifact_shared(path);
+}
+
+void ModelServer::load_model(const std::string& model,
+                             const std::string& path) {
+  std::lock_guard<std::mutex> lock(repo_mu_);
+  PB_CHECK(find_entry(model) == nullptr,
+           "ModelServer '" << name_ << "': model '" << model
+                           << "' is already loaded — use swap_model");
+  // checked_load throws on any validation/fault failure, in which case
+  // nothing was registered.
+  auto art = checked_load(path);
+  Entry e;
+  e.model = model;
+  e.artifact = art;
+  e.version = 1;
+  e.runner = std::make_shared<BatchRunner>(
+      engine_, art, config_.exec_workers, name_ + ":" + model + "@v1");
+  repo_.push_back(std::move(e));
+}
+
+void ModelServer::swap_model(const std::string& model,
+                             const std::string& path) {
+  std::lock_guard<std::mutex> lock(repo_mu_);
+  Entry* e = find_entry(model);
+  PB_CHECK(e != nullptr, "ModelServer '" << name_ << "': cannot swap model '"
+                                         << model << "' — not loaded");
+  // Load + validate FIRST: if this throws, the entry is untouched and the
+  // old artifact keeps serving (rollback is the no-op).
+  auto art = checked_load(path);
+  e->artifact = art;
+  ++e->version;
+  // A fresh runner bound to the new artifact; in-flight batches hold the
+  // old runner via their own shared_ptr and drain on the old plan.
+  e->runner = std::make_shared<BatchRunner>(
+      engine_, art, config_.exec_workers,
+      name_ + ":" + model + "@v" + std::to_string(e->version));
+}
+
+std::uint64_t ModelServer::version(const std::string& model) const {
+  std::lock_guard<std::mutex> lock(repo_mu_);
+  const Entry* e = find_entry(model);
+  return e != nullptr ? e->version : 0;
+}
+
+std::vector<std::string> ModelServer::models() const {
+  std::lock_guard<std::mutex> lock(repo_mu_);
+  std::vector<std::string> names;
+  names.reserve(repo_.size());
+  for (const Entry& e : repo_) names.push_back(e.model);
+  return names;
+}
+
+double ModelServer::modeled_ms_for(const Snapshot& snap,
+                                   const core::Blob& input) {
+  const core::BlobDesc desc = core::describe_blob(input);
+  const void* key = &snap.artifact->plan;
+  for (const ProbeEntry& p : probe_cache_) {
+    if (p.plan == key && p.desc == desc) return p.modeled_ms;
+  }
+  // First sight of this (artifact, shape): one probe forward on the
+  // server's own session measures the modeled device latency every later
+  // virtual-time decision uses. Modeled time is a pure function of the
+  // plan and the input GEOMETRY, so one probe covers every request of the
+  // shape (test_artifact pins this determinism).
+  if (probe_ == nullptr) {
+    probe_ = std::make_unique<core::ExecSession>(engine_.create_session());
+  }
+  probe_->reset_profile();
+  const core::ForwardResult r = snap.artifact->plan.run(*probe_, input);
+  probe_cache_.push_back(ProbeEntry{key, desc, r.modeled_ms});
+  return r.modeled_ms;
+}
+
+ServerSummary ModelServer::run(std::vector<Request> workload,
+                               std::vector<SwapEvent> swaps) {
+  PB_CHECK(!running_.exchange(true, std::memory_order_acq_rel),
+           "ModelServer '" << name_
+                           << "': run called concurrently — a server serves "
+                              "one trace at a time");
+  struct RunningGuard {
+    std::atomic<bool>& flag;
+    ~RunningGuard() { flag.store(false, std::memory_order_release); }
+  } guard{running_};
+
+  const double wall0 = now_ms();
+  ServerSummary summary;
+  summary.requests = static_cast<int>(workload.size());
+  summary.results.resize(workload.size());
+
+  // Process arrivals in virtual-time order, stable in submission order for
+  // ties — fault keying stays on the SUBMISSION index, so reordering equal
+  // timestamps cannot change a verdict.
+  std::vector<std::size_t> order(workload.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&workload](std::size_t a, std::size_t b) {
+                     return workload[a].arrival_ms < workload[b].arrival_ms;
+                   });
+  std::stable_sort(swaps.begin(), swaps.end(),
+                   [](const SwapEvent& a, const SwapEvent& b) {
+                     return a.at_ms < b.at_ms;
+                   });
+
+  // A scheduled swap applies the moment virtual time passes at_ms — either
+  // at an arrival or at a dispatch, whichever the timeline reaches first.
+  std::size_t swap_cursor = 0;
+  auto apply_swaps_until = [this, &swaps, &swap_cursor, &summary](double t) {
+    while (swap_cursor < swaps.size() && swaps[swap_cursor].at_ms <= t) {
+      const SwapEvent& ev = swaps[swap_cursor++];
+      try {
+        swap_model(ev.model, ev.path);
+        ++summary.swaps;
+      } catch (const Error&) {
+        // Injected load fault or a corrupt/over-budget artifact: the old
+        // version keeps serving — the swap rolled back.
+        ++summary.swap_rollbacks;
+      }
+    }
+  };
+
+  // --- Phase 1: deterministic admission/deadline/retry simulation -------
+  //
+  // `lanes` simulated service lanes drain a single FIFO admission queue.
+  // `waiting` holds the dispatch times of admitted-but-not-yet-dispatched
+  // requests (nondecreasing, so expiring the front is enough). All times
+  // are virtual ms; nothing here depends on host timing or exec_workers.
+  LaneHeap lanes(config_.lanes);
+  std::deque<double> waiting;
+  struct ExecGroup {
+    std::shared_ptr<BatchRunner> runner;
+    std::vector<std::size_t> indices;
+  };
+  std::vector<ExecGroup> groups;
+  std::vector<std::shared_ptr<const artifact::LoadedArtifact>> pinned;
+  struct PerModelDepth {
+    std::string model;
+    int max_depth = 0;
+  };
+  std::vector<PerModelDepth> depths;
+  auto note_depth = [&depths, &summary](const std::string& model, int d) {
+    summary.max_queue_depth = std::max(summary.max_queue_depth, d);
+    for (PerModelDepth& e : depths) {
+      if (e.model == model) {
+        e.max_depth = std::max(e.max_depth, d);
+        return;
+      }
+    }
+    depths.push_back(PerModelDepth{model, d});
+  };
+
+  for (const std::size_t idx : order) {
+    Request& rq = workload[idx];
+    RequestResult& rr = summary.results[idx];
+    const double t = std::max(rq.arrival_ms, 0.0);
+    apply_swaps_until(t);
+
+    // Requests whose dispatch time has passed have left the queue.
+    while (!waiting.empty() && waiting.front() <= t) waiting.pop_front();
+    const int depth = static_cast<int>(waiting.size());
+    note_depth(rq.model, depth);
+
+    Snapshot snap = snapshot(rq.model);
+    if (snap.artifact == nullptr) {
+      rr.status.code = StatusCode::kFailed;
+      rr.status.error = "model '" + rq.model + "' is not loaded";
+      continue;
+    }
+    rr.plan_version = snap.version;
+
+    // Load shedding, reject-newest: past the watermark the arriving
+    // request is refused before it costs anything.
+    if (depth >= config_.queue_limit) {
+      rr.status.code = StatusCode::kShed;
+      continue;
+    }
+
+    // Dispatch: the request waits until the earliest lane frees up. A
+    // swap scheduled during the wait applies before the request routes —
+    // new requests route to the new plan, in-flight ones keep theirs.
+    const double start = std::max(t, lanes.min());
+    apply_swaps_until(start);
+    snap = snapshot(rq.model);
+    rr.plan_version = snap.version;
+    rr.queue_ms = start - t;
+    note_depth(rq.model, static_cast<int>(waiting.size()) + 1);
+    waiting.push_back(start);
+
+    const double deadline =
+        rq.deadline_ms > 0.0
+            ? rq.deadline_ms
+            : (rq.deadline_ms < 0.0 ? 0.0 : config_.default_deadline_ms);
+
+    // Deadline shed happens at dispatch, BEFORE execution: the lane pops
+    // the expired request, drops it at zero cost and takes the next one.
+    if (deadline > 0.0 && start - t > deadline) {
+      rr.status.code = StatusCode::kDeadlineExceeded;
+      rr.latency_ms = start - t;
+      continue;
+    }
+
+    // Admission-time validation: a request whose blob does not match the
+    // plan's descriptor can never run — fail it as a value, costing the
+    // lane nothing (one poisoned input, zero collateral damage).
+    const core::BlobDesc desc = core::describe_blob(rq.input);
+    if (!(desc == snap.artifact->plan.input())) {
+      rr.status.code = StatusCode::kFailed;
+      rr.status.error = "model '" + rq.model + "' serves " +
+                        snap.artifact->plan.input().str() + ", got " +
+                        desc.str();
+      continue;
+    }
+
+    // Attempt loop, virtual time: each attempt costs the plan's modeled
+    // latency plus any injected spike; an injected transient failure
+    // retries after a backoff while both the retry budget AND the
+    // deadline budget allow another full attempt.
+    const double modeled = modeled_ms_for(snap, rq.input);
+    double dur = 0.0;
+    rr.status.code = StatusCode::kOk;
+    for (int a = 0;; ++a) {
+      ++rr.attempts;
+      dur += modeled + faults_.latency_spike_ms(idx, a);
+      if (!faults_.transient_fault(idx, a)) break;  // attempt succeeded
+      if (a == config_.max_retries) {
+        rr.status.code = StatusCode::kFailed;
+        rr.status.error = "transient fault persisted after " +
+                          std::to_string(rr.attempts) + " attempts";
+        break;
+      }
+      dur += config_.retry_backoff_ms;
+      ++rr.retries;
+      if (deadline > 0.0 && start + dur + modeled - t > deadline) {
+        // Another full attempt cannot finish inside the deadline — give
+        // up now instead of burning a lane on a doomed retry.
+        rr.status.code = StatusCode::kDeadlineExceeded;
+        break;
+      }
+    }
+    summary.retries += rr.retries;
+    lanes.advance_min(start + dur);
+    rr.latency_ms = start + dur - t;
+
+    if (rr.status.ok()) {
+      // Queue for real execution, grouped by the runner (= model version)
+      // that served it. The pinned artifact keeps the version alive even
+      // if a swap replaces it before phase 2 drains.
+      pinned.push_back(snap.artifact);
+      ExecGroup* g = nullptr;
+      for (ExecGroup& cand : groups) {
+        if (cand.runner == snap.runner) g = &cand;
+      }
+      if (g == nullptr) {
+        groups.push_back(ExecGroup{snap.runner, {}});
+        g = &groups.back();
+      }
+      g->indices.push_back(idx);
+    }
+  }
+  // Swaps scheduled after the last arrival still apply (the server's state
+  // after the trace reflects every event in it).
+  if (!swaps.empty()) apply_swaps_until(swaps.back().at_ms);
+
+  // --- Phase 2: real execution of the admitted requests -----------------
+  //
+  // Only now do forwards run — shed and expired requests never executed.
+  // Each group runs as one batch on its version's BatchRunner, so outputs
+  // are bit-exact with a standalone run of that plan regardless of worker
+  // count; an unexpected execution failure downgrades that request (and
+  // only that request) to kFailed.
+  for (ExecGroup& g : groups) {
+    std::vector<core::Blob> inputs;
+    inputs.reserve(g.indices.size());
+    for (const std::size_t idx : g.indices) {
+      inputs.push_back(std::move(workload[idx].input));
+    }
+    BatchSummary batch = g.runner->run(std::move(inputs));
+    for (std::size_t k = 0; k < g.indices.size(); ++k) {
+      RequestResult& rr = summary.results[g.indices[k]];
+      if (batch.statuses[k].ok()) {
+        rr.result = std::move(batch.results[k]);
+      } else {
+        rr.status = std::move(batch.statuses[k]);
+      }
+    }
+  }
+
+  // --- Accounting: every request resolves to exactly one status ---------
+  struct PerModelAgg {
+    ModelStats stats;
+    std::vector<double> ok_latency;
+  };
+  std::vector<PerModelAgg> agg;
+  auto model_agg = [&agg](const std::string& model) -> PerModelAgg& {
+    for (PerModelAgg& e : agg) {
+      if (e.stats.model == model) return e;
+    }
+    agg.push_back(PerModelAgg{});
+    agg.back().stats.model = model;
+    return agg.back();
+  };
+  for (std::size_t i = 0; i < workload.size(); ++i) {
+    const RequestResult& rr = summary.results[i];
+    PerModelAgg& m = model_agg(workload[i].model);
+    ++m.stats.requests;
+    m.stats.retries += rr.retries;
+    switch (rr.status.code) {
+      case StatusCode::kOk:
+        ++summary.ok;
+        ++m.stats.ok;
+        m.ok_latency.push_back(rr.latency_ms);
+        m.stats.max_ms = std::max(m.stats.max_ms, rr.latency_ms);
+        break;
+      case StatusCode::kShed:
+        ++summary.shed;
+        ++m.stats.shed;
+        break;
+      case StatusCode::kDeadlineExceeded:
+        ++summary.deadline_exceeded;
+        ++m.stats.deadline_exceeded;
+        break;
+      case StatusCode::kFailed:
+        ++summary.failed;
+        ++m.stats.failed;
+        break;
+    }
+  }
+  for (PerModelAgg& m : agg) {
+    std::sort(m.ok_latency.begin(), m.ok_latency.end());
+    m.stats.p50_ms = percentile(m.ok_latency, 50.0);
+    m.stats.p99_ms = percentile(m.ok_latency, 99.0);
+    for (const PerModelDepth& d : depths) {
+      if (d.model == m.stats.model) m.stats.max_queue_depth = d.max_depth;
+    }
+    summary.models.push_back(std::move(m.stats));
+  }
+  summary.wall_ms = now_ms() - wall0;
+  return summary;
+}
+
+}  // namespace phonebit::serve

@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "core/phonebit.hpp"
@@ -175,16 +177,77 @@ TEST(BatchRunner, EmptyBatchIsANoop) {
   EXPECT_TRUE(summary.merged_layers.empty());
 }
 
-TEST(BatchRunner, PropagatesRequestErrors) {
+TEST(BatchRunner, RunOrThrowPropagatesRequestErrors) {
   auto net = quick_net(75);
   core::Engine engine(testing::test_device());
   serve::BatchRunner runner(engine, *net, 2);
 
   // Request 2 feeds a float tensor where the input conv expects a U8 image;
-  // its InvalidArgument must surface on the caller thread after the batch.
+  // its InvalidArgument must surface on the caller thread after the batch
+  // (the legacy first-error contract, kept behind run_or_throw).
   auto inputs = make_inputs(4, 1200);
   inputs[2] = core::Blob{FloatTensor(Shape{1, 32, 32, 3}, Layout::kNHWC)};
-  EXPECT_THROW(runner.run(std::move(inputs)), InvalidArgument);
+  EXPECT_THROW(runner.run_or_throw(std::move(inputs)), InvalidArgument);
+}
+
+TEST(BatchRunner, FailedRequestKeepsNeighborsResults) {
+  // Failure is a value: run() classifies the poisoned request kFailed and
+  // every neighbor's finished result survives (before PR 6 the first error
+  // threw the whole batch away).
+  auto net = quick_net(78);
+  core::Engine engine(testing::test_device());
+  serve::BatchRunner runner(engine, *net, 2);
+
+  auto inputs = make_inputs(5, 1250);
+  inputs[2] = core::Blob{FloatTensor(Shape{1, 32, 32, 3}, Layout::kNHWC)};
+  const auto summary = runner.run(std::move(inputs));
+
+  ASSERT_EQ(summary.statuses.size(), 5u);
+  EXPECT_EQ(summary.ok, 4);
+  EXPECT_EQ(summary.failed, 1);
+  EXPECT_EQ(summary.statuses[2].code, serve::StatusCode::kFailed);
+  EXPECT_FALSE(summary.statuses[2].error.empty());
+  for (int i = 0; i < 5; ++i) {
+    if (i == 2) continue;
+    ASSERT_TRUE(summary.statuses[static_cast<std::size_t>(i)].ok());
+    auto session = engine.create_session();
+    auto ctx = session.context();
+    const auto serial = net->forward(
+        ctx, core::Blob{datasets::cifar_like_image(
+                 1250 + static_cast<std::uint64_t>(i))});
+    EXPECT_TRUE(testing::expect_bitexact(
+        summary.results[static_cast<std::size_t>(i)], serial))
+        << "neighbor " << i << " lost its result";
+  }
+  // The failed slot contributes nothing to the latency aggregation.
+  EXPECT_EQ(summary.results[2].report.size(), 0u);
+  EXPECT_GT(summary.p50_modeled_ms, 0.0);
+}
+
+TEST(BatchRunner, ConcurrentSecondRunIsRejectedNamingTheRunner) {
+  // The one-run-at-a-time contract: a second run() while a batch is in
+  // flight must throw InvalidArgument naming the runner — atomically
+  // (acq_rel exchange on running_), never corrupting the first batch.
+  auto net = quick_net(79);
+  core::Engine engine(testing::test_device());
+  serve::BatchRunner runner(engine, *net, 2, "streamA");
+  EXPECT_EQ(runner.name(), "streamA");
+
+  // A batch big enough to stay in flight while this thread races it.
+  std::thread first([&runner] { runner.run(make_inputs(128, 1600)); });
+  while (!runner.busy()) std::this_thread::yield();
+  try {
+    runner.run(make_inputs(1, 1700));
+    ADD_FAILURE() << "concurrent second run was not rejected";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("streamA"), std::string::npos)
+        << e.what();
+  }
+  first.join();
+
+  // The runner is serviceable again after the rejected call.
+  const auto summary = runner.run(make_inputs(2, 1800));
+  EXPECT_EQ(summary.ok, 2);
 }
 
 }  // namespace

@@ -16,15 +16,23 @@
 //   pbc selfcheck [--model <zoo name>] [...]
 //       Compile → save → load → run both plans on the same input and
 //       verify bit-exactness; exit 0 on success (the ctest smoke target).
+//   pbc serve-check [--model <zoo name>] [--seed S]
+//       Serving-robustness smoke: compile two artifact versions, serve a
+//       deterministic workload (overload burst, mid-run hot-swap, seeded
+//       fault injection) through serve::ModelServer at two different real
+//       worker counts, and verify the accounting is bit-identical and the
+//       Ok outputs bit-exact; exit 0 on success (the ctest smoke target).
 #include <cstdio>
 #include <cstring>
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "core/phonebit.hpp"
 #include "datasets/synthetic.hpp"
 #include "models/zoo.hpp"
+#include "serve/model_server.hpp"
 
 namespace {
 
@@ -53,7 +61,8 @@ int usage() {
       "              [--classes C (quicknet only)] [--no-fuse-conv-pool]\n"
       "  pbc compile --pbm model.pbm --input NxHxWxC [-o out.pba]\n"
       "  pbc dump <file.pba>\n"
-      "  pbc selfcheck [--model <name>] [--shrink N] [--seed S]\n");
+      "  pbc selfcheck [--model <name>] [--shrink N] [--seed S]\n"
+      "  pbc serve-check [--model <name>] [--shrink N] [--seed S]\n");
   return 2;
 }
 
@@ -186,6 +195,129 @@ int compile_mode(const Args& a, bool selfcheck) {
   return 0;
 }
 
+/// True when the two forward outputs are bit-identical.
+bool outputs_bitexact(const core::ForwardResult& x,
+                      const core::ForwardResult& y) {
+  const auto* xf = std::get_if<FloatTensor>(&x.output);
+  const auto* yf = std::get_if<FloatTensor>(&y.output);
+  if ((xf != nullptr) != (yf != nullptr)) return false;
+  if (xf != nullptr) return allclose(*xf, *yf, 0.0f);
+  return std::get<bitpack::PackedTensor>(x.output) ==
+         std::get<bitpack::PackedTensor>(y.output);
+}
+
+int serve_check_mode(const Args& a) {
+  auto device = std::make_shared<oclsim::Device>(
+      oclsim::DeviceProfile::snapdragon855());
+  core::Engine engine(device);
+
+  // Two artifact versions of the same architecture (different seeded
+  // checkpoints) — v2 hot-swaps in mid-trace.
+  models::ZooOptions zoo;
+  zoo.shrink_log2 = a.shrink;
+  const auto spec = models::spec_by_name(a.model, zoo, a.classes);
+  const std::string v1_path = a.out + ".serve_check_v1";
+  const std::string v2_path = a.out + ".serve_check_v2";
+  for (int v = 1; v <= 2; ++v) {
+    auto net = core::convert_to_phonebit(core::FloatModel::random(
+        spec, a.seed + static_cast<std::uint64_t>(v)));
+    const core::ExecutionPlan plan = net->compile(
+        engine, core::BlobDesc{core::BlobKind::kU8, spec.input});
+    artifact::save(*net, plan, v == 1 ? v1_path : v2_path);
+  }
+  auto cleanup = [&v1_path, &v2_path] {
+    std::remove(v1_path.c_str());
+    std::remove(v2_path.c_str());
+  };
+
+  // A deterministic trace that exercises the whole control plane: steady
+  // traffic, an overload burst past the queue watermark, a mid-run
+  // hot-swap, and seeded transient faults + latency spikes.
+  auto make_workload = [&a, &spec] {
+    std::vector<serve::Request> w;
+    auto push = [&w, &a, &spec](std::uint64_t seed, double at) {
+      serve::Request r;
+      r.model = a.model;
+      r.input = core::Blob{datasets::random_image(spec.input, a.seed + seed)};
+      r.arrival_ms = at;
+      w.push_back(std::move(r));
+    };
+    for (int i = 0; i < 60; ++i) push(100 + i, 0.9 * i);
+    for (int i = 0; i < 24; ++i) push(500 + i, 20.0);  // the burst
+    return w;
+  };
+  const std::vector<serve::SwapEvent> swaps{
+      serve::SwapEvent{27.0, a.model, v2_path}};
+  serve::FaultPlan faults;
+  faults.seed = a.seed * 2654435761u + 1;
+  faults.transient_rate = 0.1;
+  faults.spike_rate = 0.05;
+  faults.spike_ms = 2.0;
+
+  auto serve_once = [&](int exec_workers) {
+    serve::ServerConfig cfg;
+    cfg.exec_workers = exec_workers;
+    cfg.lanes = 4;
+    cfg.queue_limit = 6;
+    cfg.max_retries = 2;
+    cfg.retry_backoff_ms = 0.5;
+    serve::ModelServer server(engine, cfg, faults, "serve-check");
+    server.load_model(a.model, v1_path);
+    return server.run(make_workload(), swaps);
+  };
+
+  // The robustness contract: the decision sequence is a pure function of
+  // (workload, config, faults) — real execution parallelism must change
+  // NOTHING, and every Ok output must be bit-exact across worker counts.
+  const serve::ServerSummary s2 = serve_once(2);
+  const serve::ServerSummary s4 = serve_once(4);
+  if (s2.ok + s2.shed + s2.deadline_exceeded + s2.failed != s2.requests) {
+    std::fprintf(stderr, "serve-check: lost requests in the accounting\n");
+    cleanup();
+    return 1;
+  }
+  if (s2.ok != s4.ok || s2.shed != s4.shed ||
+      s2.deadline_exceeded != s4.deadline_exceeded ||
+      s2.failed != s4.failed || s2.retries != s4.retries ||
+      s2.max_queue_depth != s4.max_queue_depth) {
+    std::fprintf(stderr,
+                 "serve-check: accounting drifted across worker counts\n");
+    cleanup();
+    return 1;
+  }
+  for (std::size_t i = 0; i < s2.results.size(); ++i) {
+    const auto& r2 = s2.results[i];
+    const auto& r4 = s4.results[i];
+    if (r2.status.code != r4.status.code ||
+        r2.plan_version != r4.plan_version ||
+        r2.latency_ms != r4.latency_ms) {
+      std::fprintf(stderr, "serve-check: request %zu verdict drifted\n", i);
+      cleanup();
+      return 1;
+    }
+    if (r2.status.ok() && !outputs_bitexact(r2.result, r4.result)) {
+      std::fprintf(stderr, "serve-check: request %zu output drifted\n", i);
+      cleanup();
+      return 1;
+    }
+  }
+  if (s2.swaps != 1 || s2.shed == 0 || s2.retries == 0) {
+    std::fprintf(stderr,
+                 "serve-check: trace failed to exercise the control plane "
+                 "(swaps %d, shed %d, retries %d)\n",
+                 s2.swaps, s2.shed, s2.retries);
+    cleanup();
+    return 1;
+  }
+  cleanup();
+  std::printf("serve-check: ok — %d requests: %d ok / %d shed / %d deadline "
+              "/ %d failed, %d retries, 1 hot-swap; bit-identical at 2 and 4 "
+              "workers\n",
+              s2.requests, s2.ok, s2.shed, s2.deadline_exceeded, s2.failed,
+              s2.retries);
+  return 0;
+}
+
 int dump_mode(const Args& a) {
   if (a.file.empty()) return usage();
   for (const auto& sec : artifact::section_table(a.file)) {
@@ -210,6 +342,7 @@ int main(int argc, char** argv) {
   try {
     if (a.mode == "compile") return compile_mode(a, /*selfcheck=*/false);
     if (a.mode == "selfcheck") return compile_mode(a, /*selfcheck=*/true);
+    if (a.mode == "serve-check") return serve_check_mode(a);
     if (a.mode == "dump") return dump_mode(a);
   } catch (const phonebit::Error& e) {
     std::fprintf(stderr, "pbc: %s\n", e.what());
