@@ -16,6 +16,7 @@
 #include "common/rng.hpp"
 #include "core/phonebit.hpp"
 #include "datasets/synthetic.hpp"
+#include "serve/fleet.hpp"
 
 namespace {
 
@@ -252,6 +253,56 @@ void bench_model_e2e(std::vector<bench::BenchRecord>& out) {
             datasets::voc_like_image(yolo.spec.input.h, 9));
 }
 
+/// Fleet-serving end-to-end record: a fixed quicknet trace placed across
+/// three simulated device tiers by serve::FleetServer. The tracked modeled
+/// number is the fleet-wide virtual makespan — a pure function of the cost
+/// model, the profiles and the placement policy, so any change to either
+/// (a kernel getting cheaper, the placement score drifting) moves it and
+/// trips the gate. host_ms is the real wall time of the whole trace.
+void bench_fleet_e2e(std::vector<bench::BenchRecord>& out) {
+  serve::FleetConfig cfg;
+  cfg.shards.push_back(serve::ShardSpec{"flag", "sd855", 2});
+  cfg.shards.push_back(serve::ShardSpec{"mid", "sd660", 2});
+  cfg.shards.push_back(serve::ShardSpec{"entry", "sd625", 2});
+  cfg.exec_workers = 4;
+  cfg.lanes_per_shard = 2;
+  cfg.queue_limit = 6;
+  cfg.wait_weight = 1.0;
+  serve::FleetServer fleet(cfg);
+
+  auto net = core::convert_to_phonebit(
+      core::FloatModel::random(models::quicknet(10), 42));
+  const core::BlobDesc desc{core::BlobKind::kU8,
+                            Shape{1, 32, 32, 3}};
+  std::vector<std::string> paths;
+  for (int si = 0; si < fleet.shard_count(); ++si) {
+    const std::string path =
+        "bench_fleet." + fleet.shard_spec(si).profile + ".pba";
+    artifact::compile_for_profile(*net, fleet.engine(si).options(), desc,
+                                  fleet.shard_spec(si).profile, path);
+    paths.push_back(path);
+  }
+  fleet.load_model("qn", paths);
+
+  // 150 steady requests slightly past flagship capacity: the trace
+  // exercises placement, queueing and spillover, not just raw forwards.
+  std::vector<serve::Request> workload;
+  for (int i = 0; i < 150; ++i) {
+    serve::Request r;
+    r.model = "qn";
+    r.input = core::Blob{datasets::cifar_like_image(
+        static_cast<std::uint64_t>(100 + i))};
+    r.arrival_ms = 0.35 * i;
+    workload.push_back(std::move(r));
+  }
+  const double t0 = now_ms();
+  const serve::FleetSummary s = fleet.run(std::move(workload));
+  const double host = now_ms() - t0;
+  out.push_back({"fleet_e2e", "quicknet/3tiers/150req", host,
+                 s.makespan_ms});
+  for (const std::string& p : paths) std::remove(p.c_str());
+}
+
 /// CI regression gate (`--check baseline.json [tolerance_pct]`): re-runs the
 /// tracked records and fails when any fresh *modeled* time regresses beyond
 /// the noise threshold vs the checked-in baseline. Modeled time is a pure
@@ -319,6 +370,7 @@ int main(int argc, char** argv) {
   bench_conv_pool({"3x3/s1/p1/26x26/c128->128", 26, 128, 128, 3, 1, 1},
                   records);
   bench_model_e2e(records);
+  bench_fleet_e2e(records);
 
   std::printf("%-14s %-30s %12s %12s\n", "op", "geometry", "host_ms",
               "modeled_ms");

@@ -359,6 +359,7 @@ const char* section_name(Section s) noexcept {
     case Section::kOptions: return "options";
     case Section::kInput: return "input";
     case Section::kPlan: return "plan";
+    case Section::kTarget: return "target";
   }
   return "?";
 }
@@ -748,7 +749,7 @@ void check_header(ByteReader& r, const std::vector<std::uint8_t>& buf,
 }  // namespace
 
 void save(const Network& net, const core::ExecutionPlan& plan,
-          const std::string& path) {
+          const std::string& path, const std::string& target_profile) {
   ByteWriter payload;
   write_section(payload, Section::kNetwork,
                 [&](ByteWriter& w) { write_network(w, net); });
@@ -758,6 +759,10 @@ void save(const Network& net, const core::ExecutionPlan& plan,
                 [&](ByteWriter& w) { write_blob_desc(w, plan.input()); });
   write_section(payload, Section::kPlan,
                 [&](ByteWriter& w) { PlanCodec::encode(w, net, plan); });
+  // Always framed, even when empty: every v2 artifact has exactly five
+  // sections, so readers need no optional-section logic.
+  write_section(payload, Section::kTarget,
+                [&](ByteWriter& w) { w.str(target_profile); });
 
   ByteWriter header;
   header.pod<std::uint32_t>(kMagic);
@@ -819,15 +824,26 @@ LoadedArtifact load(const std::string& path) {
     input = read_blob_desc(r, /*materialized=*/true);
     close_section(r, Section::kInput, start, body);
   }
-  const std::int64_t body = open_section(r, Section::kPlan);
-  const std::int64_t start = r.offset();
-  core::ExecutionPlan plan = PlanCodec::decode(r, *network, opts, input);
-  close_section(r, Section::kPlan, start, body);
+  core::ExecutionPlan plan = [&] {
+    const std::int64_t body = open_section(r, Section::kPlan);
+    const std::int64_t start = r.offset();
+    core::ExecutionPlan p = PlanCodec::decode(r, *network, opts, input);
+    close_section(r, Section::kPlan, start, body);
+    return p;
+  }();
+  std::string target;
+  {
+    const std::int64_t body = open_section(r, Section::kTarget);
+    const std::int64_t start = r.offset();
+    target = r.str();
+    close_section(r, Section::kTarget, start, body);
+  }
   r.set_section("trailer");
   if (r.remaining() != 0) {
     r.fail("trailing bytes after the last section");
   }
-  return LoadedArtifact{std::move(network), std::move(plan)};
+  return LoadedArtifact{std::move(network), std::move(plan),
+                        std::move(target)};
 }
 
 std::vector<SectionInfo> section_table(const std::string& path) {
@@ -841,7 +857,7 @@ std::vector<SectionInfo> section_table(const std::string& path) {
     SectionInfo info;
     const auto tag = r.pod<std::uint32_t>();
     if (tag < static_cast<std::uint32_t>(Section::kNetwork) ||
-        tag > static_cast<std::uint32_t>(Section::kPlan)) {
+        tag > static_cast<std::uint32_t>(Section::kTarget)) {
       r.fail("unknown section tag " + std::to_string(tag));
     }
     info.tag = static_cast<Section>(tag);
@@ -857,6 +873,42 @@ std::vector<SectionInfo> section_table(const std::string& path) {
   return table;
 }
 
+void check_profile_fit(const core::Network& net,
+                       const core::ExecutionPlan& plan,
+                       const oclsim::DeviceProfile& profile,
+                       const std::string& context) {
+  const std::int64_t budget = profile.ram_mb << 20;
+  if (budget <= 0) return;  // profile publishes no RAM figure
+  const std::int64_t params = net.param_bytes();
+  const std::int64_t slab = plan.slab_bytes();
+  const std::int64_t scratch = plan.peak_scratch_bytes();
+  const std::int64_t need = params + slab + scratch;
+  if (need <= budget) return;
+  // Itemized so a fleet operator can see WHICH component blows the budget
+  // (params are fixed per model; slab/scratch scale with the input shape).
+  std::ostringstream os;
+  os << context << " needs " << need << " bytes but profile '"
+     << profile.soc_name << " / " << profile.gpu_name << "' has " << budget
+     << " bytes of RAM (" << profile.ram_mb << " MB); breakdown: " << params
+     << " param bytes + " << slab << " activation-slab bytes + " << scratch
+     << " scratch-peak bytes, over budget by " << (need - budget)
+     << " bytes";
+  throw OutOfMemoryError(os.str());
+}
+
+core::ExecutionPlan compile_for_profile(const core::Network& net,
+                                        const core::EngineOptions& opts,
+                                        const core::BlobDesc& input,
+                                        const std::string& profile_key,
+                                        const std::string& path) {
+  const oclsim::DeviceProfile profile = oclsim::profile_by_name(profile_key);
+  core::ExecutionPlan plan = net.compile(opts, input);
+  check_profile_fit(net, plan, profile,
+                    "artifact '" + path + "' (target '" + profile_key + "')");
+  save(net, plan, path, profile_key);
+  return plan;
+}
+
 }  // namespace phonebit::artifact
 
 namespace phonebit::core {
@@ -866,18 +918,8 @@ artifact::LoadedArtifact Engine::load_artifact(const std::string& path) const {
   // Device-profile validation: the artifact records byte-exact peaks, so
   // the fit test is exact too — params + activation slab + scratch must fit
   // the simulated phone's RAM (profiles with no RAM figure skip the check).
-  const std::int64_t run_bytes =
-      art.plan.peak_scratch_bytes() + art.plan.slab_bytes();
-  const std::int64_t need = run_bytes + art.network->param_bytes();
-  const std::int64_t budget = device_->profile().ram_mb << 20;
-  if (budget > 0 && need > budget) {
-    std::ostringstream os;
-    os << "artifact '" << path << "' needs " << need << " bytes ("
-       << art.network->param_bytes() << " params + " << run_bytes
-       << " run peak) but device '" << device_->profile().device_name
-       << "' has " << budget << " bytes of RAM";
-    throw OutOfMemoryError(os.str());
-  }
+  artifact::check_profile_fit(*art.network, art.plan, device_->profile(),
+                              "artifact '" + path + "'");
   return art;
 }
 

@@ -21,9 +21,14 @@
 //   byte 12  u32  header bytes     32
 //   byte 16  u64  payload bytes    (file size - 32 must equal this)
 //   byte 24  u64  payload FNV-1a64 checksum
-//   byte 32  payload: four framed sections, in fixed order
+//   byte 32  payload: five framed sections, in fixed order
 //              [u32 tag | u64 body bytes | body]
-//            tags: 1 network, 2 options, 3 input, 4 plan
+//            tags: 1 network, 2 options, 3 input, 4 plan, 5 target
+//
+// Format v2 added the target section: the device-profile key the artifact
+// was compiled (and RAM-validated) for — empty when the producer did not
+// target a specific profile. Fleet repositories route on it; `pbc dump`
+// prints it.
 //
 // Every load-time mismatch — bad magic/version/endianness, truncation,
 // checksum failure, invalid enum, violated structural invariant (weight
@@ -40,13 +45,14 @@
 
 #include "core/network.hpp"
 #include "core/plan.hpp"
+#include "oclsim/device_profile.hpp"
 
 namespace phonebit::artifact {
 
 // --- container constants (the stable on-disk contract; tests pin these) ---
 
 inline constexpr std::uint32_t kMagic = 0x21414250u;  // "PBA!" little-endian
-inline constexpr std::uint32_t kFormatVersion = 1;
+inline constexpr std::uint32_t kFormatVersion = 2;
 inline constexpr std::uint32_t kEndianMark = 0x01020304u;
 inline constexpr std::int64_t kHeaderBytes = 32;
 
@@ -64,6 +70,7 @@ enum class Section : std::uint32_t {
   kOptions = 2,  ///< the EngineOptions snapshot the plan was compiled with
   kInput = 3,    ///< the BlobDesc the plan accepts
   kPlan = 4,     ///< steps, kernel variants, slot table, peaks
+  kTarget = 5,   ///< device-profile key the artifact targets (may be empty)
 };
 
 const char* section_name(Section s) noexcept;
@@ -87,15 +94,19 @@ std::vector<SectionInfo> section_table(const std::string& path);
 struct LoadedArtifact {
   std::unique_ptr<core::Network> network;
   core::ExecutionPlan plan;
+  /// Device-profile key (oclsim::profile_by_name vocabulary) the producer
+  /// compiled for; empty when untargeted.
+  std::string target_profile;
 };
 
 /// Serializes `net` + the plan compiled from it to `path`. Throws
 /// InvalidArgument when the plan does not belong to `net` or a layer is not
 /// serializable, FormatError on I/O failure. Output is deterministic: the
-/// same (network, plan) always produces byte-identical files, so artifact
-/// checksums are stable build outputs.
+/// same (network, plan, target) always produces byte-identical files, so
+/// artifact checksums are stable build outputs. `target_profile` is
+/// recorded verbatim in the target section (empty = untargeted).
 void save(const core::Network& net, const core::ExecutionPlan& plan,
-          const std::string& path);
+          const std::string& path, const std::string& target_profile = {});
 
 /// Loads an artifact written by save(): reconstructs the Network and its
 /// ExecutionPlan with zero re-planning, validating the full structural
@@ -106,5 +117,28 @@ LoadedArtifact load(const std::string& path);
 /// The artifact payload checksum (FNV-1a 64) — exposed so tests and tools
 /// can recompute/patch the header after a deliberate payload edit.
 std::uint64_t checksum(const void* data, std::size_t n) noexcept;
+
+/// Byte-exact RAM fit check shared by Engine::load_artifact and
+/// compile_for_profile: params + activation slab + scratch peak must fit
+/// `profile.ram_mb`. Throws OutOfMemoryError itemizing every component
+/// against the budget (so fleet placement failures are diagnosable);
+/// profiles with no RAM figure (ram_mb == 0) skip the check. `context`
+/// names the artifact/model in the message.
+void check_profile_fit(const core::Network& net,
+                       const core::ExecutionPlan& plan,
+                       const oclsim::DeviceProfile& profile,
+                       const std::string& context);
+
+/// Compile-once-per-profile entry point (the Fig. 2 converter's fleet
+/// mode): compiles `net` for `input` under `opts`, validates the byte-exact
+/// RAM fit against the profile registered under `profile_key`
+/// (oclsim::profile_by_name), and writes the artifact to `path` with the
+/// key recorded in the target section. Throws OutOfMemoryError when the
+/// compiled plan cannot fit that device, before anything is written.
+core::ExecutionPlan compile_for_profile(const core::Network& net,
+                                        const core::EngineOptions& opts,
+                                        const core::BlobDesc& input,
+                                        const std::string& profile_key,
+                                        const std::string& path);
 
 }  // namespace phonebit::artifact

@@ -1,5 +1,9 @@
 #include "oclsim/device_profile.hpp"
 
+#include <sstream>
+
+#include "common/error.hpp"
+
 namespace phonebit::oclsim {
 
 DeviceProfile DeviceProfile::snapdragon820() {
@@ -63,6 +67,84 @@ DeviceProfile DeviceProfile::snapdragon855() {
   p.cpu_fp_active_mw = 420.0;
   p.cpu_int8_active_mw = 280.0;
   return p;
+}
+
+DeviceProfile DeviceProfile::snapdragon660() {
+  DeviceProfile p;
+  p.device_name = "Redmi Note 7";
+  p.soc_name = "Snapdragon 660";
+  p.gpu_name = "Adreno 512";
+  p.cpu_name = "Kryo 260";
+  p.os_version = "Android 9.0";
+  p.opencl_version = "2.0";
+  p.ram_mb = 4 * 1024;
+
+  // Adreno 512: 128 ALUs as 2 CUs x 64, 650 MHz.
+  p.compute_units = 2;
+  p.alus_per_cu = 64;
+  p.gpu_clock_ghz = 0.65;
+  p.mem_bandwidth_gbps = 14.9;  // LPDDR4 2x16 @ 1866 MHz
+  p.gpu_launch_overhead_ms = 0.05;
+
+  p.cpu_cores = 8;  // 4+4 Kryo 260; modeled at the mean
+  p.cpu_clock_ghz = 1.95;
+  p.cpu_simd_fp32_lanes = 4;
+  p.cpu_layer_overhead_ms = 0.015;
+
+  // 14 nm mid-tier: rails between the 820 and 855 calibrations.
+  p.idle_mw = 110.0;
+  p.gpu_fp_active_mw = 340.0;
+  p.gpu_bit_active_mw = 90.0;
+  p.cpu_fp_active_mw = 460.0;
+  p.cpu_int8_active_mw = 310.0;
+  return p;
+}
+
+DeviceProfile DeviceProfile::snapdragon625() {
+  DeviceProfile p;
+  p.device_name = "Redmi 4 Prime";
+  p.soc_name = "Snapdragon 625";
+  p.gpu_name = "Adreno 506";
+  p.cpu_name = "Cortex-A53";
+  p.os_version = "Android 7.1";
+  p.opencl_version = "2.0";
+  p.ram_mb = 2 * 1024;
+
+  // Adreno 506: 96 ALUs as 1 CU x 96, 650 MHz.
+  p.compute_units = 1;
+  p.alus_per_cu = 96;
+  p.gpu_clock_ghz = 0.65;
+  p.mem_bandwidth_gbps = 7.4;  // LPDDR3 1x32 @ 933 MHz
+  p.gpu_launch_overhead_ms = 0.06;
+
+  p.cpu_cores = 8;  // 8x A53 @ 2.0 GHz
+  p.cpu_clock_ghz = 2.0;
+  p.cpu_simd_fp32_lanes = 4;
+  p.cpu_layer_overhead_ms = 0.02;
+
+  // 14 nm entry tier: low absolute draw, but slow — energy per inference
+  // still lands above the flagships for the same model.
+  p.idle_mw = 90.0;
+  p.gpu_fp_active_mw = 260.0;
+  p.gpu_bit_active_mw = 75.0;
+  p.cpu_fp_active_mw = 380.0;
+  p.cpu_int8_active_mw = 260.0;
+  return p;
+}
+
+DeviceProfile profile_by_name(const std::string& name) {
+  if (name == "sd855") return DeviceProfile::snapdragon855();
+  if (name == "sd820") return DeviceProfile::snapdragon820();
+  if (name == "sd660") return DeviceProfile::snapdragon660();
+  if (name == "sd625") return DeviceProfile::snapdragon625();
+  std::ostringstream os;
+  os << "unknown device profile '" << name << "'; known profiles:";
+  for (const auto& known : known_profile_names()) os << " " << known;
+  throw InvalidArgument(os.str());
+}
+
+std::vector<std::string> known_profile_names() {
+  return {"sd855", "sd660", "sd820", "sd625"};
 }
 
 }  // namespace phonebit::oclsim

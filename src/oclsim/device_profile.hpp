@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace phonebit::oclsim {
 
@@ -70,6 +71,20 @@ struct DeviceProfile {
   static DeviceProfile snapdragon820();
   /// Xiaomi 9 / Snapdragon 855 / Adreno 640 (Table I row 2, Fig. 1).
   static DeviceProfile snapdragon855();
+  /// Mid-tier fleet member: Snapdragon 660 / Adreno 512, 4GB.
+  static DeviceProfile snapdragon660();
+  /// Entry-tier fleet member: Snapdragon 625 / Adreno 506, 2GB.
+  static DeviceProfile snapdragon625();
 };
+
+/// Fleet profile registry: resolves a short key ("sd855", "sd820", "sd660",
+/// "sd625") to its factory profile. These keys are the vocabulary shared by
+/// `pbc compile-fleet --profiles`, `.pba` target sections and
+/// serve::FleetServer shard specs. Throws InvalidArgument naming the known
+/// keys for an unrecognized name.
+DeviceProfile profile_by_name(const std::string& name);
+
+/// The keys profile_by_name() accepts, largest RAM budget first.
+std::vector<std::string> known_profile_names();
 
 }  // namespace phonebit::oclsim

@@ -141,4 +141,14 @@ class CommandQueue {
   std::vector<KernelEvent> events_;
 };
 
+/// Re-prices a recorded event log for a *different* device profile: the sum
+/// of modeled_ms(event.cost, profile, event.unit) over `events`. Because a
+/// KernelCost is a pure function of geometry + plan options (never of the
+/// device it ran on), this equals exactly the total_modeled_ms() a live run
+/// of the same plan would report on `profile` — one probe forward prices a
+/// plan for a whole fleet of heterogeneous profiles without standing up an
+/// engine per device. Fleet placement (serve::FleetServer) is built on this.
+double replay_modeled_ms(const std::vector<KernelEvent>& events,
+                         const DeviceProfile& profile);
+
 }  // namespace phonebit::oclsim

@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "core/artifact.hpp"
+#include "serve/virtual_time.hpp"
 
 namespace phonebit::serve {
 
@@ -21,23 +22,6 @@ const core::Network& artifact_network(
   PB_CHECK(art != nullptr && art->network != nullptr,
            "BatchRunner needs a loaded artifact");
   return *art->network;
-}
-
-double now_ms() {
-  using clock = std::chrono::steady_clock;
-  return std::chrono::duration<double, std::milli>(
-             clock::now().time_since_epoch())
-      .count();
-}
-
-/// Nearest-rank percentile of an ascending-sorted sample.
-double percentile(const std::vector<double>& sorted, double q) {
-  if (sorted.empty()) return 0.0;
-  const auto n = static_cast<double>(sorted.size());
-  auto rank = static_cast<std::size_t>(std::ceil(q / 100.0 * n));
-  if (rank > 0) --rank;
-  if (rank >= sorted.size()) rank = sorted.size() - 1;
-  return sorted[rank];
 }
 
 /// What a status's error text shows for a non-Error exception.

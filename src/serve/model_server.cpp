@@ -9,46 +9,9 @@
 #include <utility>
 
 #include "core/artifact.hpp"
+#include "serve/virtual_time.hpp"
 
 namespace phonebit::serve {
-
-namespace {
-
-double now_ms() {
-  using clock = std::chrono::steady_clock;
-  return std::chrono::duration<double, std::milli>(
-             clock::now().time_since_epoch())
-      .count();
-}
-
-/// Nearest-rank percentile of an ascending-sorted sample.
-double percentile(const std::vector<double>& sorted, double q) {
-  if (sorted.empty()) return 0.0;
-  const auto n = static_cast<double>(sorted.size());
-  auto rank = static_cast<std::size_t>(std::ceil(q / 100.0 * n));
-  if (rank > 0) --rank;
-  if (rank >= sorted.size()) rank = sorted.size() - 1;
-  return sorted[rank];
-}
-
-/// Min-heap of simulated lane free-times (smallest on top).
-struct LaneHeap {
-  explicit LaneHeap(int lanes)
-      : free_ms(static_cast<std::size_t>(lanes > 0 ? lanes : 1), 0.0) {}
-
-  double min() const noexcept { return free_ms.front(); }
-
-  /// Advances the earliest-free lane to `until`.
-  void advance_min(double until) {
-    std::pop_heap(free_ms.begin(), free_ms.end(), std::greater<>{});
-    free_ms.back() = until;
-    std::push_heap(free_ms.begin(), free_ms.end(), std::greater<>{});
-  }
-
-  std::vector<double> free_ms;  // heap-ordered, std::greater comparator
-};
-
-}  // namespace
 
 ModelServer::ModelServer(core::Engine& engine, ServerConfig config,
                          FaultPlan faults, std::string name)

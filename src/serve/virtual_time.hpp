@@ -1,0 +1,58 @@
+// PhoneBit serve — shared virtual-time primitives.
+//
+// The serving determinism story (DESIGN.md §9–§10) hinges on running every
+// admission/deadline/retry/placement decision against VIRTUAL time: arrival
+// timestamps from the workload trace plus geometry-deterministic modeled
+// latencies, draining through a fixed number of simulated service lanes.
+// These helpers are that machinery, shared by BatchRunner, ModelServer and
+// FleetServer so single-server and fleet placement agree on one clock.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace phonebit::serve {
+
+/// Real host wall clock, ms — used only for reporting (`wall_ms`), never
+/// for decisions.
+inline double now_ms() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double, std::milli>(
+             clock::now().time_since_epoch())
+      .count();
+}
+
+/// Nearest-rank percentile of an ascending-sorted sample.
+inline double percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto n = static_cast<double>(sorted.size());
+  auto rank = static_cast<std::size_t>(std::ceil(q / 100.0 * n));
+  if (rank > 0) --rank;
+  if (rank >= sorted.size()) rank = sorted.size() - 1;
+  return sorted[rank];
+}
+
+/// Min-heap of simulated lane free-times (smallest on top). One heap = the
+/// decision concurrency of one server/shard; deliberately independent of
+/// the real exec_workers thread count.
+struct LaneHeap {
+  explicit LaneHeap(int lanes)
+      : free_ms(static_cast<std::size_t>(lanes > 0 ? lanes : 1), 0.0) {}
+
+  double min() const noexcept { return free_ms.front(); }
+
+  /// Advances the earliest-free lane to `until`.
+  void advance_min(double until) {
+    std::pop_heap(free_ms.begin(), free_ms.end(), std::greater<>{});
+    free_ms.back() = until;
+    std::push_heap(free_ms.begin(), free_ms.end(), std::greater<>{});
+  }
+
+  std::vector<double> free_ms;  // heap-ordered, std::greater comparator
+};
+
+}  // namespace phonebit::serve

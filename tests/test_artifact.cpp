@@ -298,16 +298,30 @@ TEST_F(ArtifactTest, HeaderLayoutIsPinned) {
 
   // Sections arrive in their fixed order with in-bounds bodies.
   const auto table = artifact::section_table(path_);
-  ASSERT_EQ(table.size(), 4u);
+  ASSERT_EQ(table.size(), 5u);
   EXPECT_EQ(table[0].tag, artifact::Section::kNetwork);
   EXPECT_EQ(table[1].tag, artifact::Section::kOptions);
   EXPECT_EQ(table[2].tag, artifact::Section::kInput);
   EXPECT_EQ(table[3].tag, artifact::Section::kPlan);
+  EXPECT_EQ(table[4].tag, artifact::Section::kTarget);
   for (const auto& sec : table) {
     EXPECT_GE(sec.body_offset, artifact::kHeaderBytes);
     EXPECT_LE(sec.body_offset + sec.body_bytes,
               static_cast<std::int64_t>(buf.size()));
   }
+}
+
+TEST_F(ArtifactTest, TargetProfileRoundTrips) {
+  core::Engine engine(testing::test_device());
+  auto net = save_quicknet(engine);
+  // Untargeted save records an empty target (the v2 default).
+  EXPECT_EQ(artifact::load(path_).target_profile, "");
+
+  const ExecutionPlan plan = engine_compile(engine, *net);
+  artifact::save(*net, plan, path_, "sd660");
+  const artifact::LoadedArtifact loaded = artifact::load(path_);
+  EXPECT_EQ(loaded.target_profile, "sd660");
+  EXPECT_EQ(artifact::section_table(path_).size(), 5u);
 }
 
 // ---------------------------------------------------------------------------

@@ -22,6 +22,17 @@
 //       fault injection) through serve::ModelServer at two different real
 //       worker counts, and verify the accounting is bit-identical and the
 //       Ok outputs bit-exact; exit 0 on success (the ctest smoke target).
+//   pbc compile-fleet --model <zoo name> [--profiles sd855,sd660,...]
+//       [-o base] [...]
+//       The fleet batch mode: compile the model once, validate + package it
+//       per device profile, emitting <base>.<profile>.pba per device with
+//       the target profile recorded in the artifact.
+//   pbc fleet-check [--model <zoo name>] [--seed S]
+//       Fleet-placement smoke: compile one artifact per profile, serve a
+//       deterministic trace (steady traffic + overload burst + seeded
+//       faults) through serve::FleetServer at two different real worker
+//       counts, and verify placement/accounting (including the per-shard
+//       assignment histogram) is bit-identical and Ok outputs bit-exact.
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -32,6 +43,8 @@
 #include "core/phonebit.hpp"
 #include "datasets/synthetic.hpp"
 #include "models/zoo.hpp"
+#include "oclsim/device_profile.hpp"
+#include "serve/fleet.hpp"
 #include "serve/model_server.hpp"
 
 namespace {
@@ -50,6 +63,7 @@ struct Args {
   std::uint64_t seed = 42;
   std::optional<std::int64_t> classes;  // engaged only by --classes
   bool fuse_conv_pool = true;
+  std::vector<std::string> profiles;  // --profiles a,b,c
 };
 
 int usage() {
@@ -62,8 +76,27 @@ int usage() {
       "  pbc compile --pbm model.pbm --input NxHxWxC [-o out.pba]\n"
       "  pbc dump <file.pba>\n"
       "  pbc selfcheck [--model <name>] [--shrink N] [--seed S]\n"
-      "  pbc serve-check [--model <name>] [--shrink N] [--seed S]\n");
+      "  pbc serve-check [--model <name>] [--shrink N] [--seed S]\n"
+      "  pbc compile-fleet --model <name> [--profiles sd855,sd660,...]\n"
+      "                    [-o base] [--shrink N] [--seed S]\n"
+      "  pbc fleet-check [--model <name>] [--shrink N] [--seed S]\n");
   return 2;
+}
+
+/// Splits a comma-separated --profiles value ("sd855,sd660").
+std::vector<std::string> parse_profiles(const char* s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (const char* p = s; *p != '\0'; ++p) {
+    if (*p == ',') {
+      if (!cur.empty()) out.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(*p);
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
 }
 
 bool parse_shape(const char* s, Shape& out) {
@@ -111,6 +144,11 @@ bool parse(int argc, char** argv, Args& a) {
       a.classes = std::atoll(v);
     } else if (flag == "--no-fuse-conv-pool") {
       a.fuse_conv_pool = false;
+    } else if (flag == "--profiles") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      a.profiles = parse_profiles(v);
+      if (a.profiles.empty()) return false;
     } else if (a.mode == "dump" && a.file.empty() && flag[0] != '-') {
       a.file = flag;
     } else {
@@ -318,6 +356,158 @@ int serve_check_mode(const Args& a) {
   return 0;
 }
 
+/// compile-fleet: one validated .pba per device profile from one model.
+int compile_fleet_mode(const Args& a) {
+  Shape input;
+  auto net = build_network(a, input);
+  core::EngineOptions opts;
+  opts.fuse_conv_pool = a.fuse_conv_pool;
+  const core::BlobDesc desc{core::BlobKind::kU8, input};
+
+  const std::vector<std::string> profiles =
+      a.profiles.empty() ? oclsim::known_profile_names() : a.profiles;
+  std::string base = a.out;
+  if (base.size() >= 4 && base.compare(base.size() - 4, 4, ".pba") == 0) {
+    base.resize(base.size() - 4);
+  }
+  for (const std::string& key : profiles) {
+    const std::string path = base + "." + key + ".pba";
+    // compile_for_profile validates the byte-exact RAM fit BEFORE writing —
+    // an over-budget (model, profile) pair fails the whole batch loudly
+    // instead of shipping an artifact the shard would reject at load.
+    const core::ExecutionPlan plan =
+        artifact::compile_for_profile(*net, opts, desc, key, path);
+    const oclsim::DeviceProfile profile = oclsim::profile_by_name(key);
+    std::printf("compiled '%s' for %s (%s, %lld MB) -> %s\n",
+                net->name().c_str(), key.c_str(), profile.gpu_name.c_str(),
+                static_cast<long long>(profile.ram_mb), path.c_str());
+    std::printf("  %lld param B + %lld slab B + %lld scratch B\n",
+                static_cast<long long>(net->param_bytes()),
+                static_cast<long long>(plan.slab_bytes()),
+                static_cast<long long>(plan.peak_scratch_bytes()));
+  }
+  return 0;
+}
+
+int fleet_check_mode(const Args& a) {
+  // A flagship, a mid-tier and an entry device by default: distinct speeds
+  // AND distinct RAM budgets, so placement has real decisions to make.
+  const std::vector<std::string> profiles =
+      a.profiles.empty() ? std::vector<std::string>{"sd855", "sd660", "sd625"}
+                         : a.profiles;
+
+  models::ZooOptions zoo;
+  zoo.shrink_log2 = a.shrink;
+  const auto spec = models::spec_by_name(a.model, zoo, a.classes);
+  auto net = core::convert_to_phonebit(core::FloatModel::random(spec, a.seed));
+  const core::BlobDesc desc{core::BlobKind::kU8, spec.input};
+
+  std::vector<std::string> paths;
+  for (const std::string& key : profiles) {
+    const std::string path = a.out + ".fleet_check." + key + ".pba";
+    artifact::compile_for_profile(*net, core::EngineOptions{}, desc, key,
+                                  path);
+    paths.push_back(path);
+  }
+  auto cleanup = [&paths] {
+    for (const std::string& p : paths) std::remove(p.c_str());
+  };
+
+  // Steady traffic tight enough to queue every shard, then a burst that
+  // overflows every admission queue — spillover first, shed at the rim.
+  auto make_workload = [&a, &spec] {
+    std::vector<serve::Request> w;
+    auto push = [&w, &a, &spec](std::uint64_t seed, double at) {
+      serve::Request r;
+      r.model = a.model;
+      r.input = core::Blob{datasets::random_image(spec.input, a.seed + seed)};
+      r.arrival_ms = at;
+      w.push_back(std::move(r));
+    };
+    for (int i = 0; i < 60; ++i) push(100 + i, 0.9 * i);
+    for (int i = 0; i < 40; ++i) push(500 + i, 15.0);  // the burst
+    return w;
+  };
+  serve::FaultPlan faults;
+  faults.seed = a.seed * 2654435761u + 7;
+  faults.transient_rate = 0.1;
+  faults.spike_rate = 0.05;
+  faults.spike_ms = 2.0;
+
+  auto serve_once = [&](int exec_workers) {
+    serve::FleetConfig cfg;
+    for (const std::string& key : profiles) {
+      cfg.shards.push_back(serve::ShardSpec{std::string{}, key, 2});
+    }
+    cfg.exec_workers = exec_workers;
+    cfg.lanes_per_shard = 2;
+    cfg.queue_limit = 3;
+    cfg.max_retries = 2;
+    cfg.retry_backoff_ms = 0.5;
+    serve::FleetServer fleet(cfg, faults, "fleet-check");
+    fleet.load_model(a.model, paths);
+    return fleet.run(make_workload());
+  };
+
+  // The fleet contract: placement is a pure function of (workload, config,
+  // faults) — real execution parallelism must change NOTHING, including
+  // which shard every request landed on.
+  const serve::FleetSummary f2 = serve_once(2);
+  const serve::FleetSummary f4 = serve_once(4);
+  if (f2.ok + f2.shed + f2.deadline_exceeded + f2.failed != f2.requests) {
+    std::fprintf(stderr, "fleet-check: lost requests in the accounting\n");
+    cleanup();
+    return 1;
+  }
+  if (f2.ok != f4.ok || f2.shed != f4.shed ||
+      f2.deadline_exceeded != f4.deadline_exceeded ||
+      f2.failed != f4.failed || f2.retries != f4.retries ||
+      f2.spillovers != f4.spillovers || f2.assignment != f4.assignment) {
+    std::fprintf(stderr,
+                 "fleet-check: accounting drifted across worker counts\n");
+    cleanup();
+    return 1;
+  }
+  for (std::size_t i = 0; i < f2.results.size(); ++i) {
+    const auto& r2 = f2.results[i];
+    const auto& r4 = f4.results[i];
+    if (r2.status.code != r4.status.code || r2.shard != r4.shard ||
+        r2.spillovers != r4.spillovers || r2.latency_ms != r4.latency_ms) {
+      std::fprintf(stderr, "fleet-check: request %zu verdict drifted\n", i);
+      cleanup();
+      return 1;
+    }
+    if (r2.status.ok() && !outputs_bitexact(r2.result, r4.result)) {
+      std::fprintf(stderr, "fleet-check: request %zu output drifted\n", i);
+      cleanup();
+      return 1;
+    }
+  }
+  int shards_used = 0;
+  for (const int n : f2.assignment) shards_used += n > 0 ? 1 : 0;
+  if (f2.spillovers == 0 || f2.shed == 0 || f2.retries == 0 ||
+      shards_used < 2) {
+    std::fprintf(stderr,
+                 "fleet-check: trace failed to exercise placement "
+                 "(spillovers %d, shed %d, retries %d, shards used %d)\n",
+                 f2.spillovers, f2.shed, f2.retries, shards_used);
+    cleanup();
+    return 1;
+  }
+  cleanup();
+  std::printf("fleet-check: ok — %d requests over %zu profiles: %d ok / %d "
+              "shed / %d deadline / %d failed, %d retries, %d spillovers; "
+              "assignment [",
+              f2.requests, profiles.size(), f2.ok, f2.shed,
+              f2.deadline_exceeded, f2.failed, f2.retries, f2.spillovers);
+  for (std::size_t i = 0; i < f2.assignment.size(); ++i) {
+    std::printf("%s%s=%d", i ? " " : "", profiles[i].c_str(),
+                f2.assignment[i]);
+  }
+  std::printf("] bit-identical at 2 and 4 workers\n");
+  return 0;
+}
+
 int dump_mode(const Args& a) {
   if (a.file.empty()) return usage();
   for (const auto& sec : artifact::section_table(a.file)) {
@@ -330,6 +520,9 @@ int dump_mode(const Args& a) {
   std::printf("network '%s': %zu layers, %lld param bytes\n",
               art.network->name().c_str(), art.network->size(),
               static_cast<long long>(art.network->param_bytes()));
+  std::printf("target profile: %s\n",
+              art.target_profile.empty() ? "(none)"
+                                         : art.target_profile.c_str());
   std::printf("%s", art.plan.dump().c_str());
   return 0;
 }
@@ -343,6 +536,8 @@ int main(int argc, char** argv) {
     if (a.mode == "compile") return compile_mode(a, /*selfcheck=*/false);
     if (a.mode == "selfcheck") return compile_mode(a, /*selfcheck=*/true);
     if (a.mode == "serve-check") return serve_check_mode(a);
+    if (a.mode == "compile-fleet") return compile_fleet_mode(a);
+    if (a.mode == "fleet-check") return fleet_check_mode(a);
     if (a.mode == "dump") return dump_mode(a);
   } catch (const phonebit::Error& e) {
     std::fprintf(stderr, "pbc: %s\n", e.what());
