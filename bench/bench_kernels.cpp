@@ -7,6 +7,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -191,6 +192,10 @@ void bench_conv_pool(const ConvSpec& spec, std::vector<bench::BenchRecord>& out)
   for (const bool fuse : {true, false}) {
     core::EngineOptions opts;
     opts.fuse_conv_pool = fuse;
+    // Pinned to the window schedule: this record gates the conv→pool
+    // rewrite, which only applies to path-A convs — letting kAuto pick the
+    // bit-GEMM path here would silently de-fuse the chain.
+    opts.conv_path = core::ConvPathPreference::kRowFused;
     core::Engine engine(device, opts);
     const core::ExecutionPlan plan = net.compile(engine, desc);
     auto session = engine.create_session();
@@ -233,7 +238,7 @@ void bench_model_e2e(std::vector<bench::BenchRecord>& out) {
       core::RunOptions ro;
       ro.borrow_output = true;  // steady-state zero-allocation serving mode
       double modeled = 0.0;
-      const double host = best_ms(5, [&] {
+      const double host = best_ms(15, [&] {
         session.reset_profile();
         const auto result = plan.run(session, input, ro);
         modeled = result.modeled_ms;
@@ -241,6 +246,33 @@ void bench_model_e2e(std::vector<bench::BenchRecord>& out) {
       out.push_back({"model_e2e", tag + (fuse ? "/compiled" : "/unfused"),
                      host, modeled});
     }
+    // Batched forward (N=4 images through ONE compiled plan): the record
+    // tracks PER-IMAGE time, so the amortized dispatch overhead shows up
+    // directly against the N=1 /compiled row.
+    const std::int64_t batch_n = 4;
+    Shape bs = image.shape();
+    bs.n = batch_n;
+    U8Tensor batch(bs, image.layout());
+    for (std::int64_t b = 0; b < batch_n; ++b) {
+      std::memcpy(batch.data() + b * image.elems(), image.data(),
+                  static_cast<std::size_t>(image.elems()));
+    }
+    const core::Blob binput{batch};
+    core::Engine engine(device, core::EngineOptions{});
+    const core::ExecutionPlan plan =
+        net->compile(engine, core::describe_blob(binput));
+    auto session = engine.create_session();
+    core::RunOptions ro;
+    ro.borrow_output = true;
+    double modeled = 0.0;
+    const double host = best_ms(15, [&] {
+      session.reset_profile();
+      const auto result = plan.run(session, binput, ro);
+      modeled = result.modeled_ms;
+    });
+    out.push_back({"model_e2e", tag + "/compiled-n4",
+                   host / static_cast<double>(batch_n),
+                   modeled / static_cast<double>(batch_n)});
   };
 
   run_model("quicknet",
@@ -355,15 +387,23 @@ int main(int argc, char** argv) {
       {"7x7/s2/p3/56x56/c64->64", 56, 64, 64, 7, 2, 3},
   };
   for (const auto& spec : specs) {
-    core::EngineOptions fast;  // engine defaults: row-fused interior path,
-                               // pack width keyed on the fused span
+    core::EngineOptions fast;  // row-fused interior path, pack width keyed
+                               // on the fused span (pinned so the record
+                               // keeps measuring the window schedule now
+                               // that kAuto may pick the bit-GEMM path)
+    fast.conv_path = core::ConvPathPreference::kRowFused;
     bench_conv(spec, fast, "fast", records);
     core::EngineOptions ckey;  // pack-width-key ablation: C_in keying
     ckey.span_keyed_pack_width = false;
+    ckey.conv_path = core::ConvPathPreference::kRowFused;
     bench_conv(spec, ckey, "fast-ckey", records);
     core::EngineOptions taps;  // pre-tentpole inner loop, kept for ablation
     taps.interior_split = false;
+    taps.conv_path = core::ConvPathPreference::kRowFused;
     bench_conv(spec, taps, "taps", records);
+    core::EngineOptions gemm;  // path D: im2col + register-tiled bit-GEMM
+    gemm.conv_path = core::ConvPathPreference::kGemm;
+    bench_conv(spec, gemm, "bitgemm", records);
   }
   // Fused-geometry record for the plan-level conv→pool rewrite (2x2/s2
   // pool folded into the conv epilogue) vs the two-step chain.

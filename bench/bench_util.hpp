@@ -134,7 +134,20 @@ inline CompareSummary compare_bench_records(
       ++sum.missing;
       continue;
     }
-    if (b.modeled_ms <= 0.0) continue;  // host-only record: not gated
+    if (b.modeled_ms <= 0.0) {
+      // Host-only record: never time-gated (host wall time is machine
+      // noise), but the relative delta still prints so a --check run shows
+      // every tracked record's movement, not just the modeled gate.
+      if (log != nullptr && b.host_ms > 0.0) {
+        std::fprintf(log,
+                     "host-only  %-14s %-30s host %.4f -> %.4f ms "
+                     "(%+.2f%%, informational)\n",
+                     b.op.c_str(), b.geometry.c_str(), b.host_ms,
+                     match->host_ms,
+                     100.0 * (match->host_ms - b.host_ms) / b.host_ms);
+      }
+      continue;
+    }
     ++sum.checked;
     const double limit = b.modeled_ms * (1.0 + tolerance_pct / 100.0);
     const double delta_pct =

@@ -381,6 +381,48 @@ void and_popcount_2d_x8(const std::uint64_t* a, std::int64_t a_stride,
                        out);
 }
 
+namespace {
+
+/// One MRx8 register tile with a compile-time row count, so the accumulator
+/// block is a true register array (no variable indexing in the hot loop).
+/// 32-bit accumulators suffice: a tile's mismatch count is bounded by
+/// k_words * 64, far under 2^31 for any real layer.
+template <int Rows>
+void gemm_tile(const std::uint64_t* a, std::int64_t a_stride,
+               const std::uint64_t* b, std::int64_t b_pitch,
+               std::int64_t k_words, std::int64_t* out) {
+  std::int32_t acc[Rows][8] = {};
+  for (std::int64_t k = 0; k < k_words; ++k) {
+    std::uint64_t aw[Rows];
+    for (int r = 0; r < Rows; ++r) aw[r] = a[r * a_stride + k];
+    for (int f = 0; f < 8; ++f) {
+      const std::uint64_t bw = b[f * b_pitch + k];
+      for (int r = 0; r < Rows; ++r) {
+        acc[r][f] += static_cast<std::int32_t>(popcount(aw[r] ^ bw));
+      }
+    }
+  }
+  for (int r = 0; r < Rows; ++r) {
+    for (int f = 0; f < 8; ++f) out[r * 8 + f] = acc[r][f];
+  }
+}
+
+}  // namespace
+
+void xor_popcount_gemm_x8(const std::uint64_t* a, std::int64_t a_stride,
+                          const std::uint64_t* b, std::int64_t b_pitch,
+                          std::int64_t k_words, std::int64_t rows,
+                          std::int64_t* out) {
+  PB_CHECK(k_words >= 0 && rows >= 1 && rows <= kGemmMr,
+           "bad GEMM tile geometry");
+  switch (rows) {
+    case 1: return gemm_tile<1>(a, a_stride, b, b_pitch, k_words, out);
+    case 2: return gemm_tile<2>(a, a_stride, b, b_pitch, k_words, out);
+    case 3: return gemm_tile<3>(a, a_stride, b, b_pitch, k_words, out);
+    default: return gemm_tile<4>(a, a_stride, b, b_pitch, k_words, out);
+  }
+}
+
 std::int64_t popcount_words(const std::uint64_t* a, std::int64_t nwords) {
   std::int64_t total = 0;
   for (std::int64_t i = 0; i < nwords; ++i) total += popcount(a[i]);

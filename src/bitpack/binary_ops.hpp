@@ -105,6 +105,24 @@ void and_popcount_2d_x8(const std::uint64_t* a, std::int64_t a_stride,
                         std::int64_t b_stride, std::int64_t row_words,
                         std::int64_t rows, PackWidth w, std::int64_t out[8]);
 
+/// M-rows of one bit-GEMM register tile (the conv path-D microkernel).
+inline constexpr int kGemmMr = 4;
+
+/// Register-tiled bit-GEMM microkernel (DESIGN.md §11): scores up to
+/// kGemmMr im2col rows of A (row r at `a + r * a_stride`, `k_words` long)
+/// against the 8 contiguous weight panels of one filter group (filter f's
+/// panel at `b + f * b_pitch`) in one pass over the K dimension. The
+/// rows x 8 mismatch accumulators live in registers for the whole
+/// reduction, so each k-word of A is loaded once per 8 filters and each
+/// weight word once per `rows` outputs — `rows` + 8 loads feed rows*8
+/// xor+popcount+add ops per K step, versus one load per op when windows
+/// are streamed independently. `out[r * 8 + f]` receives row r's mismatch
+/// count against filter f; bit-exact with rows*8 xor_popcount calls.
+void xor_popcount_gemm_x8(const std::uint64_t* a, std::int64_t a_stride,
+                          const std::uint64_t* b, std::int64_t b_pitch,
+                          std::int64_t k_words, std::int64_t rows,
+                          std::int64_t* out);
+
 /// popcount(a) over `nwords` words.
 std::int64_t popcount_words(const std::uint64_t* a, std::int64_t nwords);
 

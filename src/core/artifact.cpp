@@ -286,6 +286,7 @@ void write_options(ByteWriter& w, const EngineOptions& o) {
   w.pod<std::uint8_t>(o.span_keyed_pack_width ? 1 : 0);
   w.pod<std::uint8_t>(o.vectorized_loads ? 1 : 0);
   w.pod<std::uint8_t>(o.layout == Layout::kNCHW ? 1 : 0);
+  w.pod<std::uint8_t>(static_cast<std::uint8_t>(o.conv_path));
 }
 
 EngineOptions read_options(ByteReader& r) {
@@ -304,6 +305,11 @@ EngineOptions read_options(ByteReader& r) {
   o.span_keyed_pack_width = read_bool(r);
   o.vectorized_loads = read_bool(r);
   o.layout = read_bool(r) ? Layout::kNCHW : Layout::kNHWC;
+  const auto conv_path = r.pod<std::uint8_t>();
+  if (conv_path > static_cast<std::uint8_t>(core::ConvPathPreference::kGemm)) {
+    r.fail("invalid conv path preference " + std::to_string(conv_path));
+  }
+  o.conv_path = static_cast<core::ConvPathPreference>(conv_path);
   return o;
 }
 
@@ -320,7 +326,7 @@ void write_variant(ByteWriter& w, const KernelVariant& v) {
 KernelVariant read_variant(ByteReader& r) {
   KernelVariant v;
   const auto path = r.pod<std::uint8_t>();
-  if (path > static_cast<std::uint8_t>(KernelVariant::Path::kConvUnfused)) {
+  if (path > static_cast<std::uint8_t>(KernelVariant::Path::kConvGemm)) {
     r.fail("invalid kernel path " + std::to_string(path));
   }
   v.path = static_cast<KernelVariant::Path>(path);

@@ -52,7 +52,7 @@ namespace phonebit::artifact {
 // --- container constants (the stable on-disk contract; tests pin these) ---
 
 inline constexpr std::uint32_t kMagic = 0x21414250u;  // "PBA!" little-endian
-inline constexpr std::uint32_t kFormatVersion = 2;
+inline constexpr std::uint32_t kFormatVersion = 3;  // v3: conv_path + path D
 inline constexpr std::uint32_t kEndianMark = 0x01020304u;
 inline constexpr std::int64_t kHeaderBytes = 32;
 

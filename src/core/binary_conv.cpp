@@ -56,28 +56,6 @@ const PackedTensor& BinaryConv2d::checked_input(const Blob& in) const {
   return *packed;
 }
 
-KernelVariant BinaryConv2d::select_variant(const Shape& in_shape,
-                                           const EngineOptions& opts) const {
-  KernelVariant v;
-  v.interior_split = opts.interior_split;
-  v.pack_width = opts.conv_pack_width(in_shape.c, geom_.kernel_w);
-  const std::int64_t ow = geom_.out_w(in_shape.w);
-  v.tile_ow = opts.conv_tile_ow <= 0 ? ow : std::min(opts.conv_tile_ow, ow);
-  if (!opts.fuse_bn_binarize) {
-    v.path = KernelVariant::Path::kConvUnfused;
-    v.kernel = "bconv_raw+bn_binarize+pack";
-  } else if (opts.integrate_packing &&
-             in_channels() <= opts.packing_channel_threshold &&
-             out_channels() % 8 == 0) {
-    v.path = KernelVariant::Path::kConvFused;
-    v.kernel = "bconv_fused";
-  } else {
-    v.path = KernelVariant::Path::kConvSeparatePack;
-    v.kernel = "bconv_nopack+pack";
-  }
-  return v;
-}
-
 void BinaryConv2d::plan(PlanContext& pc) const {
   const BlobDesc& in = pc.in();
   PB_CHECK(in.kind == BlobKind::kPacked,
@@ -89,18 +67,25 @@ void BinaryConv2d::plan(PlanContext& pc) const {
   const std::int64_t oh = geom_.out_h(in.shape.h);
   const std::int64_t ow = geom_.out_w(in.shape.w);
   KernelVariant v = select_variant(in.shape, pc.opts());
-  // Scratch liveness mirrors execute() exactly: the legacy zeros span only
-  // without the interior split, the byte map for separate packing, and the
-  // materialized int32 sums for the no-integration pipeline.
+  // Scratch liveness mirrors execute() exactly: the im2col panel for the
+  // bit-GEMM lowering, the legacy zeros span only without the interior
+  // split, the byte map for separate packing, and the materialized int32
+  // sums for the no-integration pipeline.
   const std::int64_t out_count = in.shape.n * oh * ow * out_channels();
-  if (!v.interior_split) {
-    pc.need_words(ceil_div(in.shape.c, bitpack::kWordBits));
-  }
-  if (v.path == KernelVariant::Path::kConvSeparatePack) {
-    pc.need_u8(out_count);
-  } else if (v.path == KernelVariant::Path::kConvUnfused) {
-    pc.need_i32(out_count);
-    pc.need_u8(out_count);
+  if (v.path == KernelVariant::Path::kConvGemm) {
+    const std::int64_t words = ceil_div(in.shape.c, bitpack::kWordBits);
+    pc.need_words(in.shape.n * oh * ow * geom_.kernel_h * geom_.kernel_w *
+                  words);
+  } else {
+    if (!v.interior_split) {
+      pc.need_words(ceil_div(in.shape.c, bitpack::kWordBits));
+    }
+    if (v.path == KernelVariant::Path::kConvSeparatePack) {
+      pc.need_u8(out_count);
+    } else if (v.path == KernelVariant::Path::kConvUnfused) {
+      pc.need_i32(out_count);
+      pc.need_u8(out_count);
+    }
   }
   pc.select(std::move(v));
   pc.produce(BlobDesc{BlobKind::kPacked,
@@ -126,6 +111,9 @@ PackedTensor BinaryConv2d::execute(ExecContext& ctx, const PackedTensor& in,
   if (v.path == KernelVariant::Path::kConvUnfused) {
     return forward_unfused(ctx, in, v);
   }
+  if (v.path == KernelVariant::Path::kConvGemm) {
+    return forward_gemm(ctx, in, v);
+  }
   return forward_fused(ctx, in, v,
                        v.path == KernelVariant::Path::kConvFused);
 }
@@ -140,29 +128,34 @@ struct ConvDims {
   std::int64_t y0, y1, x0, x1;
 };
 
-ConvDims make_dims(const PackedTensor& in, const PackedTensor& weights,
+ConvDims make_dims(const Shape& in_shape, std::int64_t c_out,
                    const ConvGeometry& g) {
   ConvDims d{};
-  d.n = in.shape().n;
-  d.ih = in.shape().h;
-  d.iw = in.shape().w;
-  d.c_in = in.shape().c;
+  d.n = in_shape.n;
+  d.ih = in_shape.h;
+  d.iw = in_shape.w;
+  d.c_in = in_shape.c;
   d.oh = g.out_h(d.ih);
   d.ow = g.out_w(d.iw);
-  d.c_out = weights.shape().n;
+  d.c_out = c_out;
   d.kh = g.kernel_h;
   d.kw = g.kernel_w;
   d.sh = g.stride_h;
   d.sw = g.stride_w;
   d.ph = g.pad_h;
   d.pw = g.pad_w;
-  d.words = in.words_per_pixel();
+  d.words = ceil_div(d.c_in, bitpack::kWordBits);
   const InteriorBox box = interior_box(g, d.ih, d.iw, d.oh, d.ow);
   d.y0 = box.y0;
   d.y1 = box.y1;
   d.x0 = box.x0;
   d.x1 = box.x1;
   return d;
+}
+
+ConvDims make_dims(const PackedTensor& in, const PackedTensor& weights,
+                   const ConvGeometry& g) {
+  return make_dims(in.shape(), weights.shape().n, g);
 }
 
 /// Pre-optimization inner loop, kept as the interior-split ablation arm:
@@ -350,7 +343,149 @@ void charge_windows(KernelCost& cost, const ConvDims& d,
   }
 }
 
+/// Modeled time on the fixed reference profile used for ahead-of-time path
+/// selection. A pure function of the cost tally — never of the session's
+/// device — so plan replay (artifact decode) reselects identically.
+double reference_gpu_ms(const KernelCost& cost) {
+  static const oclsim::DeviceProfile ref =
+      oclsim::DeviceProfile::snapdragon855();
+  return oclsim::modeled_ms(cost, ref, oclsim::ExecUnit::kGpu);
+}
+
+/// Packed activation/filter byte sizes from geometry alone (plan time has
+/// no tensors yet). Mirrors PackedTensor::bytes() for the NHWC layout.
+double packed_in_bytes(const ConvDims& d) {
+  return static_cast<double>(d.n * d.ih * d.iw * d.words) * 8.0;
+}
+double packed_weight_bytes(const ConvDims& d) {
+  return static_cast<double>(d.c_out * d.kh * d.kw * d.words) * 8.0;
+}
+double packed_out_bytes(const ConvDims& d) {
+  return static_cast<double>(d.n * d.oh * d.ow *
+                             ceil_div(d.c_out, bitpack::kWordBits)) *
+         8.0;
+}
+
+/// Selection-side estimate of the window-streaming schedule (path A when
+/// `path_a`, else path B's conv + pack pair). Charges exactly what
+/// forward_fused() charges at dispatch time, so the roofline comparison and
+/// the recorded modeled times cannot disagree.
+double modeled_window_ms(const ConvDims& d, const EngineOptions& opts,
+                         bool path_a) {
+  const double outputs = static_cast<double>(d.n) * d.oh * d.ow * d.c_out;
+  const auto pw = opts.conv_pack_width(d.c_in, d.kw);
+  const bool split = opts.interior_split;
+  KernelCost cost;
+  cost.bitop_bits = outputs * window_bitops(d, pw, split);
+  charge_windows(cost, d, opts, split, /*shared_window=*/path_a);
+  cost.scalar_ops += outputs * 4.0;
+  cost.pack_width_bits = bitpack::bits(
+      split ? bitpack::cap_pack_width_to_span(pw, d.kw * d.words) : pw);
+  cost.bytes_read = packed_in_bytes(d) + packed_weight_bytes(d) +
+                    static_cast<double>(d.c_out) * 5.0;
+  cost.coalescing = costs::coalescing(opts);
+  cost.alu_efficiency = costs::binary_kernel_eff(opts);
+  if (path_a) {
+    cost.bytes_written = packed_out_bytes(d);
+    return reference_gpu_ms(cost);
+  }
+  cost.bytes_written = outputs;  // the 0/1 byte map
+  KernelCost pack;
+  pack.scalar_ops = outputs;
+  pack.bytes_read = outputs;
+  pack.bytes_written = packed_out_bytes(d);
+  pack.coalescing = costs::coalescing(opts);
+  pack.alu_efficiency = costs::kAuxKernelEff;
+  return reference_gpu_ms(cost) + reference_gpu_ms(pack);
+}
+
+/// Selection-side estimate of the bit-GEMM lowering: the im2col panel build
+/// plus the register-tiled GEMM (mirrors forward_gemm()'s tallies). The
+/// panel traffic and the second launch are what small geometries lose on;
+/// large ones win it back through the tile-amortized span setup, the lower
+/// per-op overhead and the pack width keyed on the full K span.
+double modeled_gemm_ms(const ConvDims& d, const EngineOptions& opts) {
+  const std::int64_t k_words = d.kh * d.kw * d.words;
+  const std::int64_t m = d.n * d.oh * d.ow;
+  const double outputs = static_cast<double>(m) * d.c_out;
+  const double panel_bytes = static_cast<double>(m * k_words) * 8.0;
+
+  KernelCost col;
+  col.scalar_ops = static_cast<double>(m * k_words);
+  col.bytes_read = panel_bytes;
+  col.bytes_written = panel_bytes;
+  col.coalescing = costs::coalescing(opts);
+  col.alu_efficiency = costs::kAuxKernelEff;
+
+  const auto pw = opts.pack_width_for_span(d.c_in, k_words);
+  const double tiles = static_cast<double>(ceil_div(m, bitpack::kGemmMr)) *
+                       static_cast<double>(d.c_out / 8);
+  KernelCost gemm;
+  gemm.bitop_bits =
+      outputs * 2.0 * static_cast<double>(k_words) * bitpack::kWordBits;
+  gemm.pack_width_bits =
+      bitpack::bits(bitpack::cap_pack_width_to_span(pw, k_words));
+  gemm.instr_overhead_cycles = costs::instr_overhead_gemm(opts);
+  gemm.span_count = tiles;
+  gemm.span_setup_cycles = costs::kGemmTileSetupCycles;
+  gemm.scalar_ops = outputs * 4.0;  // threshold compare + byte/bit insert
+  gemm.bytes_read = panel_bytes + packed_weight_bytes(d) +
+                    static_cast<double>(d.c_out) * 5.0;
+  gemm.bytes_written = packed_out_bytes(d);
+  gemm.coalescing = costs::coalescing(opts);
+  gemm.alu_efficiency = costs::binary_kernel_eff(opts);
+  return reference_gpu_ms(col) + reference_gpu_ms(gemm);
+}
+
 }  // namespace
+
+KernelVariant BinaryConv2d::select_variant(const Shape& in_shape,
+                                           const EngineOptions& opts) const {
+  KernelVariant v;
+  v.interior_split = opts.interior_split;
+  v.pack_width = opts.conv_pack_width(in_shape.c, geom_.kernel_w);
+  const std::int64_t ow = geom_.out_w(in_shape.w);
+  v.tile_ow = opts.conv_tile_ow <= 0 ? ow : std::min(opts.conv_tile_ow, ow);
+  // Path D (DESIGN.md §11) needs the fused folded-BN epilogue and whole
+  // filter groups; where legal, kAuto takes it only when the roofline model
+  // says the lowering wins this geometry on the reference profile. Both the
+  // eligibility test and the comparison are pure functions of
+  // (options, geometry), which artifact plan replay depends on.
+  const bool gemm_legal = opts.fuse_bn_binarize && opts.integrate_packing &&
+                          out_channels() % 8 == 0;
+  if (gemm_legal && opts.conv_path != ConvPathPreference::kRowFused) {
+    const ConvDims d = make_dims(in_shape, out_channels(), geom_);
+    const bool take_gemm =
+        opts.conv_path == ConvPathPreference::kGemm ||
+        modeled_gemm_ms(d, opts) <
+            modeled_window_ms(
+                d, opts,
+                /*path_a=*/in_channels() <= opts.packing_channel_threshold);
+    if (take_gemm) {
+      v.path = KernelVariant::Path::kConvGemm;
+      v.kernel = "im2col+bitgemm";
+      // The GEMM inner loop streams the full K = kh*kw*words panel row, so
+      // its granularity is keyed on that span, not the row-fused kw*words.
+      v.pack_width =
+          opts.pack_width_for_span(in_shape.c, d.kh * d.kw * d.words);
+      v.tile_ow = bitpack::kGemmMr;  // M rows per register tile
+      return v;
+    }
+  }
+  if (!opts.fuse_bn_binarize) {
+    v.path = KernelVariant::Path::kConvUnfused;
+    v.kernel = "bconv_raw+bn_binarize+pack";
+  } else if (opts.integrate_packing &&
+             in_channels() <= opts.packing_channel_threshold &&
+             out_channels() % 8 == 0) {
+    v.path = KernelVariant::Path::kConvFused;
+    v.kernel = "bconv_fused";
+  } else {
+    v.path = KernelVariant::Path::kConvSeparatePack;
+    v.kernel = "bconv_nopack+pack";
+  }
+  return v;
+}
 
 PackedTensor BinaryConv2d::forward_fused(ExecContext& ctx,
                                          const PackedTensor& in,
@@ -556,6 +691,107 @@ PackedTensor BinaryConv2d::forward_unfused(ExecContext& ctx,
           }
         }
         out.data()[out.word_offset(n, it.y, it.x, j)] = word;
+      });
+  return out;
+}
+
+PackedTensor BinaryConv2d::forward_gemm(ExecContext& ctx,
+                                        const PackedTensor& in,
+                                        const KernelVariant& v) const {
+  // Path D — bit-GEMM lowering (DESIGN.md §11). Kernel 1 lowers the packed
+  // input to an im2col panel: one row of K = kh*kw*words words per output
+  // pixel, padding resolved once here as zero-filled segments (the all-(-1)
+  // packed value), so the GEMM sees a dense M x K bit-matrix with no bounds
+  // tests. Kernel 2 walks MR x 8 register tiles: each tile holds its 32
+  // mismatch accumulators in registers across the whole K reduction and
+  // applies the same folded-BN group-byte epilogue as path A, so results
+  // are bit-exact with the window-streaming schedule.
+  const ConvDims d = make_dims(in, weights_, geom_);
+  PackedTensor out = ctx.make_packed(Shape{d.n, d.oh, d.ow, d.c_out});
+  const std::int64_t k_words = d.kh * d.kw * d.words;
+  const std::int64_t m = d.n * d.oh * d.ow;
+  std::uint64_t* panel = ctx.arena.words(m * k_words);
+  const double panel_bytes = static_cast<double>(m * k_words) * 8.0;
+
+  KernelCost col_cost;
+  col_cost.scalar_ops = static_cast<double>(m * k_words);
+  col_cost.bytes_read = panel_bytes;
+  col_cost.bytes_written = panel_bytes;
+  col_cost.coalescing = costs::coalescing(ctx.opts);
+  col_cost.alu_efficiency = costs::kAuxKernelEff;
+  ctx.queue.enqueue(
+      name_ + ".im2col", NDRange{d.ow, d.oh, d.n}, col_cost,
+      [&, d, k_words, panel](const WorkItem& it) {
+        const std::int64_t n = it.z;
+        std::uint64_t* row =
+            panel + (((n * d.oh + it.y) * d.ow) + it.x) * k_words;
+        const std::int64_t iy0 = it.y * d.sh - d.ph;
+        const std::int64_t ix0 = it.x * d.sw - d.pw;
+        // Column clamp is x-invariant per row: [lo, hi) taps are in bounds.
+        const std::int64_t lo = std::clamp<std::int64_t>(-ix0, 0, d.kw);
+        const std::int64_t hi = std::clamp<std::int64_t>(d.iw - ix0, 0, d.kw);
+        const std::size_t row_bytes =
+            static_cast<std::size_t>(d.kw * d.words) * 8;
+        for (std::int64_t ky = 0; ky < d.kh; ++ky) {
+          const std::int64_t iy = iy0 + ky;
+          std::uint64_t* dst = row + ky * d.kw * d.words;
+          if (iy < 0 || iy >= d.ih || hi <= lo) {
+            std::memset(dst, 0, row_bytes);
+            continue;
+          }
+          if (lo > 0) {
+            std::memset(dst, 0, static_cast<std::size_t>(lo * d.words) * 8);
+          }
+          std::memcpy(dst + lo * d.words, in.pixel(n, iy, ix0 + lo),
+                      static_cast<std::size_t>((hi - lo) * d.words) * 8);
+          if (hi < d.kw) {
+            std::memset(dst + hi * d.words, 0,
+                        static_cast<std::size_t>((d.kw - hi) * d.words) * 8);
+          }
+        }
+      });
+
+  const std::int64_t m_tiles = ceil_div(m, bitpack::kGemmMr);
+  const std::int64_t groups = d.c_out / 8;
+  const bool branch_free = ctx.opts.branch_free_binarize;
+  const std::int64_t len = d.kh * d.kw * d.c_in;
+  const std::int64_t out_pitch = out.words_per_pixel() * 8;  // bytes/pixel
+  const FoldedBatchNorm& fb = folded_;
+  const double outputs = static_cast<double>(m) * d.c_out;
+
+  KernelCost gemm_cost;
+  gemm_cost.bitop_bits =
+      outputs * 2.0 * static_cast<double>(k_words) * bitpack::kWordBits;
+  gemm_cost.pack_width_bits = bitpack::bits(
+      bitpack::cap_pack_width_to_span(v.pack_width, k_words));
+  gemm_cost.instr_overhead_cycles = costs::instr_overhead_gemm(ctx.opts);
+  gemm_cost.span_count =
+      static_cast<double>(m_tiles) * static_cast<double>(groups);
+  gemm_cost.span_setup_cycles = costs::kGemmTileSetupCycles;
+  gemm_cost.scalar_ops = outputs * 4.0;  // threshold compare + byte insert
+  gemm_cost.bytes_read = panel_bytes +
+                         static_cast<double>(weights_.bytes()) +
+                         static_cast<double>(d.c_out) * 5.0;
+  gemm_cost.bytes_written = static_cast<double>(out.bytes());
+  gemm_cost.coalescing = costs::coalescing(ctx.opts);
+  gemm_cost.alu_efficiency = costs::binary_kernel_eff(ctx.opts);
+  auto* out_bytes = reinterpret_cast<std::uint8_t*>(out.data());
+  ctx.queue.enqueue(
+      name_ + ".bitgemm", NDRange{m_tiles, groups, 1}, gemm_cost,
+      [&, d, k_words, m, out_pitch, branch_free, len,
+       panel](const WorkItem& it) {
+        const std::int64_t m0 = it.x * bitpack::kGemmMr;
+        const std::int64_t rows =
+            std::min<std::int64_t>(bitpack::kGemmMr, m - m0);
+        const std::int64_t g = it.y;
+        std::int64_t mism[bitpack::kGemmMr * 8];
+        bitpack::xor_popcount_gemm_x8(panel + m0 * k_words, k_words,
+                                      weights_.pixel(g * 8, 0, 0), k_words,
+                                      k_words, rows, mism);
+        for (std::int64_t r = 0; r < rows; ++r) {
+          out_bytes[(m0 + r) * out_pitch + g] =
+              group_byte(&mism[r * 8], g, len, fb, branch_free);
+        }
       });
   return out;
 }

@@ -13,6 +13,12 @@
 //   C. no integration (ablation) — conv emits raw int32 sums, a second
 //      kernel applies full floating-point BN + sign, a third packs. This is
 //      the configuration the layer-integration ablation measures against.
+//   D. bit-GEMM (DESIGN.md §11) — an im2col kernel lowers the input to an
+//      M x K bit-panel, then a register-tiled XOR-popcount GEMM scores
+//      MR x 8 output tiles per pass. Chosen ahead of time per geometry by a
+//      roofline comparison against the window-streaming schedule (or pinned
+//      via EngineOptions::conv_path); big geometries win on tile-amortized
+//      setup and full-K-span vectors, small ones keep path A.
 //
 // Binary-domain padding: the ±1 encoding has no zero, so padded positions
 // contribute -1 per channel (all-zero packed words), the standard BNN
@@ -84,6 +90,14 @@ class BinaryConv2d final : public Layer {
   bitpack::PackedTensor forward_unfused(ExecContext& ctx,
                                         const bitpack::PackedTensor& in,
                                         const KernelVariant& v) const;
+  /// Path D — bit-GEMM lowering (DESIGN.md §11): an im2col kernel lowers
+  /// the packed input to an M x K bit-panel (padding resolved to zero-fill
+  /// once), then a register-tiled GEMM kernel scores kGemmMr x 8 output
+  /// tiles per pass with the accumulators held in registers for the whole
+  /// K reduction, finishing with path A's folded-BN group-byte epilogue.
+  bitpack::PackedTensor forward_gemm(ExecContext& ctx,
+                                     const bitpack::PackedTensor& in,
+                                     const KernelVariant& v) const;
   /// Compiled conv→pool fused step (plan.cpp's rewrite, DESIGN.md §7): one
   /// kernel computes path-A conv bytes into a per-row register buffer and
   /// ORs each pool window out of it, emitting the pooled packed map

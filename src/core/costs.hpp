@@ -65,6 +65,18 @@ inline constexpr double kRowFusedInstrOverheadCycles = 0.5;
 /// window independently.
 inline double shared_window_spans(double kh) { return kh / 8.0 + 1.0; }
 
+/// Per-vector-op overhead of the register-tiled bit-GEMM inner loop
+/// (DESIGN.md §11): the MRx8 accumulator tile lives in registers for the
+/// whole K reduction, so the loop body is pure xor+popcount+add with the
+/// loads amortized over the tile (4 a-words + 8 b-words feed 32 ops) —
+/// below even the row-fused lane-accumulator rate.
+inline constexpr double kGemmInstrOverheadCycles = 0.25;
+
+/// Fixed setup of one MRx8 GEMM register tile: zeroing the accumulator
+/// block, panel address setup, and the per-filter epilogue reduction, in
+/// ALU cycles. Charged once per tile (span_count), not per output.
+inline constexpr double kGemmTileSetupCycles = 8.0;
+
 /// Additional instruction overhead when vectorized loads are off (each
 /// operand arrives in pieces).
 inline constexpr double kScalarLoadInstrOverhead = 2.0;
@@ -99,6 +111,13 @@ inline double instr_overhead(const EngineOptions& o) {
 inline double instr_overhead_fused(const EngineOptions& o) {
   return instr_overhead(o) - (kInstrOverheadCycles -
                               kRowFusedInstrOverheadCycles);
+}
+
+/// Instruction overhead of the bit-GEMM inner loop: register-tile rate plus
+/// the same layout / scalar-load penalties as every other binary kernel.
+inline double instr_overhead_gemm(const EngineOptions& o) {
+  return instr_overhead(o) -
+         (kInstrOverheadCycles - kGemmInstrOverheadCycles);
 }
 
 inline double binary_kernel_eff(const EngineOptions& o) {

@@ -12,6 +12,19 @@
 
 namespace phonebit::core {
 
+/// Which conv execution path the planner may pick for BinaryConv2d steps.
+/// kAuto lets ahead-of-time selection choose between the row-fused window
+/// schedule (path A) and the register-tiled bit-GEMM lowering (path D) per
+/// geometry via the roofline model on a fixed reference profile, so the
+/// choice is a pure function of (options, geometry) — the determinism the
+/// artifact codec's plan replay depends on. The pinned values exist for
+/// ablation benches and for tests that assert a specific kernel shape.
+enum class ConvPathPreference : std::uint8_t {
+  kAuto = 0,      ///< roofline-selected per geometry (default)
+  kRowFused = 1,  ///< always the window-streaming paths A/B/C
+  kGemm = 2,      ///< always the bit-GEMM path D (where legal)
+};
+
 /// Tunable engine behaviour (all paper defaults ON).
 struct EngineOptions {
   /// §V-B layer integration: fuse binary-conv + batch-norm + binarization
@@ -69,6 +82,15 @@ struct EngineOptions {
   /// tail words) and ties within noise on wide layers, where both keys
   /// resolve to the same width.
   bool span_keyed_pack_width = true;
+
+  /// Conv path policy (DESIGN.md §11): under kAuto the planner compares the
+  /// modeled time of the window-streaming schedule against the bit-GEMM
+  /// lowering per conv geometry and records the winner in the plan; kRowFused
+  /// / kGemm force one side (the ablation / bench configuration). Path D is
+  /// only ever eligible when the fused epilogue applies (fuse_bn_binarize &&
+  /// integrate_packing && c_out % 8 == 0) — otherwise the A/B/C fallback
+  /// rules decide exactly as before this option existed.
+  ConvPathPreference conv_path = ConvPathPreference::kAuto;
 
   /// §VI-A.1 vectorized load/store. Turning this off models scalar loads:
   /// worse effective bandwidth and extra per-access overhead.

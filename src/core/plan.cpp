@@ -222,6 +222,19 @@ ForwardResult ExecutionPlan::run(ExecContext& ctx, const Blob& input,
 
 namespace {
 
+/// Conv-path letter for plan dumps (the DESIGN.md §4/§11 naming). Null for
+/// layers with a single kernel schedule.
+const char* conv_path_letter(KernelVariant::Path p) {
+  switch (p) {
+    case KernelVariant::Path::kConvFused: return "A";
+    case KernelVariant::Path::kConvSeparatePack: return "B";
+    case KernelVariant::Path::kConvUnfused: return "C";
+    case KernelVariant::Path::kConvGemm: return "D";
+    case KernelVariant::Path::kDefault: return nullptr;
+  }
+  return nullptr;
+}
+
 std::string human_bytes(std::int64_t b) {
   std::ostringstream os;
   if (b >= 1 << 20) {
@@ -255,10 +268,18 @@ std::string ExecutionPlan::dump() const {
     const PlanStep& st = steps_[i];
     os << "  [" << i << "] " << st.name() << ": " << st.in.str();
     if (st.fused_pool != nullptr) os << " -> (" << st.fused_mid.str() << ")";
-    os << " -> " << st.out.str() << "  kernel=" << st.variant.kernel
-       << " pw=" << bitpack::bits(st.variant.pack_width)
+    os << " -> " << st.out.str() << "  kernel=" << st.variant.kernel;
+    if (const char* letter = conv_path_letter(st.variant.path)) {
+      os << " path=" << letter;
+    }
+    os << " pw=" << bitpack::bits(st.variant.pack_width)
        << (st.variant.interior_split ? " split" : "");
-    if (st.variant.tile_ow > 0) os << " tile=" << st.variant.tile_ow;
+    if (st.variant.path == KernelVariant::Path::kConvGemm) {
+      // The GEMM register-tile shape: tile_ow M-rows x the 8-filter group.
+      os << " tile=" << st.variant.tile_ow << "x8";
+    } else if (st.variant.tile_ow > 0) {
+      os << " tile=" << st.variant.tile_ow;
+    }
     if (st.slot >= 0) {
       os << " slot=" << st.slot << "@"
          << slots_[static_cast<std::size_t>(st.slot)].offset;

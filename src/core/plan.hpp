@@ -113,6 +113,7 @@ struct KernelVariant {
     kConvFused,         ///< path A: one kernel, 8 filters/byte in private mem
     kConvSeparatePack,  ///< path B: fused math + separate packing kernel
     kConvUnfused,       ///< path C: no integration (ablation pipeline)
+    kConvGemm,          ///< path D: im2col + register-tiled bit-GEMM tiles
   };
 
   Path path = Path::kDefault;

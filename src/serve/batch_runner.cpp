@@ -4,9 +4,11 @@
 #include <chrono>
 #include <cmath>
 #include <condition_variable>
+#include <cstring>
 #include <exception>
 #include <mutex>
 #include <utility>
+#include <variant>
 
 #include "core/artifact.hpp"
 #include "serve/virtual_time.hpp"
@@ -33,6 +35,50 @@ std::string describe_exception(const std::exception_ptr& e) {
   } catch (...) {
     return "unknown exception";
   }
+}
+
+/// One dispatch unit of a run: `count` consecutive requests starting at
+/// `begin`, fused into one batched forward when count > 1.
+struct DispatchGroup {
+  std::size_t begin = 0;
+  std::size_t count = 1;
+};
+
+/// A request is micro-batchable when it is a single-image U8 tensor — the
+/// classifier-head serving shape whose per-image rows are contiguous in
+/// both the stacked input and the float output batch.
+const U8Tensor* batchable_image(const core::Blob& b) {
+  const auto* u8 = std::get_if<U8Tensor>(&b);
+  return u8 != nullptr && u8->shape().n == 1 ? u8 : nullptr;
+}
+
+/// Partitions the batch into dispatch groups: runs of up to `micro_batch`
+/// consecutive same-shape single-image U8 requests fuse; everything else
+/// stays a group of one.
+std::vector<DispatchGroup> plan_groups(const std::vector<core::Blob>& inputs,
+                                       int micro_batch) {
+  std::vector<DispatchGroup> groups;
+  groups.reserve(inputs.size());
+  std::size_t i = 0;
+  while (i < inputs.size()) {
+    DispatchGroup g{i, 1};
+    if (micro_batch > 1) {
+      if (const U8Tensor* first = batchable_image(inputs[i])) {
+        while (i + g.count < inputs.size() &&
+               g.count < static_cast<std::size_t>(micro_batch)) {
+          const U8Tensor* next = batchable_image(inputs[i + g.count]);
+          if (next == nullptr || !(next->shape() == first->shape()) ||
+              next->layout() != first->layout()) {
+            break;
+          }
+          ++g.count;
+        }
+      }
+    }
+    groups.push_back(g);
+    i += g.count;
+  }
+  return groups;
 }
 
 }  // namespace
@@ -163,13 +209,19 @@ BatchSummary BatchRunner::run_impl(std::vector<core::Blob> inputs,
   std::size_t pending = workers;
   std::exception_ptr batch_error;
 
+  // Dispatch units: with micro-batching on, runs of same-shape single-image
+  // requests fuse into one batched forward each; workers own a strided
+  // share of GROUPS so a fused group never spans two sessions.
+  const std::vector<DispatchGroup> groups =
+      plan_groups(inputs, micro_batch_);
+
   const double t0 = now_ms();
   for (std::size_t w = 0; w < workers; ++w) {
-    pool_.submit([this, &inputs, &summary, &mu, &cv, &pending, &batch_error,
-                  w, workers] {
+    pool_.submit([this, &inputs, &summary, &groups, &mu, &cv, &pending,
+                  &batch_error, w, workers] {
       std::exception_ptr error;
       core::ExecSession& session = *sessions_[w];
-      for (std::size_t i = w; i < inputs.size(); i += workers) {
+      const auto run_single = [&](std::size_t i) {
         try {
           const auto plan = plan_for(core::describe_blob(inputs[i]));
           session.reset_profile();
@@ -179,6 +231,62 @@ BatchSummary BatchRunner::run_impl(std::vector<core::Blob> inputs,
           summary.statuses[i].error =
               describe_exception(std::current_exception());
           if (error == nullptr) error = std::current_exception();
+        }
+      };
+      for (std::size_t gi = w; gi < groups.size(); gi += workers) {
+        const DispatchGroup& g = groups[gi];
+        bool fused = false;
+        if (g.count > 1) {
+          try {
+            // One batched forward for the whole group: stack the images
+            // (per-image rows are contiguous under both layouts), run the
+            // batched plan, split the output rows back per request.
+            core::BlobDesc desc = core::describe_blob(inputs[g.begin]);
+            desc.shape.n = static_cast<std::int64_t>(g.count);
+            const auto plan = plan_for(desc);
+            if (plan->output().kind == core::BlobKind::kFloat) {
+              const auto& first = std::get<U8Tensor>(inputs[g.begin]);
+              U8Tensor batch(desc.shape, first.layout());
+              const std::int64_t per = first.elems();
+              for (std::size_t r = 0; r < g.count; ++r) {
+                std::memcpy(
+                    batch.data() + static_cast<std::int64_t>(r) * per,
+                    std::get<U8Tensor>(inputs[g.begin + r]).data(),
+                    static_cast<std::size_t>(per));
+              }
+              session.reset_profile();
+              core::ForwardResult res =
+                  plan->run(session, core::Blob{std::move(batch)});
+              batched_dispatches_.fetch_add(1, std::memory_order_relaxed);
+              const FloatTensor& out = res.float_output();
+              Shape row_shape = out.shape();
+              row_shape.n = 1;
+              const std::int64_t row =
+                  out.elems() / static_cast<std::int64_t>(g.count);
+              for (std::size_t r = 0; r < g.count; ++r) {
+                core::ForwardResult& slot = summary.results[g.begin + r];
+                FloatTensor one(row_shape, out.layout());
+                std::memcpy(one.data(),
+                            out.data() + static_cast<std::int64_t>(r) * row,
+                            static_cast<std::size_t>(row) * sizeof(float));
+                slot.output = std::move(one);
+                slot.modeled_ms =
+                    res.modeled_ms / static_cast<double>(g.count);
+                slot.host_ms = res.host_ms / static_cast<double>(g.count);
+              }
+              // Per-layer attribution goes to the group's first request;
+              // followers keep empty reports (the summary merge skips them).
+              summary.results[g.begin].report = std::move(res.report);
+              fused = true;
+            }
+          } catch (...) {
+            // A failed fused dispatch falls back to singles so an innocent
+            // group member is never failed by a neighbor.
+            fused = false;
+          }
+        }
+        if (!fused) {
+          for (std::size_t r = 0; r < g.count; ++r) run_single(g.begin + r);
         }
       }
       std::lock_guard<std::mutex> lock(mu);
@@ -210,7 +318,7 @@ BatchSummary BatchRunner::run_impl(std::vector<core::Blob> inputs,
     latencies.push_back(r.modeled_ms);
     summary.total_modeled_ms += r.modeled_ms;
     summary.max_modeled_ms = std::max(summary.max_modeled_ms, r.modeled_ms);
-    if (summary.merged_layers.empty()) {
+    if (summary.merged_layers.empty() && !r.report.empty()) {
       summary.merged_layers.resize(r.report.size());
       for (std::size_t j = 0; j < r.report.size(); ++j) {
         summary.merged_layers[j].name = r.report[j].name;
@@ -218,6 +326,8 @@ BatchSummary BatchRunner::run_impl(std::vector<core::Blob> inputs,
         summary.merged_layers[j].cost = oclsim::KernelCost::accumulator();
       }
     }
+    // Micro-batched group followers carry empty reports — nothing to merge.
+    if (r.report.size() != summary.merged_layers.size()) continue;
     for (std::size_t j = 0; j < r.report.size(); ++j) {
       core::LayerReport& m = summary.merged_layers[j];
       m.modeled_ms += r.report[j].modeled_ms;

@@ -138,6 +138,26 @@ class BatchRunner {
 
   int workers() const noexcept { return pool_.size(); }
 
+  /// Micro-batching (DESIGN.md §11): when `n` > 1, run() fuses up to `n`
+  /// consecutive single-image (N == 1) U8 requests of the same shape into
+  /// ONE batched forward through a batched (N > 1) compiled plan, then
+  /// splits the output rows back to the per-request result slots. The
+  /// per-image dispatch overhead (kernel launches, plan walk) amortizes
+  /// across the group — the batched plan runs the same launch count as one
+  /// image. Grouped requests report the group's modeled/host latency split
+  /// evenly; the per-layer report is attributed to the group's first
+  /// request. Only plans whose output is a float tensor batch (the
+  /// classifier-head serving shape); other requests run singly. Takes
+  /// effect on the next run(); not thread-safe against an in-flight run.
+  void set_micro_batch(int n) noexcept { micro_batch_ = n < 1 ? 1 : n; }
+  int micro_batch() const noexcept { return micro_batch_; }
+
+  /// Fused multi-request forwards performed over this runner's lifetime
+  /// (groups of >= 2; singles don't count). Stable hook for tests.
+  std::int64_t batched_dispatches() const noexcept {
+    return batched_dispatches_.load(std::memory_order_relaxed);
+  }
+
   /// The tag used in this runner's error messages.
   const std::string& name() const noexcept { return name_; }
 
@@ -187,6 +207,8 @@ class BatchRunner {
   /// synchronizes-with the winning run (clean under TSan).
   std::vector<std::unique_ptr<core::ExecSession>> sessions_;
   std::atomic<bool> running_{false};
+  int micro_batch_ = 1;
+  std::atomic<std::int64_t> batched_dispatches_{0};
   mutable std::mutex plan_mu_;
   std::vector<std::pair<core::BlobDesc,
                         std::shared_ptr<const core::ExecutionPlan>>>

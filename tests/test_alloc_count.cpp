@@ -9,6 +9,8 @@
 // that, for a true zero-allocation steady state.
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include "common/alloc_count.hpp"
 #include "core/phonebit.hpp"
 #include "datasets/synthetic.hpp"
@@ -82,6 +84,9 @@ TEST(AllocCount, WarmForwardAllocatesNothingAcrossConvPaths) {
   core::EngineOptions no_integrate;
   no_integrate.integrate_packing = false;  // path B
   cases.push_back({"separate-pack", no_integrate});
+  core::EngineOptions gemm;
+  gemm.conv_path = core::ConvPathPreference::kGemm;  // path D: im2col panel
+  cases.push_back({"bit-gemm", gemm});
 
   const FloatModel model = FloatModel::random(models::quicknet(10), 503);
   const U8Tensor image = datasets::cifar_like_image(504);
@@ -102,6 +107,62 @@ TEST(AllocCount, WarmForwardAllocatesNothingAcrossConvPaths) {
       plan.run(session, input, borrow);
     }
     EXPECT_EQ(buffer_alloc_count(), before) << c.label;
+  }
+}
+
+/// Batched (N > 1) plans keep both halves of the contract: the session
+/// arena lands byte-exactly on the liveness pass's batched peaks (slab +
+/// scratch scale with N — including path D's N-scaled im2col panel), and
+/// warm borrowed-output forwards through the batched plan allocate nothing.
+TEST(AllocCount, BatchedPlanPeaksExactAndWarmForwardAllocatesNothing) {
+  const FloatModel model = FloatModel::random(models::quicknet(10), 505);
+  const U8Tensor image = datasets::cifar_like_image(506);
+  auto net = core::convert_to_phonebit(model);
+
+  struct OptCase {
+    const char* label;
+    core::EngineOptions opts;
+  };
+  std::vector<OptCase> cases;
+  cases.push_back({"auto", core::EngineOptions{}});
+  core::EngineOptions gemm;
+  gemm.conv_path = core::ConvPathPreference::kGemm;
+  cases.push_back({"bit-gemm", gemm});
+
+  for (const OptCase& c : cases) {
+    for (const std::int64_t n : {std::int64_t{2}, std::int64_t{4}}) {
+      Shape bshape = image.shape();
+      bshape.n = n;
+      U8Tensor batch(bshape, image.layout());
+      for (std::int64_t b = 0; b < n; ++b) {
+        std::memcpy(batch.data() + b * image.elems(), image.data(),
+                    static_cast<std::size_t>(image.elems()));
+      }
+      core::Engine engine(testing::test_device(), c.opts);
+      const ExecutionPlan plan = net->compile(
+          engine, core::BlobDesc{core::BlobKind::kU8, bshape});
+      auto session = engine.create_session();
+      ASSERT_EQ(session.arena().capacity_bytes(), 0) << c.label;
+      const core::Blob input{batch};
+      plan.run(session, input);  // warm-up: reserves the exact peaks
+      // Byte-exact: the batched liveness pass predicted this capacity.
+      EXPECT_EQ(session.arena().capacity_bytes(),
+                plan.peak_scratch_bytes() + plan.slab_bytes())
+          << c.label << " n=" << n;
+
+      RunOptions borrow;
+      borrow.borrow_output = true;
+      const std::int64_t before = buffer_alloc_count();
+      const int grows_before = session.arena().growth_events();
+      for (int i = 0; i < 3; ++i) {
+        plan.run(session, input, borrow);
+      }
+      EXPECT_EQ(buffer_alloc_count(), before)
+          << c.label << " n=" << n
+          << ": a warm batched forward heap-allocated a buffer";
+      EXPECT_EQ(session.arena().growth_events(), grows_before)
+          << c.label << " n=" << n;
+    }
   }
 }
 

@@ -511,6 +511,7 @@ TEST(Plan, FusionSkipsNonPathAConvs) {
 
   EngineOptions opts;
   opts.packing_channel_threshold = 32;  // force path B for c_in = 64
+  opts.conv_path = core::ConvPathPreference::kRowFused;  // keep D out of it
   const ExecutionPlan plan = net.compile(
       opts, BlobDesc{BlobKind::kPacked, Shape{1, 8, 8, 64}});
   ASSERT_EQ(plan.steps().size(), 2u);

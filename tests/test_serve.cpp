@@ -250,5 +250,42 @@ TEST(BatchRunner, ConcurrentSecondRunIsRejectedNamingTheRunner) {
   EXPECT_EQ(summary.ok, 2);
 }
 
+TEST(BatchRunner, MicroBatchingFusesRequestsAndStaysBitExact) {
+  // Micro-batching (DESIGN.md §11): with micro_batch=4, consecutive
+  // same-shape single-image requests fuse into batched (N>1) forwards
+  // through one batched compiled plan — and every per-request result must
+  // stay bit-identical to the unfused micro_batch=1 run.
+  auto net = quick_net(81);
+  core::Engine engine(testing::test_device());
+
+  constexpr int kRequests = 10;  // 4 + 4 + 2 under micro_batch=4
+  serve::BatchRunner serial_runner(engine, *net, /*workers=*/2);
+  EXPECT_EQ(serial_runner.micro_batch(), 1);
+  const auto serial = serial_runner.run(make_inputs(kRequests, 2000));
+  ASSERT_EQ(serial.ok, kRequests);
+  EXPECT_EQ(serial_runner.batched_dispatches(), 0);
+
+  serve::BatchRunner fused_runner(engine, *net, /*workers=*/2);
+  fused_runner.set_micro_batch(4);
+  EXPECT_EQ(fused_runner.micro_batch(), 4);
+  const auto fused = fused_runner.run(make_inputs(kRequests, 2000));
+  ASSERT_EQ(fused.ok, kRequests);
+  EXPECT_GT(fused_runner.batched_dispatches(), 0)
+      << "micro_batch=4 over same-shape requests never fused a group";
+
+  for (int i = 0; i < kRequests; ++i) {
+    const std::size_t s = static_cast<std::size_t>(i);
+    // Output bits only: grouped requests report the group's latency split
+    // evenly, so modeled_ms legitimately differs from the serial run.
+    EXPECT_TRUE(testing::expect_bitexact(fused.results[s].float_output(),
+                                         serial.results[s].float_output()))
+        << "request " << i << " diverged under micro-batching";
+  }
+
+  // Degenerate settings clamp instead of misbehaving.
+  fused_runner.set_micro_batch(0);
+  EXPECT_EQ(fused_runner.micro_batch(), 1);
+}
+
 }  // namespace
 }  // namespace phonebit
