@@ -123,14 +123,35 @@ struct ConvSpec {
 
 /// Times one BinaryConv2d layer: builds the engine once, then measures the
 /// per-forward host kernel time (min over reps) and the modeled device time.
+/// `redundant` overlays the filter-row redundancy trained binary nets show
+/// (groups of 8 filters share a base; half exact copies, half sparse sign
+/// flips) so the /compressed records measure a compressible bank — plain
+/// random signs never cluster.
 void bench_conv(const ConvSpec& spec, const core::EngineOptions& opts,
                 const std::string& variant,
-                std::vector<bench::BenchRecord>& out) {
+                std::vector<bench::BenchRecord>& out, bool redundant = false) {
   Rng rng(99);
   FloatTensor in(Shape{1, spec.hw, spec.hw, spec.c_in}, Layout::kNHWC);
   FloatTensor w(Shape{spec.c_out, spec.k, spec.k, spec.c_in}, Layout::kNHWC);
   for (std::int64_t i = 0; i < in.elems(); ++i) in.data()[i] = rng.sign();
   for (std::int64_t i = 0; i < w.elems(); ++i) w.data()[i] = rng.sign();
+  if (redundant) {
+    const std::int64_t fsize = spec.k * spec.k * spec.c_in;
+    for (std::int64_t f = 0; f < spec.c_out; ++f) {
+      const std::int64_t lane = f % 8;
+      if (lane == 0) continue;
+      std::memcpy(w.data() + f * fsize, w.data() + (f - lane) * fsize,
+                  static_cast<std::size_t>(fsize) * sizeof(float));
+      if (lane >= 4) {
+        for (std::int64_t t = 0; t < std::max<std::int64_t>(1, fsize / 64);
+             ++t) {
+          const auto p = static_cast<std::int64_t>(
+              rng.below(static_cast<std::uint64_t>(fsize)));
+          w.data()[f * fsize + p] = -w.data()[f * fsize + p];
+        }
+      }
+    }
+  }
   std::vector<core::BatchNormParams> bn;
   for (std::int64_t c = 0; c < spec.c_out; ++c) {
     bn.push_back({rng.uniform(0.3f, 1.5f) * rng.sign(), rng.normal(),
@@ -157,7 +178,14 @@ void bench_conv(const ConvSpec& spec, const core::EngineOptions& opts,
   });
   // total_host_ms would exclude the enqueue-side setup; report the full
   // forward wall time so host_ms reflects the real hot path.
-  out.push_back({"bconv", spec.tag + "/" + variant, host, modeled});
+  bench::BenchRecord rec{"bconv", spec.tag + "/" + variant, host, modeled};
+  if (opts.weight_compress != core::WeightCompress::kOff) {
+    const bitpack::CompressStats& cs = conv.compressed_bank().stats();
+    rec.weights_bytes = std::min(cs.encoded_bytes, cs.raw_bytes);
+    rec.weights_ratio = static_cast<double>(cs.raw_bytes) /
+                        static_cast<double>(rec.weights_bytes);
+  }
+  out.push_back(std::move(rec));
 }
 
 /// Compiled conv(+pool) layer-chain records: the fused-geometry regression
@@ -275,14 +303,62 @@ void bench_model_e2e(std::vector<bench::BenchRecord>& out) {
                    modeled / static_cast<double>(batch_n)});
   };
 
+  // Weight-compressed serving record: a REDUNDANT model (random_redundant —
+  // the clustering structure trained binary nets exhibit) compiled under
+  // kAuto, so the row tracks both the modeled time of the reuse kernels and
+  // the whole-model weight compression ratio.
+  const auto run_model_compressed = [&](const std::string& tag,
+                                        const core::FloatModel& trained,
+                                        const U8Tensor& image) {
+    auto net = core::convert_to_phonebit(trained);
+    const core::Blob input{image};
+    core::EngineOptions opts;
+    opts.weight_compress = core::WeightCompress::kAuto;
+    core::Engine engine(device, opts);
+    const core::ExecutionPlan plan =
+        net->compile(engine, core::describe_blob(input));
+    auto session = engine.create_session();
+    core::RunOptions ro;
+    ro.borrow_output = true;
+    double modeled = 0.0;
+    const double host = best_ms(15, [&] {
+      session.reset_profile();
+      const auto result = plan.run(session, input, ro);
+      modeled = result.modeled_ms;
+    });
+    bench::BenchRecord rec{"model_e2e", tag + "/compressed", host, modeled};
+    std::int64_t raw = 0, enc = 0;
+    for (const auto& layer : net->layers()) {
+      if (const auto* conv =
+              dynamic_cast<const core::BinaryConv2d*>(layer.get())) {
+        const bitpack::CompressStats& cs = conv->compressed_bank().stats();
+        raw += cs.raw_bytes;
+        enc += std::min(cs.encoded_bytes, cs.raw_bytes);
+      }
+    }
+    if (enc > 0) {
+      rec.weights_bytes = enc;
+      rec.weights_ratio =
+          static_cast<double>(raw) / static_cast<double>(enc);
+    }
+    out.push_back(std::move(rec));
+  };
+
   run_model("quicknet",
             core::FloatModel::random(models::quicknet(10), 42),
             datasets::cifar_like_image(7));
+  run_model_compressed(
+      "quicknet", core::FloatModel::random_redundant(models::quicknet(10), 42),
+      datasets::cifar_like_image(7));
   models::ZooOptions zoo;
   zoo.shrink_log2 = 3;
   const auto yolo = core::FloatModel::random(models::yolov2_tiny(zoo), 21);
   run_model("yolov2tiny-s3", yolo,
             datasets::voc_like_image(yolo.spec.input.h, 9));
+  run_model_compressed(
+      "yolov2tiny-s3",
+      core::FloatModel::random_redundant(models::yolov2_tiny(zoo), 21),
+      datasets::voc_like_image(yolo.spec.input.h, 9));
 }
 
 /// Fleet-serving end-to-end record: a fixed quicknet trace placed across
@@ -404,6 +480,10 @@ int main(int argc, char** argv) {
     core::EngineOptions gemm;  // path D: im2col + register-tiled bit-GEMM
     gemm.conv_path = core::ConvPathPreference::kGemm;
     bench_conv(spec, gemm, "bitgemm", records);
+    core::EngineOptions comp;  // weight compression + roofline-selected
+                               // partial-popcount reuse on a redundant bank
+    comp.weight_compress = core::WeightCompress::kAuto;
+    bench_conv(spec, comp, "compressed", records, /*redundant=*/true);
   }
   // Fused-geometry record for the plan-level conv→pool rewrite (2x2/s2
   // pool folded into the conv epilogue) vs the two-step chain.

@@ -1,0 +1,180 @@
+// PhoneBit — compile-time weight compression for packed binary filter banks.
+//
+// "Exploiting Kernel Compression on BNNs" (PAPERS.md) observes that trained
+// binary filter banks are highly redundant: many flattened filter rows are
+// bit-identical or differ in a handful of words. A packed conv weight bank
+// (n=C_out, h=KH, w=KW, c=C_in) stores each filter as one contiguous row of
+// k_words = KH*KW*ceil(C_in/64) words, so redundancy factors cleanly into
+//
+//   dictionary  — the unique (canonical) filter rows, k_words each
+//   row_index   — per filter, which dictionary row it references
+//   deltas      — per filter, a sparse XOR patch (word index + mask) applied
+//                 on top of its dictionary row; exact duplicates have none
+//
+// Reconstruction is exact (dict[row_index[f]] ^ deltas[f] == filter f), so
+// compression is lossless and every consumer stays bit-exact.
+//
+// Beyond storage, the factorization feeds a partial-popcount reuse schedule
+// for the bit-GEMM conv path (DESIGN.md §12): for one im2col tile the
+// popcount reduction against each *unique* dictionary row is computed once;
+// each referencing filter's mismatch count is then the cached partial plus a
+// per-delta-word correction popcount(x ^ mask) - popcount(x), which touches
+// only the patched words. With u unique rows and d total delta words this
+// turns c_out full K reductions into u full reductions + d word fixups.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bitpack/binary_ops.hpp"
+#include "bitpack/packed_tensor.hpp"
+
+namespace phonebit::bitpack {
+
+/// One sparse XOR patch entry: filter word `word` differs from its
+/// dictionary row by the nonzero bit set `mask`.
+struct FilterDelta {
+  std::uint32_t word = 0;
+  std::uint64_t mask = 0;
+  friend bool operator==(const FilterDelta&, const FilterDelta&) = default;
+};
+
+/// Aggregate compression accounting for one filter bank (pbc compress-stats
+/// and the per-step plan records are printed from this).
+struct CompressStats {
+  std::int64_t filters = 0;       ///< C_out
+  std::int64_t k_words = 0;       ///< words per flattened filter row
+  std::int64_t unique_rows = 0;   ///< dictionary rows
+  std::int64_t exact_dups = 0;    ///< filters with a dup row and no deltas
+  std::int64_t delta_filters = 0; ///< filters carrying a nonempty patch
+  std::int64_t delta_words = 0;   ///< total patch entries across filters
+  std::int64_t raw_bytes = 0;     ///< filters * k_words * 8
+  std::int64_t encoded_bytes = 0; ///< serialized dict+index+delta footprint
+  double ratio() const {
+    return encoded_bytes > 0 ? static_cast<double>(raw_bytes) /
+                                   static_cast<double>(encoded_bytes)
+                             : 1.0;
+  }
+  friend bool operator==(const CompressStats&, const CompressStats&) = default;
+};
+
+/// Hard cap on dictionary rows eligible for the partial-popcount reuse
+/// kernels: stage-1 partials live in a fixed per-work-item stack buffer of
+/// kReuseMaxDict * kGemmMr accumulators (~8 KB), never in the shared arena,
+/// so parallel work items cannot collide and warm forwards stay
+/// zero-allocation. Banks with more unique rows still compress for storage;
+/// they just keep the plain kernels.
+inline constexpr std::int64_t kReuseMaxDict = 256;
+
+/// Lossless dictionary/index/delta factorization of one packed filter bank.
+/// Built deterministically from the weights (same bank for the same bytes,
+/// on every thread and every load), or adopted verbatim from an artifact so
+/// `Engine::load_artifact` never re-clusters.
+class CompressedFilterBank {
+ public:
+  /// Deterministic single-pass clustering (DESIGN.md §12): filters in index
+  /// order; a content-identical earlier filter shares its dictionary row and
+  /// patch; otherwise the filter is matched against existing dictionary rows
+  /// (lowest index wins ties) and encoded as a delta patch when it differs
+  /// in at most k_words/3 words; otherwise it opens a new dictionary row.
+  static CompressedFilterBank build(const PackedTensor& weights);
+
+  /// Adopts pre-validated parts (the artifact loader). `filter_shape` is the
+  /// weight-bank shape (n=C_out, h=KH, w=KW, c=C_in); vectors must satisfy
+  /// the invariants build() guarantees — the loader revalidates before
+  /// constructing.
+  CompressedFilterBank(Shape filter_shape, std::vector<std::uint64_t> dict,
+                       std::vector<std::uint32_t> row_index,
+                       std::vector<std::uint32_t> delta_begin,
+                       std::vector<FilterDelta> deltas);
+
+  const Shape& filter_shape() const noexcept { return shape_; }
+  std::int64_t k_words() const noexcept { return k_words_; }
+  std::int64_t num_filters() const noexcept { return shape_.n; }
+  std::int64_t unique_rows() const noexcept {
+    return static_cast<std::int64_t>(dict_.size()) / k_words_;
+  }
+  const std::uint64_t* dict_row(std::int64_t i) const noexcept {
+    return dict_.data() + i * k_words_;
+  }
+  const std::vector<std::uint64_t>& dict() const noexcept { return dict_; }
+  const std::vector<std::uint32_t>& row_index() const noexcept {
+    return row_index_;
+  }
+  /// CSR offsets into deltas(): filter f's patch is [begin[f], begin[f+1]).
+  const std::vector<std::uint32_t>& delta_begin() const noexcept {
+    return delta_begin_;
+  }
+  const std::vector<FilterDelta>& deltas() const noexcept { return deltas_; }
+  const CompressStats& stats() const noexcept { return stats_; }
+
+  /// Exact inverse of build(): the packed weight bank, bit-identical to the
+  /// tensor the bank was built from.
+  PackedTensor reconstruct() const;
+
+  /// Per-workload-group duplicate-lane table for the path-A shared-window
+  /// dedup schedule: lane f of group g computes its window only when
+  /// lane_sources()[g*8+f] == f; otherwise it copies the mismatch count of
+  /// the (identical) earlier lane it points at. Identity when C_out is not
+  /// a multiple of 8. Size num_filters().
+  const std::vector<std::uint8_t>& lane_sources() const noexcept {
+    return lane_src_;
+  }
+  /// Number of lanes that actually compute (lane_sources()[f] == f's
+  /// position); == num_filters() when no intra-group duplicates exist.
+  std::int64_t distinct_group_lanes() const noexcept { return distinct_lanes_; }
+
+  friend bool operator==(const CompressedFilterBank& a,
+                         const CompressedFilterBank& b) {
+    return a.shape_ == b.shape_ && a.dict_ == b.dict_ &&
+           a.row_index_ == b.row_index_ && a.delta_begin_ == b.delta_begin_ &&
+           a.deltas_ == b.deltas_;
+  }
+
+ private:
+  CompressedFilterBank() = default;  // build() fills the parts in place
+
+  void finalize();  // stats_, lane_src_, distinct_lanes_ from the parts
+
+  Shape shape_{};
+  std::int64_t k_words_ = 0;
+  std::vector<std::uint64_t> dict_;
+  std::vector<std::uint32_t> row_index_;
+  std::vector<std::uint32_t> delta_begin_;
+  std::vector<FilterDelta> deltas_;
+  std::vector<std::uint8_t> lane_src_;
+  std::int64_t distinct_lanes_ = 0;
+  CompressStats stats_{};
+};
+
+/// Serialized byte footprint of the dictionary/index/delta sections exactly
+/// as the v4 artifact writer frames them (k_words i64 + unique u32 + dict
+/// words + per-filter index u32 + delta count u32 + CSR offsets u32 + 12
+/// bytes per delta entry). save() picks compressed storage only when this
+/// beats filters*k_words*8.
+std::int64_t compressed_encoded_bytes(std::int64_t filters,
+                                      std::int64_t k_words,
+                                      std::int64_t unique_rows,
+                                      std::int64_t delta_words) noexcept;
+
+/// Stage 1 of the reuse schedule: popcount(xor) of each of `rows` im2col
+/// rows of A (row r at `a + r * a_stride`, k_words long) against every
+/// dictionary row of `bank`, written to
+/// `partials[u * kGemmMr + r]`. One call per GEMM m-tile covers every
+/// filter group; requires bank.unique_rows() <= kReuseMaxDict.
+void xor_popcount_dict(const std::uint64_t* a, std::int64_t a_stride,
+                       const CompressedFilterBank& bank, std::int64_t rows,
+                       std::int64_t* partials);
+
+/// Stage 2: mismatch counts for the 8 filters of `group` derived from the
+/// stage-1 partials — filter f's accumulator starts at its dictionary row's
+/// partial and each patch entry contributes popcount(x ^ mask) - popcount(x)
+/// where x = a_word ^ dict_word. `out[r * 8 + f]` matches
+/// xor_popcount_gemm_x8 against the reconstructed weights bit-exactly.
+void xor_popcount_gemm_reuse_x8(const std::uint64_t* a, std::int64_t a_stride,
+                                const CompressedFilterBank& bank,
+                                std::int64_t group, std::int64_t rows,
+                                const std::int64_t* partials,
+                                std::int64_t* out);
+
+}  // namespace phonebit::bitpack

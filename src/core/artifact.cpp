@@ -6,6 +6,7 @@
 #include <sstream>
 #include <utility>
 
+#include "bitpack/compress.hpp"
 #include "core/binary_conv.hpp"
 #include "core/dense.hpp"
 #include "core/engine.hpp"
@@ -118,7 +119,26 @@ BlobDesc read_blob_desc(ByteReader& r, bool materialized) {
 
 // --- network section -------------------------------------------------------
 
-void write_network(ByteWriter& w, const Network& net) {
+/// Mode-1 BinaryConv2d weight storage (format v4, DESIGN.md §12): the
+/// dictionary/index/delta factorization instead of the raw packed words.
+/// Framed exactly as compressed_encoded_bytes() accounts it, after the
+/// filter-bank shape.
+void write_compressed_bank(ByteWriter& w,
+                           const bitpack::CompressedFilterBank& bank) {
+  w.shape(bank.filter_shape());
+  w.pod<std::int64_t>(bank.k_words());
+  w.pod<std::uint32_t>(static_cast<std::uint32_t>(bank.unique_rows()));
+  w.raw(bank.dict().data(), bank.dict().size() * 8);
+  for (const std::uint32_t idx : bank.row_index()) w.pod<std::uint32_t>(idx);
+  w.pod<std::uint32_t>(static_cast<std::uint32_t>(bank.deltas().size()));
+  for (const std::uint32_t b : bank.delta_begin()) w.pod<std::uint32_t>(b);
+  for (const bitpack::FilterDelta& d : bank.deltas()) {
+    w.pod<std::uint32_t>(d.word);
+    w.pod<std::uint64_t>(d.mask);
+  }
+}
+
+void write_network(ByteWriter& w, const Network& net, std::uint32_t version) {
   w.str(net.name());
   w.pod<std::uint32_t>(static_cast<std::uint32_t>(net.size()));
   for (const auto& layer : net.layers()) {
@@ -134,7 +154,22 @@ void write_network(ByteWriter& w, const Network& net) {
       w.pod(static_cast<std::uint8_t>(LayerKind::kBinaryConv));
       w.str(l->name());
       w.geom(l->geometry());
-      w.packed(l->weights());
+      if (version >= 4) {
+        // Storage-mode byte: 1 (dictionary/index/delta) only when the
+        // encoding is STRICTLY smaller than the raw words — incompressible
+        // banks keep mode 0, so compression never grows a file.
+        const bitpack::CompressedFilterBank& bank = l->compressed_bank();
+        const bool compressed =
+            bank.stats().encoded_bytes < bank.stats().raw_bytes;
+        w.pod<std::uint8_t>(compressed ? 1 : 0);
+        if (compressed) {
+          write_compressed_bank(w, bank);
+        } else {
+          w.packed(l->weights());
+        }
+      } else {
+        w.packed(l->weights());
+      }
       w.bn_params(l->raw_bn());
       w.floats(l->bias());
     } else if (const auto* l =
@@ -184,7 +219,109 @@ bitpack::PackedTensor read_weights(ByteReader& r, const std::string& name) {
   return p;
 }
 
-std::unique_ptr<Network> read_network(ByteReader& r) {
+/// Mode-1 decoder: revalidates EVERY structural invariant build() guarantees
+/// before handing the parts to the bank constructor — a resealed edit to any
+/// section (dictionary, index, CSR offsets, delta entries) fails here with
+/// the section + byte offset, never inside a kernel. Allocation is always
+/// preceded by a need_ahead() against the remaining bytes, so corrupt counts
+/// fail as truncation instead of giant allocation attempts.
+std::shared_ptr<const bitpack::CompressedFilterBank> read_compressed_bank(
+    ByteReader& r, const std::string& name) {
+  const Shape s = r.positive_shape();
+  const std::int64_t k_words = s.h * s.w * ceil_div(s.c, bitpack::kWordBits);
+  const auto stored_k = r.pod<std::int64_t>();
+  if (stored_k != k_words) {
+    r.fail("compressed bank records " + std::to_string(stored_k) +
+           " words per filter, shape " + s.str() + " implies " +
+           std::to_string(k_words) + " in layer '" + name + "'");
+  }
+  const auto unique = r.pod<std::uint32_t>();
+  if (unique == 0 || static_cast<std::int64_t>(unique) > s.n) {
+    r.fail("implausible dictionary size " + std::to_string(unique) + " for " +
+           std::to_string(s.n) + " filters in layer '" + name + "'");
+  }
+  r.need_ahead(static_cast<std::size_t>(unique) *
+               static_cast<std::size_t>(k_words) * 8);
+  std::vector<std::uint64_t> dict(static_cast<std::size_t>(unique) *
+                                  static_cast<std::size_t>(k_words));
+  r.raw(dict.data(), dict.size() * 8);
+
+  const std::size_t nf = static_cast<std::size_t>(s.n);
+  r.need_ahead(nf * 4);
+  std::vector<std::uint32_t> row_index(nf);
+  r.raw(row_index.data(), nf * 4);
+  std::vector<std::uint8_t> referenced(unique, 0);
+  for (std::size_t f = 0; f < nf; ++f) {
+    if (row_index[f] >= unique) {
+      r.fail("filter " + std::to_string(f) + " references dictionary row " +
+             std::to_string(row_index[f]) + " of " + std::to_string(unique) +
+             " in layer '" + name + "'");
+    }
+    referenced[row_index[f]] = 1;
+  }
+  // Canonical-encoding check: build() never emits an orphan row, so one in a
+  // file means the dictionary or index section was tampered with.
+  for (std::uint32_t u = 0; u < unique; ++u) {
+    if (referenced[u] == 0) {
+      r.fail("dictionary row " + std::to_string(u) +
+             " is referenced by no filter in layer '" + name + "'");
+    }
+  }
+
+  const auto total = r.pod<std::uint32_t>();
+  if (static_cast<std::int64_t>(total) > s.n * k_words) {
+    r.fail("implausible delta count " + std::to_string(total) +
+           " in layer '" + name + "'");
+  }
+  r.need_ahead((nf + 1) * 4);
+  std::vector<std::uint32_t> delta_begin(nf + 1);
+  r.raw(delta_begin.data(), (nf + 1) * 4);
+  if (delta_begin[0] != 0) {
+    r.fail("delta offsets must start at 0 in layer '" + name + "'");
+  }
+  for (std::size_t f = 1; f <= nf; ++f) {
+    if (delta_begin[f] < delta_begin[f - 1]) {
+      r.fail("delta offsets decrease at filter " + std::to_string(f) +
+             " in layer '" + name + "'");
+    }
+  }
+  if (delta_begin[nf] != total) {
+    r.fail("delta offsets end at " + std::to_string(delta_begin[nf]) +
+           ", delta count says " + std::to_string(total) + " in layer '" +
+           name + "'");
+  }
+
+  r.need_ahead(static_cast<std::size_t>(total) * 12);
+  std::vector<bitpack::FilterDelta> deltas;
+  deltas.reserve(total);
+  for (std::size_t f = 0; f < nf; ++f) {
+    std::int64_t prev = -1;
+    for (std::uint32_t i = delta_begin[f]; i < delta_begin[f + 1]; ++i) {
+      bitpack::FilterDelta d;
+      d.word = r.pod<std::uint32_t>();
+      d.mask = r.pod<std::uint64_t>();
+      if (static_cast<std::int64_t>(d.word) >= k_words ||
+          static_cast<std::int64_t>(d.word) <= prev) {
+        r.fail("filter " + std::to_string(f) + " delta word " +
+               std::to_string(d.word) +
+               " out of order or out of range in layer '" + name + "'");
+      }
+      if (d.mask == 0) {
+        r.fail("filter " + std::to_string(f) +
+               " carries an empty delta mask in layer '" + name + "'");
+      }
+      prev = static_cast<std::int64_t>(d.word);
+      deltas.push_back(d);
+    }
+  }
+  return contextualized(r, [&] {
+    return std::make_shared<const bitpack::CompressedFilterBank>(
+        s, std::move(dict), std::move(row_index), std::move(delta_begin),
+        std::move(deltas));
+  });
+}
+
+std::unique_ptr<Network> read_network(ByteReader& r, std::uint32_t version) {
   auto net = std::make_unique<Network>(r.str());
   const auto count = r.pod<std::uint32_t>();
   if (count == 0 || count > kMaxCount) {
@@ -211,14 +348,45 @@ std::unique_ptr<Network> read_network(ByteReader& r) {
       }
       case LayerKind::kBinaryConv: {
         const ConvGeometry g = r.geom();
-        auto weights = read_weights(r, name);
-        auto bn = r.bn_params();
-        auto bias = r.floats();
-        contextualized(r, [&] {
-          net->emplace<core::BinaryConv2d>(name, std::move(weights),
-                                           std::move(bn), std::move(bias), g);
-          return 0;
-        });
+        bool compressed = false;
+        if (version >= 4) {
+          const auto mode = r.pod<std::uint8_t>();
+          if (mode > 1) {
+            r.fail("invalid weight storage mode " + std::to_string(mode) +
+                   " in layer '" + name + "'");
+          }
+          compressed = mode == 1;
+        }
+        if (compressed) {
+          auto bank = read_compressed_bank(r, name);
+          // Reconstruct the exact packed bank and hold it to the same
+          // pad-word invariant raw weights are held to — then hand the
+          // decoded bank to the layer so loading never re-clusters.
+          bitpack::PackedTensor weights = bank->reconstruct();
+          if (!weights.padding_clear()) {
+            r.fail("corrupted compressed weights: pad bits beyond channel " +
+                   std::to_string(weights.channels()) +
+                   " are set in layer '" + name + "'");
+          }
+          auto bn = r.bn_params();
+          auto bias = r.floats();
+          contextualized(r, [&] {
+            auto& conv = net->emplace<core::BinaryConv2d>(
+                name, std::move(weights), std::move(bn), std::move(bias), g);
+            conv.adopt_bank(std::move(bank));
+            return 0;
+          });
+        } else {
+          auto weights = read_weights(r, name);
+          auto bn = r.bn_params();
+          auto bias = r.floats();
+          contextualized(r, [&] {
+            net->emplace<core::BinaryConv2d>(name, std::move(weights),
+                                             std::move(bn), std::move(bias),
+                                             g);
+            return 0;
+          });
+        }
         break;
       }
       case LayerKind::kMaxPool: {
@@ -272,7 +440,8 @@ std::unique_ptr<Network> read_network(ByteReader& r) {
 
 // --- options section -------------------------------------------------------
 
-void write_options(ByteWriter& w, const EngineOptions& o) {
+void write_options(ByteWriter& w, const EngineOptions& o,
+                   std::uint32_t version) {
   w.pod<std::uint8_t>(o.fuse_bn_binarize ? 1 : 0);
   w.pod<std::uint8_t>(o.branch_free_binarize ? 1 : 0);
   w.pod<std::uint8_t>(o.integrate_packing ? 1 : 0);
@@ -287,9 +456,17 @@ void write_options(ByteWriter& w, const EngineOptions& o) {
   w.pod<std::uint8_t>(o.vectorized_loads ? 1 : 0);
   w.pod<std::uint8_t>(o.layout == Layout::kNCHW ? 1 : 0);
   w.pod<std::uint8_t>(static_cast<std::uint8_t>(o.conv_path));
+  if (version >= 4) {
+    w.pod<std::uint8_t>(static_cast<std::uint8_t>(o.weight_compress));
+  } else {
+    // save() only picks v3 when compression is off; a v3 record cannot
+    // carry the knob, so anything else here would be silently dropped.
+    PB_CHECK(o.weight_compress == core::WeightCompress::kOff,
+             "v3 artifact cannot record weight compression");
+  }
 }
 
-EngineOptions read_options(ByteReader& r) {
+EngineOptions read_options(ByteReader& r, std::uint32_t version) {
   EngineOptions o;
   o.fuse_bn_binarize = read_bool(r);
   o.branch_free_binarize = read_bool(r);
@@ -310,20 +487,33 @@ EngineOptions read_options(ByteReader& r) {
     r.fail("invalid conv path preference " + std::to_string(conv_path));
   }
   o.conv_path = static_cast<core::ConvPathPreference>(conv_path);
+  if (version >= 4) {
+    const auto wc = r.pod<std::uint8_t>();
+    if (wc > static_cast<std::uint8_t>(core::WeightCompress::kAuto)) {
+      r.fail("invalid weight compression mode " + std::to_string(wc));
+    }
+    o.weight_compress = static_cast<core::WeightCompress>(wc);
+  }
   return o;
 }
 
 // --- kernel variants / scratch ---------------------------------------------
 
-void write_variant(ByteWriter& w, const KernelVariant& v) {
+void write_variant(ByteWriter& w, const KernelVariant& v,
+                   std::uint32_t version) {
   w.pod<std::uint8_t>(static_cast<std::uint8_t>(v.path));
   w.pod<std::uint32_t>(static_cast<std::uint32_t>(bits(v.pack_width)));
   w.pod<std::uint8_t>(v.interior_split ? 1 : 0);
+  if (version >= 4) {
+    w.pod<std::uint8_t>(v.reuse ? 1 : 0);
+  } else {
+    PB_CHECK(!v.reuse, "v3 artifact cannot record a reuse kernel variant");
+  }
   w.pod<std::int64_t>(v.tile_ow);
   w.str(v.kernel);
 }
 
-KernelVariant read_variant(ByteReader& r) {
+KernelVariant read_variant(ByteReader& r, std::uint32_t version) {
   KernelVariant v;
   const auto path = r.pod<std::uint8_t>();
   if (path > static_cast<std::uint8_t>(KernelVariant::Path::kConvGemm)) {
@@ -332,6 +522,7 @@ KernelVariant read_variant(ByteReader& r) {
   v.path = static_cast<KernelVariant::Path>(path);
   v.pack_width = read_pack_width(r);
   v.interior_split = read_bool(r);
+  if (version >= 4) v.reuse = read_bool(r);
   v.tile_ow = r.pod<std::int64_t>();
   if (v.tile_ow < 0) r.fail("negative kernel tile width");
   v.kernel = r.str();
@@ -381,7 +572,7 @@ std::uint64_t checksum(const void* data, std::size_t n) noexcept {
 class PlanCodec {
  public:
   static void encode(ByteWriter& w, const Network& net,
-                     const core::ExecutionPlan& p) {
+                     const core::ExecutionPlan& p, std::uint32_t version) {
     PB_CHECK(p.network_name() == net.name(),
              "plan '" << p.network_name()
                       << "' was not compiled from network '" << net.name()
@@ -406,8 +597,13 @@ class PlanCodec {
       write_blob_desc(w, step.in);
       write_blob_desc(w, step.out);
       write_blob_desc(w, step.fused_mid);
-      write_variant(w, step.variant);
+      write_variant(w, step.variant, version);
       write_scratch(w, step.scratch);
+      if (version >= 4) {
+        w.pod<std::int64_t>(step.wcomp.unique_rows);
+        w.pod<std::int64_t>(step.wcomp.raw_bytes);
+        w.pod<std::int64_t>(step.wcomp.encoded_bytes);
+      }
       w.pod<std::int32_t>(step.slot);
       w.str(step.display);
     }
@@ -423,7 +619,8 @@ class PlanCodec {
 
   static core::ExecutionPlan decode(ByteReader& r, const Network& net,
                                     const EngineOptions& opts,
-                                    const BlobDesc& input) {
+                                    const BlobDesc& input,
+                                    std::uint32_t version) {
     core::ExecutionPlan p;
     p.name_ = r.str();
     if (p.name_ != net.name()) {
@@ -466,7 +663,7 @@ class PlanCodec {
                " breaks the pipeline edge (expected " + expected_in.str() +
                ")");
       }
-      step.variant = read_variant(r);
+      step.variant = read_variant(r, version);
       // Conv-path kernels partition output columns by the tile: a resealed
       // zero would reach ceil_div(ow, 0). Non-conv layers (path kDefault)
       // legitimately record 0 ("does not tile") and never divide by it.
@@ -476,6 +673,27 @@ class PlanCodec {
                " conv variant records tile width " +
                std::to_string(step.variant.tile_ow) +
                " (conv kernels tile by it; must be >= 1)");
+      }
+      if (step.variant.reuse) {
+        // Reuse variants are only ever selected for binary convs under
+        // kAuto. The GEMM-reuse kernel additionally indexes a FIXED stack
+        // partial buffer by dictionary row, so the cap is a memory-safety
+        // bound against resealed files (the bank here is the loader-adopted
+        // one — honest reuse layers always ship mode-1 weights, so this
+        // does not re-cluster).
+        const auto* conv =
+            dynamic_cast<const core::BinaryConv2d*>(step.layer);
+        if (conv == nullptr ||
+            opts.weight_compress != core::WeightCompress::kAuto) {
+          r.fail("step " + std::to_string(i) +
+                 " records a reuse kernel outside auto weight compression");
+        }
+        if (step.variant.path == KernelVariant::Path::kConvGemm &&
+            conv->compressed_bank().unique_rows() > bitpack::kReuseMaxDict) {
+          r.fail("step " + std::to_string(i) +
+                 " reuse dictionary exceeds the kernel cap " +
+                 std::to_string(bitpack::kReuseMaxDict));
+        }
       }
       if (fused) {
         step.fused_pool = net.layers()[static_cast<std::size_t>(fused_idx)]
@@ -508,6 +726,34 @@ class PlanCodec {
         }
       }
       step.scratch = read_scratch(r);
+      if (version >= 4) {
+        step.wcomp.unique_rows = r.pod<std::int64_t>();
+        step.wcomp.raw_bytes = r.pod<std::int64_t>();
+        step.wcomp.encoded_bytes = r.pod<std::int64_t>();
+        // Compression stats are recorded exactly when compile records them:
+        // for binary convs under a compressing plan, and nowhere else. The
+        // cheap invariants (raw bytes match the layer's weight bank, the
+        // dictionary is 1..C_out rows) catch resealed edits without
+        // re-clustering anything at load.
+        const auto* conv =
+            dynamic_cast<const core::BinaryConv2d*>(step.layer);
+        if (conv != nullptr &&
+            opts.weight_compress != core::WeightCompress::kOff) {
+          if (step.wcomp.raw_bytes != conv->weights().bytes() ||
+              step.wcomp.unique_rows < 1 ||
+              step.wcomp.unique_rows > conv->out_channels() ||
+              step.wcomp.encoded_bytes <= 0) {
+            r.fail("step " + std::to_string(i) +
+                   " compression stats disagree with the layer's weight "
+                   "bank");
+          }
+        } else if (step.wcomp.unique_rows != 0 ||
+                   step.wcomp.raw_bytes != 0 ||
+                   step.wcomp.encoded_bytes != 0) {
+          r.fail("step " + std::to_string(i) +
+                 " records compression stats on a step that has none");
+        }
+      }
       step.slot = r.pod<std::int32_t>();
       step.display = r.str();
       // Shape replay: the descriptors are not free data either — each
@@ -704,9 +950,11 @@ void close_section(ByteReader& r, Section sec, std::int64_t body_start,
   }
 }
 
-/// Header checks shared by load() and section_table().
-void check_header(ByteReader& r, const std::vector<std::uint8_t>& buf,
-                  const std::string& path) {
+/// Header checks shared by load() and section_table(); returns the format
+/// version (within [kMinFormatVersion, kFormatVersion]) so the section
+/// decoders know which record layout to expect.
+std::uint32_t check_header(ByteReader& r, const std::vector<std::uint8_t>& buf,
+                           const std::string& path) {
   r.set_section("header");
   // Reject short files up front: the payload-length comparison below and
   // load()'s direct checksum read both assume at least a full header, and
@@ -722,10 +970,11 @@ void check_header(ByteReader& r, const std::vector<std::uint8_t>& buf,
             "bad magic (not a PhoneBit artifact)");
   }
   const auto version = r.pod<std::uint32_t>();
-  if (version != kFormatVersion) {
+  if (version < kMinFormatVersion || version > kFormatVersion) {
     fail_at(path, "header", kVersionOffset,
             "unsupported artifact format version " + std::to_string(version) +
-                " (this build reads version " +
+                " (this build reads versions " +
+                std::to_string(kMinFormatVersion) + ".." +
                 std::to_string(kFormatVersion) + ")");
   }
   const auto endian = r.pod<std::uint32_t>();
@@ -750,21 +999,32 @@ void check_header(ByteReader& r, const std::vector<std::uint8_t>& buf,
                 std::to_string(payload_bytes) + " bytes, file carries " +
                 std::to_string(buf.size() - kHeaderBytes));
   }
+  return version;
 }
 
 }  // namespace
 
 void save(const Network& net, const core::ExecutionPlan& plan,
           const std::string& path, const std::string& target_profile) {
+  // Dual-write: a plan compiled with weight compression off serializes as
+  // v3, byte-identical to pre-v4 producers — default-configuration artifact
+  // checksums are stable across this format revision. Any compressing plan
+  // needs the v4 record extensions.
+  const std::uint32_t version =
+      plan.options().weight_compress == core::WeightCompress::kOff
+          ? kMinFormatVersion
+          : kFormatVersion;
   ByteWriter payload;
   write_section(payload, Section::kNetwork,
-                [&](ByteWriter& w) { write_network(w, net); });
-  write_section(payload, Section::kOptions,
-                [&](ByteWriter& w) { write_options(w, plan.options()); });
+                [&](ByteWriter& w) { write_network(w, net, version); });
+  write_section(payload, Section::kOptions, [&](ByteWriter& w) {
+    write_options(w, plan.options(), version);
+  });
   write_section(payload, Section::kInput,
                 [&](ByteWriter& w) { write_blob_desc(w, plan.input()); });
-  write_section(payload, Section::kPlan,
-                [&](ByteWriter& w) { PlanCodec::encode(w, net, plan); });
+  write_section(payload, Section::kPlan, [&](ByteWriter& w) {
+    PlanCodec::encode(w, net, plan, version);
+  });
   // Always framed, even when empty: every v2 artifact has exactly five
   // sections, so readers need no optional-section logic.
   write_section(payload, Section::kTarget,
@@ -772,7 +1032,7 @@ void save(const Network& net, const core::ExecutionPlan& plan,
 
   ByteWriter header;
   header.pod<std::uint32_t>(kMagic);
-  header.pod<std::uint32_t>(kFormatVersion);
+  header.pod<std::uint32_t>(version);
   header.pod<std::uint32_t>(kEndianMark);
   header.pod<std::uint32_t>(static_cast<std::uint32_t>(kHeaderBytes));
   header.pod<std::uint64_t>(
@@ -792,7 +1052,7 @@ void save(const Network& net, const core::ExecutionPlan& plan,
 LoadedArtifact load(const std::string& path) {
   const std::vector<std::uint8_t> buf = read_file(path);
   ByteReader r = make_reader(buf, path);
-  check_header(r, buf, path);
+  const std::uint32_t version = check_header(r, buf, path);
 
   const std::uint64_t stored = [&] {
     std::uint64_t v;
@@ -813,14 +1073,14 @@ LoadedArtifact load(const std::string& path) {
   {
     const std::int64_t body = open_section(r, Section::kNetwork);
     const std::int64_t start = r.offset();
-    network = read_network(r);
+    network = read_network(r, version);
     close_section(r, Section::kNetwork, start, body);
   }
   EngineOptions opts;
   {
     const std::int64_t body = open_section(r, Section::kOptions);
     const std::int64_t start = r.offset();
-    opts = read_options(r);
+    opts = read_options(r, version);
     close_section(r, Section::kOptions, start, body);
   }
   BlobDesc input;
@@ -833,7 +1093,8 @@ LoadedArtifact load(const std::string& path) {
   core::ExecutionPlan plan = [&] {
     const std::int64_t body = open_section(r, Section::kPlan);
     const std::int64_t start = r.offset();
-    core::ExecutionPlan p = PlanCodec::decode(r, *network, opts, input);
+    core::ExecutionPlan p =
+        PlanCodec::decode(r, *network, opts, input, version);
     close_section(r, Section::kPlan, start, body);
     return p;
   }();

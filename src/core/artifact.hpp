@@ -16,7 +16,7 @@
 // Container layout (all fields host little-endian; DESIGN.md §8):
 //
 //   byte  0  u32  magic            "PBA!" (0x21414250)
-//   byte  4  u32  format version   (exact match required; no back-compat)
+//   byte  4  u32  format version   (kMinFormatVersion..kFormatVersion)
 //   byte  8  u32  endianness mark  0x01020304 as written by the producer
 //   byte 12  u32  header bytes     32
 //   byte 16  u64  payload bytes    (file size - 32 must equal this)
@@ -29,6 +29,16 @@
 // was compiled (and RAM-validated) for — empty when the producer did not
 // target a specific profile. Fleet repositories route on it; `pbc dump`
 // prints it.
+//
+// Format v4 added weight compression (DESIGN.md §12): the options record
+// carries the weight_compress knob, kernel variants carry the reuse flag,
+// plan steps carry their compression stats, and BinaryConv2d records gain a
+// storage-mode byte — mode 1 stores the filter bank as dictionary + row
+// indices + XOR deltas (picked per layer only when strictly smaller than
+// raw; the loader reconstructs the exact weights and hands the layer the
+// decoded bank, so loading never re-clusters). v3 files still load; save()
+// writes v3 whenever the plan was compiled with WeightCompress::kOff, so
+// default-configuration artifacts stay byte-identical across this change.
 //
 // Every load-time mismatch — bad magic/version/endianness, truncation,
 // checksum failure, invalid enum, violated structural invariant (weight
@@ -52,7 +62,11 @@ namespace phonebit::artifact {
 // --- container constants (the stable on-disk contract; tests pin these) ---
 
 inline constexpr std::uint32_t kMagic = 0x21414250u;  // "PBA!" little-endian
-inline constexpr std::uint32_t kFormatVersion = 3;  // v3: conv_path + path D
+inline constexpr std::uint32_t kFormatVersion = 4;  // v4: weight compression
+/// Oldest format the loader still accepts (v3: conv_path + path D). save()
+/// emits v3 when the plan has weight compression off — byte-identical to
+/// pre-v4 producers — and v4 otherwise.
+inline constexpr std::uint32_t kMinFormatVersion = 3;
 inline constexpr std::uint32_t kEndianMark = 0x01020304u;
 inline constexpr std::int64_t kHeaderBytes = 32;
 

@@ -46,6 +46,24 @@ std::int64_t BinaryConv2d::param_count() const {
   return s.n * s.h * s.w * s.c + 5 * s.n;  // weights + (gamma,beta,mu,sigma,b)
 }
 
+const bitpack::CompressedFilterBank& BinaryConv2d::compressed_bank() const {
+  std::call_once(bank_once_, [this] {
+    if (bank_ == nullptr) {
+      bank_ = std::make_shared<const bitpack::CompressedFilterBank>(
+          bitpack::CompressedFilterBank::build(weights_));
+    }
+  });
+  return *bank_;
+}
+
+void BinaryConv2d::adopt_bank(
+    std::shared_ptr<const bitpack::CompressedFilterBank> bank) const {
+  PB_CHECK(bank != nullptr, name_ << ": cannot adopt a null compression bank");
+  std::call_once(bank_once_, [this, &bank] { bank_ = std::move(bank); });
+  PB_CHECK(bank == nullptr,
+           name_ << ": compression bank adopted after it was already built");
+}
+
 const PackedTensor& BinaryConv2d::checked_input(const Blob& in) const {
   const auto* packed = std::get_if<PackedTensor>(&in);
   PB_CHECK(packed != nullptr,
@@ -113,6 +131,9 @@ PackedTensor BinaryConv2d::execute(ExecContext& ctx, const PackedTensor& in,
   }
   if (v.path == KernelVariant::Path::kConvGemm) {
     return forward_gemm(ctx, in, v);
+  }
+  if (v.path == KernelVariant::Path::kConvFused && v.reuse) {
+    return forward_fused_dedup(ctx, in, v);
   }
   return forward_fused(ctx, in, v,
                        v.path == KernelVariant::Path::kConvFused);
@@ -278,6 +299,34 @@ inline void group_mismatches(const PackedTensor& in,
   }
 }
 
+/// Dedup'd per-group window accumulator (DESIGN.md §12): lane f computes
+/// its window only when it is its group's first lane with that exact filter
+/// content (`lanes[f] == f`); duplicate lanes copy the earlier result —
+/// legal for interior AND border windows, since identical filters score
+/// identically against any window. Distinct interior lanes run the plain
+/// row-fused whole-window reduction; bit-exact with group_mismatches.
+inline void group_mismatches_dedup(const PackedTensor& in,
+                                   const PackedTensor& weights,
+                                   const ConvDims& d, std::int64_t n,
+                                   std::int64_t oy, std::int64_t ox,
+                                   std::int64_t g, const std::uint8_t* lanes,
+                                   bitpack::PackWidth pw, bool y_interior,
+                                   std::int64_t mism[8]) {
+  const bool interior = y_interior && ox >= d.x0 && ox < d.x1;
+  for (int f = 0; f < 8; ++f) {
+    if (lanes[f] != f) {
+      mism[f] = mism[lanes[f]];
+      continue;
+    }
+    mism[f] = interior
+                  ? window_mismatches_interior(in, weights, d, n,
+                                               oy * d.sh - d.ph,
+                                               ox * d.sw - d.pw, g * 8 + f, pw)
+                  : window_mismatches_border(in, weights, d, n, oy, ox,
+                                             g * 8 + f, pw);
+  }
+}
+
 /// Path A epilogue: folded-BN threshold sign over the 8 group results,
 /// packed into one byte (Fig. 4's private-memory byte).
 inline std::uint8_t group_byte(const std::int64_t mism[8], std::int64_t g,
@@ -437,6 +486,96 @@ double modeled_gemm_ms(const ConvDims& d, const EngineOptions& opts) {
   return reference_gpu_ms(col) + reference_gpu_ms(gemm);
 }
 
+/// Window-accumulation tally of the dedup'd path-A schedule (DESIGN.md
+/// §12): every group computes one window per DISTINCT lane and copies exact
+/// duplicates, so span setups, border row walks and bit-ops all scale by
+/// the bank's distinct-lane fraction. Interior bookkeeping stays one op per
+/// output (the copy is as cheap as the accumulate it replaces).
+void charge_windows_dedup(KernelCost& cost, const ConvDims& d,
+                          const EngineOptions& opts, double distinct_frac) {
+  const double outputs = static_cast<double>(d.n) * d.oh * d.ow * d.c_out;
+  const double interior =
+      static_cast<double>(d.n) * (d.y1 - d.y0) * (d.x1 - d.x0) * d.c_out;
+  const double border = outputs - interior;
+  const double kh = static_cast<double>(d.kh);
+  cost.span_setup_cycles = costs::kSpanSetupCycles;
+  cost.scalar_ops = interior * 1.0 + border * kh * distinct_frac;
+  cost.span_count = interior * costs::dedup_window_spans(kh, distinct_frac) +
+                    border * 2.0 * kh * distinct_frac;
+  cost.instr_overhead_cycles = costs::instr_overhead_fused(opts);
+}
+
+/// Selection-side estimate of the dedup'd path-A schedule. Mirrors
+/// forward_fused_dedup()'s tallies exactly (same expressions), so the
+/// roofline comparison and the recorded modeled times cannot disagree.
+/// Only meaningful with the interior split on (the reuse gate requires it).
+double modeled_window_dedup_ms(const ConvDims& d, const EngineOptions& opts,
+                               const bitpack::CompressedFilterBank& bank) {
+  const double outputs = static_cast<double>(d.n) * d.oh * d.ow * d.c_out;
+  const double distinct_frac =
+      static_cast<double>(bank.distinct_group_lanes()) /
+      static_cast<double>(d.c_out);
+  const auto pw = opts.conv_pack_width(d.c_in, d.kw);
+  KernelCost cost;
+  cost.bitop_bits =
+      outputs * window_bitops(d, pw, /*split=*/true) * distinct_frac;
+  charge_windows_dedup(cost, d, opts, distinct_frac);
+  cost.scalar_ops += outputs * 4.0;
+  cost.pack_width_bits =
+      bitpack::bits(bitpack::cap_pack_width_to_span(pw, d.kw * d.words));
+  cost.bytes_read = packed_in_bytes(d) +
+                    packed_weight_bytes(d) * distinct_frac +
+                    static_cast<double>(d.c_out) * 5.0;
+  cost.bytes_written = packed_out_bytes(d);
+  cost.coalescing = costs::coalescing(opts);
+  cost.alu_efficiency = costs::binary_kernel_eff(opts);
+  return reference_gpu_ms(cost);
+}
+
+/// Selection-side estimate of the partial-popcount reuse GEMM: the same
+/// im2col panel, then stage 1 scores each unique dictionary row once per
+/// register tile and stage 2 patches referencing filters at
+/// kReuseDeltaWordOps per delta word. Mirrors forward_gemm()'s reuse branch
+/// exactly.
+double modeled_gemm_reuse_ms(const ConvDims& d, const EngineOptions& opts,
+                             const bitpack::CompressedFilterBank& bank) {
+  const std::int64_t k_words = d.kh * d.kw * d.words;
+  const std::int64_t m = d.n * d.oh * d.ow;
+  const double outputs = static_cast<double>(m) * d.c_out;
+  const double panel_bytes = static_cast<double>(m * k_words) * 8.0;
+
+  KernelCost col;
+  col.scalar_ops = static_cast<double>(m * k_words);
+  col.bytes_read = panel_bytes;
+  col.bytes_written = panel_bytes;
+  col.coalescing = costs::coalescing(opts);
+  col.alu_efficiency = costs::kAuxKernelEff;
+
+  const auto pw = opts.pack_width_for_span(d.c_in, k_words);
+  const double m_tiles = static_cast<double>(ceil_div(m, bitpack::kGemmMr));
+  const double unique = static_cast<double>(bank.unique_rows());
+  const double delta_words = static_cast<double>(bank.stats().delta_words);
+  KernelCost gemm;
+  gemm.bitop_bits = costs::reuse_gemm_bitop_bits(
+      static_cast<double>(m), unique, static_cast<double>(k_words),
+      delta_words);
+  gemm.pack_width_bits =
+      bitpack::bits(bitpack::cap_pack_width_to_span(pw, k_words));
+  gemm.instr_overhead_cycles = costs::instr_overhead_gemm(opts);
+  // One stage-1 span per unique row plus one stage-2 patch/epilogue pass
+  // per filter group, per tile.
+  gemm.span_count = m_tiles * (unique + static_cast<double>(d.c_out / 8));
+  gemm.span_setup_cycles = costs::kGemmTileSetupCycles;
+  gemm.scalar_ops = outputs * 5.0;  // cached-partial fetch + threshold/byte
+  gemm.bytes_read = panel_bytes +
+                    static_cast<double>(bank.stats().encoded_bytes) +
+                    static_cast<double>(d.c_out) * 5.0;
+  gemm.bytes_written = packed_out_bytes(d);
+  gemm.coalescing = costs::coalescing(opts);
+  gemm.alu_efficiency = costs::binary_kernel_eff(opts);
+  return reference_gpu_ms(col) + reference_gpu_ms(gemm);
+}
+
 }  // namespace
 
 KernelVariant BinaryConv2d::select_variant(const Shape& in_shape,
@@ -469,6 +608,20 @@ KernelVariant BinaryConv2d::select_variant(const Shape& in_shape,
       v.pack_width =
           opts.pack_width_for_span(in_shape.c, d.kh * d.kw * d.words);
       v.tile_ow = bitpack::kGemmMr;  // M rows per register tile
+      // Partial-popcount reuse (DESIGN.md §12): legal when the stage-1
+      // partials fit the fixed per-work-item buffer; taken when the bank's
+      // measured redundancy beats the plain tile on the reference roofline.
+      // The bank is a deterministic function of the weights, so selection
+      // stays replay-exact.
+      if (opts.weight_compress == WeightCompress::kAuto) {
+        const bitpack::CompressedFilterBank& bank = compressed_bank();
+        if (bank.unique_rows() <= bitpack::kReuseMaxDict &&
+            bank.unique_rows() < out_channels() &&
+            modeled_gemm_reuse_ms(d, opts, bank) < modeled_gemm_ms(d, opts)) {
+          v.reuse = true;
+          v.kernel = "im2col+bitgemm_reuse";
+        }
+      }
       return v;
     }
   }
@@ -480,6 +633,21 @@ KernelVariant BinaryConv2d::select_variant(const Shape& in_shape,
              out_channels() % 8 == 0) {
     v.path = KernelVariant::Path::kConvFused;
     v.kernel = "bconv_fused";
+    // Duplicate-lane dedup of the shared-window schedule (DESIGN.md §12):
+    // only exact within-group duplicates are legal here (delta patches
+    // would change the window math), so the gate is the bank's distinct
+    // lane count plus the roofline comparison.
+    if (opts.weight_compress == WeightCompress::kAuto && opts.interior_split) {
+      const bitpack::CompressedFilterBank& bank = compressed_bank();
+      if (bank.distinct_group_lanes() < out_channels()) {
+        const ConvDims d = make_dims(in_shape, out_channels(), geom_);
+        if (modeled_window_dedup_ms(d, opts, bank) <
+            modeled_window_ms(d, opts, /*path_a=*/true)) {
+          v.reuse = true;
+          v.kernel = "bconv_fused_dedup";
+        }
+      }
+    }
   } else {
     v.path = KernelVariant::Path::kConvSeparatePack;
     v.kernel = "bconv_nopack+pack";
@@ -758,6 +926,59 @@ PackedTensor BinaryConv2d::forward_gemm(ExecContext& ctx,
   const std::int64_t out_pitch = out.words_per_pixel() * 8;  // bytes/pixel
   const FoldedBatchNorm& fb = folded_;
   const double outputs = static_cast<double>(m) * d.c_out;
+  auto* out_bytes_reuse = reinterpret_cast<std::uint8_t*>(out.data());
+
+  if (v.reuse) {
+    // Partial-popcount reuse schedule (DESIGN.md §12): one work item per
+    // register tile scores every unique dictionary row ONCE (stage 1,
+    // partials in a fixed stack buffer — never the shared arena, so
+    // parallel work items cannot collide and warm forwards stay
+    // zero-allocation), then derives all c_out filters from the cached
+    // partials plus their delta corrections (stage 2). Bit-exact with the
+    // plain tile against the reconstructed weights.
+    const bitpack::CompressedFilterBank& bank = compressed_bank();
+    const double unique = static_cast<double>(bank.unique_rows());
+    const double delta_words = static_cast<double>(bank.stats().delta_words);
+    KernelCost reuse_cost;
+    reuse_cost.bitop_bits = costs::reuse_gemm_bitop_bits(
+        static_cast<double>(m), unique, static_cast<double>(k_words),
+        delta_words);
+    reuse_cost.pack_width_bits = bitpack::bits(
+        bitpack::cap_pack_width_to_span(v.pack_width, k_words));
+    reuse_cost.instr_overhead_cycles = costs::instr_overhead_gemm(ctx.opts);
+    reuse_cost.span_count = static_cast<double>(m_tiles) *
+                            (unique + static_cast<double>(groups));
+    reuse_cost.span_setup_cycles = costs::kGemmTileSetupCycles;
+    reuse_cost.scalar_ops = outputs * 5.0;
+    reuse_cost.bytes_read = panel_bytes +
+                            static_cast<double>(bank.stats().encoded_bytes) +
+                            static_cast<double>(d.c_out) * 5.0;
+    reuse_cost.bytes_written = packed_out_bytes(d);
+    reuse_cost.coalescing = costs::coalescing(ctx.opts);
+    reuse_cost.alu_efficiency = costs::binary_kernel_eff(ctx.opts);
+    ctx.queue.enqueue(
+        name_ + ".bitgemm_reuse", NDRange{m_tiles, 1, 1}, reuse_cost,
+        [&, d, k_words, m, out_pitch, branch_free, len, groups, panel,
+         out_bytes_reuse](const WorkItem& it) {
+          const std::int64_t m0 = it.x * bitpack::kGemmMr;
+          const std::int64_t rows =
+              std::min<std::int64_t>(bitpack::kGemmMr, m - m0);
+          std::int64_t partials[bitpack::kReuseMaxDict * bitpack::kGemmMr];
+          bitpack::xor_popcount_dict(panel + m0 * k_words, k_words, bank,
+                                     rows, partials);
+          std::int64_t mism[bitpack::kGemmMr * 8];
+          for (std::int64_t g = 0; g < groups; ++g) {
+            bitpack::xor_popcount_gemm_reuse_x8(panel + m0 * k_words, k_words,
+                                                bank, g, rows, partials,
+                                                mism);
+            for (std::int64_t r = 0; r < rows; ++r) {
+              out_bytes_reuse[(m0 + r) * out_pitch + g] =
+                  group_byte(&mism[r * 8], g, len, fb, branch_free);
+            }
+          }
+        });
+    return out;
+  }
 
   KernelCost gemm_cost;
   gemm_cost.bitop_bits =
@@ -791,6 +1012,66 @@ PackedTensor BinaryConv2d::forward_gemm(ExecContext& ctx,
         for (std::int64_t r = 0; r < rows; ++r) {
           out_bytes[(m0 + r) * out_pitch + g] =
               group_byte(&mism[r * 8], g, len, fb, branch_free);
+        }
+      });
+  return out;
+}
+
+PackedTensor BinaryConv2d::forward_fused_dedup(ExecContext& ctx,
+                                               const PackedTensor& in,
+                                               const KernelVariant& v) const {
+  // Path A with the duplicate-lane table (DESIGN.md §12): selection only
+  // takes this variant with the interior split on, so there is no per-tap
+  // ablation arm here. Work and traffic scale by the bank's distinct-lane
+  // fraction; results are bit-exact with forward_fused.
+  const ConvDims d = make_dims(in, weights_, geom_);
+  PackedTensor out = ctx.make_packed(Shape{d.n, d.oh, d.ow, d.c_out});
+  const bitpack::CompressedFilterBank& bank = compressed_bank();
+  const std::uint8_t* lane_src = bank.lane_sources().data();
+  const double distinct_frac =
+      static_cast<double>(bank.distinct_group_lanes()) /
+      static_cast<double>(d.c_out);
+  const auto pw = v.pack_width;
+  const bool branch_free = ctx.opts.branch_free_binarize;
+  const std::int64_t len = d.kh * d.kw * d.c_in;
+  const std::int64_t tile = std::min(v.tile_ow, d.ow);
+  const std::int64_t tiles_x = ceil_div(d.ow, tile);
+  const std::int64_t groups = d.c_out / 8;
+  const FoldedBatchNorm& fb = folded_;
+
+  // Mirrors modeled_window_dedup_ms exactly (same expressions), so the
+  // recorded modeled time equals what selection compared.
+  const double outputs = static_cast<double>(d.n) * d.oh * d.ow * d.c_out;
+  KernelCost cost;
+  cost.bitop_bits =
+      outputs * window_bitops(d, pw, /*split=*/true) * distinct_frac;
+  charge_windows_dedup(cost, d, ctx.opts, distinct_frac);
+  cost.scalar_ops += outputs * 4.0;  // threshold compare + byte/bit insert
+  cost.pack_width_bits =
+      bitpack::bits(bitpack::cap_pack_width_to_span(pw, d.kw * d.words));
+  cost.bytes_read = packed_in_bytes(d) +
+                    packed_weight_bytes(d) * distinct_frac +
+                    static_cast<double>(d.c_out) * 5.0;
+  cost.bytes_written = packed_out_bytes(d);
+  cost.coalescing = costs::coalescing(ctx.opts);
+  cost.alu_efficiency = costs::binary_kernel_eff(ctx.opts);
+
+  auto* out_bytes = reinterpret_cast<std::uint8_t*>(out.data());
+  ctx.queue.enqueue(
+      name_ + ".bconv_fused_dedup", NDRange{tiles_x, d.oh, d.n * groups},
+      cost,
+      [&, d, pw, branch_free, len, groups, tile,
+       lane_src](const WorkItem& it) {
+        const std::int64_t n = it.z / groups;
+        const std::int64_t g = it.z % groups;
+        const bool y_in = it.y >= d.y0 && it.y < d.y1;
+        const std::int64_t x_end = std::min(d.ow, (it.x + 1) * tile);
+        for (std::int64_t ox = it.x * tile; ox < x_end; ++ox) {
+          std::int64_t mism[8];
+          group_mismatches_dedup(in, weights_, d, n, it.y, ox, g,
+                                 lane_src + g * 8, pw, y_in, mism);
+          out_bytes[out.word_offset(n, it.y, ox, 0) * 8 + g] =
+              group_byte(mism, g, len, fb, branch_free);
         }
       });
   return out;

@@ -34,9 +34,12 @@
 // work item owns. Intermediates live in the engine's ScratchArena.
 #pragma once
 
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
+#include "bitpack/compress.hpp"
 #include "bitpack/packed_tensor.hpp"
 #include "core/bn_fold.hpp"
 #include "core/layer.hpp"
@@ -70,6 +73,17 @@ class BinaryConv2d final : public Layer {
   const std::vector<BatchNormParams>& raw_bn() const noexcept { return bn_; }
   const std::vector<float>& bias() const noexcept { return bias_; }
 
+  /// Dictionary/index/delta factorization of the filter bank (DESIGN.md
+  /// §12). Built lazily and deterministically from the packed weights on
+  /// first use (compile-time selection, v4 artifact save, compress-stats) —
+  /// one std::call_once guards the build, so concurrent compiles are safe —
+  /// or adopted verbatim by the artifact loader so loading never
+  /// re-clusters.
+  const bitpack::CompressedFilterBank& compressed_bank() const;
+  /// Installs a pre-built bank (the artifact loader, before any forward).
+  void adopt_bank(
+      std::shared_ptr<const bitpack::CompressedFilterBank> bank) const;
+
  private:
   /// Ahead-of-time kernel selection from input geometry + options: the
   /// execution path (A/B/C), the pack width (span- or channel-keyed), the
@@ -98,6 +112,14 @@ class BinaryConv2d final : public Layer {
   bitpack::PackedTensor forward_gemm(ExecContext& ctx,
                                      const bitpack::PackedTensor& in,
                                      const KernelVariant& v) const;
+  /// Path A with the duplicate-lane table (DESIGN.md §12): each workload
+  /// group computes one window per DISTINCT lane (exact-duplicate filters
+  /// copy the earlier lane's mismatch count) — selected only under
+  /// WeightCompress::kAuto when the bank's dedup fraction wins the roofline
+  /// comparison; bit-exact with forward_fused's shared-window schedule.
+  bitpack::PackedTensor forward_fused_dedup(ExecContext& ctx,
+                                            const bitpack::PackedTensor& in,
+                                            const KernelVariant& v) const;
   /// Compiled conv→pool fused step (plan.cpp's rewrite, DESIGN.md §7): one
   /// kernel computes path-A conv bytes into a per-row register buffer and
   /// ORs each pool window out of it, emitting the pooled packed map
@@ -112,6 +134,10 @@ class BinaryConv2d final : public Layer {
   std::vector<float> bias_;
   FoldedBatchNorm folded_;
   ConvGeometry geom_;
+  // Lazily built (or loader-adopted) compression bank. Layers live behind
+  // Network::emplace's unique_ptr, so the immovable once_flag is fine.
+  mutable std::once_flag bank_once_;
+  mutable std::shared_ptr<const bitpack::CompressedFilterBank> bank_;
 };
 
 }  // namespace phonebit::core

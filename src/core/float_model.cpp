@@ -1,6 +1,8 @@
 #include "core/float_model.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "common/rng.hpp"
 
@@ -78,6 +80,37 @@ FloatModel FloatModel::random(NetworkSpec spec, std::uint64_t seed) {
     }
   }
   model.spec = std::move(spec);
+  return model;
+}
+
+FloatModel FloatModel::random_redundant(NetworkSpec spec, std::uint64_t seed) {
+  FloatModel model = random(std::move(spec), seed);
+  // A separate stream for the redundancy overlay keeps random()'s draws —
+  // and everything pinned to them — untouched.
+  Rng rng(seed ^ 0xc2b2ae3d27d4eb4full);
+  for (LayerWeights& lw : model.weights) {
+    auto* cw = std::get_if<ConvWeights>(&lw);
+    if (cw == nullptr) continue;
+    const Shape& s = cw->w.shape();
+    const std::int64_t fsize = s.h * s.w * s.c;  // taps per filter
+    float* data = cw->w.data();
+    for (std::int64_t f = 0; f < s.n; ++f) {
+      const std::int64_t lane = f % 8;
+      if (lane == 0) continue;  // the group base keeps its own draw
+      std::memcpy(data + f * fsize, data + (f - lane) * fsize,
+                  static_cast<std::size_t>(fsize) * sizeof(float));
+      if (lane >= 4) {
+        // Sparse sign flips: a small Hamming distance from the base, so
+        // binarization yields a dictionary row plus a few-word XOR delta.
+        const std::int64_t flips = std::max<std::int64_t>(1, fsize / 64);
+        for (std::int64_t k = 0; k < flips; ++k) {
+          const auto t = static_cast<std::int64_t>(
+              rng.below(static_cast<std::uint64_t>(fsize)));
+          data[f * fsize + t] = -data[f * fsize + t];
+        }
+      }
+    }
+  }
   return model;
 }
 

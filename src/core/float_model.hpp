@@ -91,6 +91,16 @@ struct FloatModel {
   /// fan-in, BN statistics in realistic ranges. Substitutes for checkpoints
   /// this environment cannot train (DESIGN.md §2).
   static FloatModel random(NetworkSpec spec, std::uint64_t seed);
+
+  /// Like random(), but with the filter-row redundancy trained binary nets
+  /// exhibit (the kernel-compression observation, PAPERS.md), synthesized
+  /// explicitly: within every aligned group of 8 conv output channels the
+  /// filters share one base draw — lanes 1..3 as exact sign copies, lanes
+  /// 4..7 with a sparse scattering of sign flips. After binarization the
+  /// packed bank factors into few dictionary rows plus small XOR deltas;
+  /// the compression benches and artifact-shrink tests measure on these.
+  /// Dense layers and all BN/bias parameters keep random()'s draws.
+  static FloatModel random_redundant(NetworkSpec spec, std::uint64_t seed);
 };
 
 }  // namespace phonebit::core

@@ -25,6 +25,20 @@ enum class ConvPathPreference : std::uint8_t {
   kGemm = 2,      ///< always the bit-GEMM path D (where legal)
 };
 
+/// Weight-compression policy (DESIGN.md §12). Compression is always
+/// lossless — the dictionary/index/delta factorization reconstructs the
+/// packed filter bank bit-exactly — so the knob only controls where it is
+/// applied. kOff keeps today's behaviour byte-for-byte (v3 artifacts, raw
+/// weight records). kLossless compresses artifact storage (format v4) but
+/// executes the plain kernels. kAuto additionally lets ahead-of-time
+/// selection pick the partial-popcount reuse kernels where the roofline
+/// model says the measured redundancy pays for the delta corrections.
+enum class WeightCompress : std::uint8_t {
+  kOff = 0,       ///< raw weights, format v3, plain kernels (default)
+  kLossless = 1,  ///< compressed .pba storage only, execution unchanged
+  kAuto = 2,      ///< compressed storage + roofline-selected reuse kernels
+};
+
 /// Tunable engine behaviour (all paper defaults ON).
 struct EngineOptions {
   /// §V-B layer integration: fuse binary-conv + batch-norm + binarization
@@ -91,6 +105,14 @@ struct EngineOptions {
   /// integrate_packing && c_out % 8 == 0) — otherwise the A/B/C fallback
   /// rules decide exactly as before this option existed.
   ConvPathPreference conv_path = ConvPathPreference::kAuto;
+
+  /// Weight-compression policy (DESIGN.md §12): kOff is byte-identical to
+  /// the pre-compression engine; kLossless/kAuto store conv filter banks as
+  /// dictionary + row indices + XOR deltas in v4 artifacts; kAuto also
+  /// enables the partial-popcount reuse kernels where selection says the
+  /// bank's redundancy wins. Off by default so existing artifacts, byte
+  /// walks, and bench ablations are untouched.
+  WeightCompress weight_compress = WeightCompress::kOff;
 
   /// §VI-A.1 vectorized load/store. Turning this off models scalar loads:
   /// worse effective bandwidth and extra per-access overhead.

@@ -87,6 +87,18 @@ ExecutionPlan Network::compile(const EngineOptions& opts, const BlobDesc& input,
     step.variant = std::move(pc.variant_);
     step.scratch = pc.scratch_;
     step.display = layer->name();
+    // Per-step compression accounting (DESIGN.md §12): recorded in the plan
+    // so dumps and `pbc dump` print per-layer redundancy without touching
+    // the layers. The bank is deterministic in the weights, so the values
+    // replay identically on artifact load.
+    if (opts.weight_compress != WeightCompress::kOff) {
+      if (const auto* conv = dynamic_cast<const BinaryConv2d*>(layer.get())) {
+        const bitpack::CompressStats& cs = conv->compressed_bank().stats();
+        step.wcomp.unique_rows = cs.unique_rows;
+        step.wcomp.raw_bytes = cs.raw_bytes;
+        step.wcomp.encoded_bytes = cs.encoded_bytes;
+      }
+    }
     plan.steps_.push_back(std::move(step));
     cur = plan.steps_.back().out;
   }
@@ -107,6 +119,14 @@ ExecutionPlan Network::compile(const EngineOptions& opts, const BlobDesc& input,
         step.fused_pool = pool.layer;
         step.fused_mid = step.out;
         step.out = pool.out;
+        // The fused conv→pool kernel keeps the plain shared-window schedule;
+        // the dedup reuse variant does not compose with its row buffer, so
+        // fusion (the bigger win — the conv map is never written) takes
+        // precedence and the reuse flag is cleared before serialization.
+        if (step.variant.reuse) {
+          step.variant.reuse = false;
+          step.variant.kernel = "bconv_fused";
+        }
         step.variant.kernel += "+maxpool";
         step.display += "+" + pool.layer->name();
         // Re-clamp the output-x tile to the POOLED row and the fused row
@@ -273,7 +293,8 @@ std::string ExecutionPlan::dump() const {
       os << " path=" << letter;
     }
     os << " pw=" << bitpack::bits(st.variant.pack_width)
-       << (st.variant.interior_split ? " split" : "");
+       << (st.variant.interior_split ? " split" : "")
+       << (st.variant.reuse ? " reuse" : "");
     if (st.variant.path == KernelVariant::Path::kConvGemm) {
       // The GEMM register-tile shape: tile_ow M-rows x the 8-filter group.
       os << " tile=" << st.variant.tile_ow << "x8";
@@ -288,6 +309,11 @@ std::string ExecutionPlan::dump() const {
     }
     if (st.scratch.bytes() > 0) {
       os << " scratch=" << human_bytes(st.scratch.bytes());
+    }
+    if (st.wcomp.unique_rows > 0) {
+      os << " wcomp=" << st.wcomp.unique_rows << "u/"
+         << human_bytes(st.wcomp.raw_bytes) << "->"
+         << human_bytes(std::min(st.wcomp.encoded_bytes, st.wcomp.raw_bytes));
     }
     os << "\n";
   }

@@ -123,6 +123,13 @@ struct KernelVariant {
   bool interior_split = false;
   /// Resolved output-x tile width (0 = the layer does not tile).
   std::int64_t tile_ow = 0;
+  /// Partial-popcount reuse schedule selected (DESIGN.md §12): path D scores
+  /// unique dictionary rows once per tile and patches referencing filters;
+  /// path A computes one window per distinct lane of a filter group and
+  /// copies duplicates. Only ever true under WeightCompress::kAuto when the
+  /// roofline model says the bank's measured redundancy wins; bit-exact with
+  /// the plain schedule either way.
+  bool reuse = false;
   /// Kernel family, for plan dumps ("bconv_fused", "maxpool_or", ...).
   std::string kernel;
 };
@@ -147,6 +154,19 @@ struct ScratchNeed {
   }
 };
 
+/// Per-step weight-compression accounting (DESIGN.md §12): filled at
+/// compile for BinaryConv2d steps when `weight_compress` is not kOff, so
+/// plan dumps and `pbc dump` can print per-layer redundancy without
+/// touching the layers. All-zero for other layers / when compression is
+/// off; serialized with v4 plans and revalidated on load.
+struct StepCompression {
+  std::int64_t unique_rows = 0;    ///< dictionary rows of the filter bank
+  std::int64_t raw_bytes = 0;      ///< packed weight bytes, uncompressed
+  std::int64_t encoded_bytes = 0;  ///< dict+index+delta serialized bytes
+  friend bool operator==(const StepCompression&, const StepCompression&) =
+      default;
+};
+
 /// One compiled layer invocation — possibly covering a fused chain of
 /// layers (the conv→pool rewrite, DESIGN.md §7).
 struct PlanStep {
@@ -155,6 +175,9 @@ struct PlanStep {
   BlobDesc out{};
   KernelVariant variant{};
   ScratchNeed scratch{};
+  /// Weight-compression stats of this step's filter bank (all-zero unless
+  /// the step is a BinaryConv2d compiled with weight_compress != kOff).
+  StepCompression wcomp{};
   /// Activation slot holding this step's output (-1: the network output,
   /// which is handed to the caller rather than recycled).
   int slot = -1;

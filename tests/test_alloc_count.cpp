@@ -166,5 +166,59 @@ TEST(AllocCount, BatchedPlanPeaksExactAndWarmForwardAllocatesNothing) {
   }
 }
 
+/// Compressed-weight plans (PR 9) keep the whole contract: the lazily
+/// built filter banks and the reuse kernels' stage-1 partials live off the
+/// arena (compile-time shared_ptr and per-work-item stack respectively),
+/// so the arena lands byte-exactly on the plan's peaks and warm forwards
+/// stay zero-allocation — storage-only (kLossless) and reuse-selected
+/// (kAuto) alike, on both the fused default path and the bit-GEMM path
+/// where the reuse kernels run.
+TEST(AllocCount, WarmCompressedForwardAllocatesNothingAndPeaksExact) {
+  const core::FloatModel model =
+      FloatModel::random_redundant(models::quicknet(10), 507);
+  const U8Tensor image = datasets::cifar_like_image(508);
+  auto net = core::convert_to_phonebit(model);
+
+  struct OptCase {
+    const char* label;
+    core::WeightCompress compress;
+    core::ConvPathPreference path;
+  };
+  const OptCase cases[] = {
+      {"lossless", core::WeightCompress::kLossless,
+       core::ConvPathPreference::kAuto},
+      {"auto", core::WeightCompress::kAuto, core::ConvPathPreference::kAuto},
+      {"auto-gemm", core::WeightCompress::kAuto,
+       core::ConvPathPreference::kGemm},
+  };
+  for (const OptCase& c : cases) {
+    core::EngineOptions opts;
+    opts.weight_compress = c.compress;
+    opts.conv_path = c.path;
+    core::Engine engine(testing::test_device(), opts);
+    const ExecutionPlan plan = net->compile(
+        engine, core::BlobDesc{core::BlobKind::kU8, image.shape()});
+    auto session = engine.create_session();
+    ASSERT_EQ(session.arena().capacity_bytes(), 0) << c.label;
+    const core::Blob input{image};
+    plan.run(session, input);  // warm-up: reserves the exact peaks
+    // Byte-exact: compression changed neither scratch nor slab demand.
+    EXPECT_EQ(session.arena().capacity_bytes(),
+              plan.peak_scratch_bytes() + plan.slab_bytes())
+        << c.label;
+
+    RunOptions borrow;
+    borrow.borrow_output = true;
+    const std::int64_t before = buffer_alloc_count();
+    const int grows_before = session.arena().growth_events();
+    for (int i = 0; i < 3; ++i) {
+      plan.run(session, input, borrow);
+    }
+    EXPECT_EQ(buffer_alloc_count(), before)
+        << c.label << ": a warm compressed forward heap-allocated a buffer";
+    EXPECT_EQ(session.arena().growth_events(), grows_before) << c.label;
+  }
+}
+
 }  // namespace
 }  // namespace phonebit

@@ -287,7 +287,9 @@ TEST_F(ArtifactTest, HeaderLayoutIsPinned) {
   std::memcpy(&header_bytes, buf.data() + artifact::kHeaderBytesOffset, 4);
   std::memcpy(&payload_bytes, buf.data() + artifact::kPayloadBytesOffset, 8);
   std::memcpy(&stored_sum, buf.data() + artifact::kChecksumOffset, 8);
-  EXPECT_EQ(version, artifact::kFormatVersion);
+  // Dual-write: a default (compression-off) plan serializes as the oldest
+  // still-readable version, keeping pre-v4 artifact bytes stable.
+  EXPECT_EQ(version, artifact::kMinFormatVersion);
   EXPECT_EQ(endian, artifact::kEndianMark);
   EXPECT_EQ(header_bytes, static_cast<std::uint32_t>(artifact::kHeaderBytes));
   EXPECT_EQ(payload_bytes,

@@ -33,6 +33,16 @@
 //       faults) through serve::FleetServer at two different real worker
 //       counts, and verify placement/accounting (including the per-shard
 //       assignment histogram) is bit-identical and Ok outputs bit-exact.
+//   pbc compress-stats --model <zoo name> [--redundant] [...]
+//       Prints the per-layer weight-compression table (DESIGN.md §12):
+//       dictionary rows, exact duplicates, delta footprint and the
+//       raw/encoded ratio for every binary conv. --redundant synthesizes
+//       the clustered checkpoint trained binary nets exhibit; without it a
+//       random checkpoint shows the incompressible baseline.
+//
+// compile/selfcheck accept --compress off|lossless|auto (default off):
+// lossless compresses v4 artifact weight storage, auto additionally lets
+// the roofline select the partial-popcount reuse kernels.
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -64,6 +74,8 @@ struct Args {
   std::optional<std::int64_t> classes;  // engaged only by --classes
   bool fuse_conv_pool = true;
   std::vector<std::string> profiles;  // --profiles a,b,c
+  core::WeightCompress compress = core::WeightCompress::kOff;
+  bool redundant = false;  // synthesize a clustered (compressible) checkpoint
 };
 
 int usage() {
@@ -73,13 +85,17 @@ int usage() {
       "  pbc compile --model <quicknet|alexnet|yolov2-tiny|vgg16>\n"
       "              [-o out.pba] [--shrink N] [--seed S]\n"
       "              [--classes C (quicknet only)] [--no-fuse-conv-pool]\n"
+      "              [--compress off|lossless|auto] [--redundant]\n"
       "  pbc compile --pbm model.pbm --input NxHxWxC [-o out.pba]\n"
       "  pbc dump <file.pba>\n"
       "  pbc selfcheck [--model <name>] [--shrink N] [--seed S]\n"
+      "                [--compress off|lossless|auto] [--redundant]\n"
       "  pbc serve-check [--model <name>] [--shrink N] [--seed S]\n"
       "  pbc compile-fleet --model <name> [--profiles sd855,sd660,...]\n"
       "                    [-o base] [--shrink N] [--seed S]\n"
-      "  pbc fleet-check [--model <name>] [--shrink N] [--seed S]\n");
+      "  pbc fleet-check [--model <name>] [--shrink N] [--seed S]\n"
+      "  pbc compress-stats --model <name> [--redundant] [--shrink N]\n"
+      "                     [--seed S]\n");
   return 2;
 }
 
@@ -144,6 +160,21 @@ bool parse(int argc, char** argv, Args& a) {
       a.classes = std::atoll(v);
     } else if (flag == "--no-fuse-conv-pool") {
       a.fuse_conv_pool = false;
+    } else if (flag == "--compress") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      const std::string mode = v;
+      if (mode == "off") {
+        a.compress = core::WeightCompress::kOff;
+      } else if (mode == "lossless") {
+        a.compress = core::WeightCompress::kLossless;
+      } else if (mode == "auto") {
+        a.compress = core::WeightCompress::kAuto;
+      } else {
+        return false;
+      }
+    } else if (flag == "--redundant") {
+      a.redundant = true;
     } else if (flag == "--profiles") {
       const char* v = value();
       if (v == nullptr) return false;
@@ -170,7 +201,9 @@ std::unique_ptr<core::Network> build_network(const Args& a, Shape& input) {
   models::ZooOptions zoo;
   zoo.shrink_log2 = a.shrink;
   const auto spec = models::spec_by_name(a.model, zoo, a.classes);
-  const auto trained = core::FloatModel::random(spec, a.seed);
+  const auto trained = a.redundant
+                           ? core::FloatModel::random_redundant(spec, a.seed)
+                           : core::FloatModel::random(spec, a.seed);
   input = spec.input;
   return core::convert_to_phonebit(trained);
 }
@@ -183,6 +216,7 @@ int compile_mode(const Args& a, bool selfcheck) {
       oclsim::DeviceProfile::snapdragon855());
   core::EngineOptions opts;
   opts.fuse_conv_pool = a.fuse_conv_pool;
+  opts.weight_compress = a.compress;
   core::Engine engine(device, opts);
 
   const core::BlobDesc desc{core::BlobKind::kU8, input};
@@ -508,6 +542,47 @@ int fleet_check_mode(const Args& a) {
   return 0;
 }
 
+/// compress-stats: the per-layer weight-compression table (DESIGN.md §12).
+int compress_stats_mode(const Args& a) {
+  Shape input;
+  auto net = build_network(a, input);
+  std::printf("%-10s %8s %8s %8s %8s %8s %8s %10s %10s %7s\n", "layer",
+              "filters", "k_words", "unique", "dups", "dfilt", "dwords",
+              "raw_B", "enc_B", "ratio");
+  std::int64_t raw_total = 0, enc_total = 0;
+  for (const auto& layer : net->layers()) {
+    const auto* conv = dynamic_cast<const core::BinaryConv2d*>(layer.get());
+    if (conv == nullptr) continue;
+    const bitpack::CompressStats& cs = conv->compressed_bank().stats();
+    // Storage never grows: an incompressible bank ships raw (mode 0).
+    const std::int64_t enc = std::min(cs.encoded_bytes, cs.raw_bytes);
+    raw_total += cs.raw_bytes;
+    enc_total += enc;
+    std::printf("%-10s %8lld %8lld %8lld %8lld %8lld %8lld %10lld %10lld "
+                "%6.2fx\n",
+                conv->name().c_str(), static_cast<long long>(cs.filters),
+                static_cast<long long>(cs.k_words),
+                static_cast<long long>(cs.unique_rows),
+                static_cast<long long>(cs.exact_dups),
+                static_cast<long long>(cs.delta_filters),
+                static_cast<long long>(cs.delta_words),
+                static_cast<long long>(cs.raw_bytes),
+                static_cast<long long>(enc),
+                static_cast<double>(cs.raw_bytes) /
+                    static_cast<double>(enc));
+  }
+  if (raw_total == 0) {
+    std::printf("(no binary conv layers)\n");
+    return 0;
+  }
+  std::printf("total: %lld -> %lld weight bytes (%.2fx)\n",
+              static_cast<long long>(raw_total),
+              static_cast<long long>(enc_total),
+              static_cast<double>(raw_total) /
+                  static_cast<double>(enc_total));
+  return 0;
+}
+
 int dump_mode(const Args& a) {
   if (a.file.empty()) return usage();
   for (const auto& sec : artifact::section_table(a.file)) {
@@ -523,6 +598,26 @@ int dump_mode(const Args& a) {
   std::printf("target profile: %s\n",
               art.target_profile.empty() ? "(none)"
                                          : art.target_profile.c_str());
+  // Per-layer weight-compression summary for compressing artifacts (the
+  // banks here are the loader-adopted ones — nothing re-clusters).
+  if (art.plan.options().weight_compress != core::WeightCompress::kOff) {
+    for (const auto& layer : art.network->layers()) {
+      const auto* conv =
+          dynamic_cast<const core::BinaryConv2d*>(layer.get());
+      if (conv == nullptr) continue;
+      const bitpack::CompressStats& cs = conv->compressed_bank().stats();
+      const std::int64_t enc = std::min(cs.encoded_bytes, cs.raw_bytes);
+      std::printf("weights %-10s %lld unique rows / %lld filters, "
+                  "%lld -> %lld B (%.2fx)\n",
+                  conv->name().c_str(),
+                  static_cast<long long>(cs.unique_rows),
+                  static_cast<long long>(cs.filters),
+                  static_cast<long long>(cs.raw_bytes),
+                  static_cast<long long>(enc),
+                  static_cast<double>(cs.raw_bytes) /
+                      static_cast<double>(enc));
+    }
+  }
   std::printf("%s", art.plan.dump().c_str());
   return 0;
 }
@@ -538,6 +633,7 @@ int main(int argc, char** argv) {
     if (a.mode == "serve-check") return serve_check_mode(a);
     if (a.mode == "compile-fleet") return compile_fleet_mode(a);
     if (a.mode == "fleet-check") return fleet_check_mode(a);
+    if (a.mode == "compress-stats") return compress_stats_mode(a);
     if (a.mode == "dump") return dump_mode(a);
   } catch (const phonebit::Error& e) {
     std::fprintf(stderr, "pbc: %s\n", e.what());
