@@ -411,6 +411,91 @@ void bench_fleet_e2e(std::vector<bench::BenchRecord>& out) {
   for (const std::string& p : paths) std::remove(p.c_str());
 }
 
+/// Cascade-serving end-to-end record (DESIGN.md §13): a fixed detector →
+/// classifier trace through serve::FleetServer::run_cascade over the same
+/// three tiers. The tracked modeled number is the cascade's virtual
+/// makespan (the last terminal event across every request's multi-stage
+/// walk) — it moves if kernels change cost, placement drifts, the gate
+/// threshold semantics change, or plane-reuse pricing changes, so the
+/// whole §13 pipeline sits behind the gate. host_ms is real wall time.
+void bench_cascade_e2e(std::vector<bench::BenchRecord>& out) {
+  serve::FleetConfig cfg;
+  cfg.shards.push_back(serve::ShardSpec{"flag", "sd855", 2});
+  cfg.shards.push_back(serve::ShardSpec{"mid", "sd660", 2});
+  cfg.shards.push_back(serve::ShardSpec{"entry", "sd625", 2});
+  cfg.exec_workers = 4;
+  cfg.lanes_per_shard = 2;
+  cfg.queue_limit = 6;
+  cfg.wait_weight = 1.0;
+  serve::FleetServer fleet(cfg);
+
+  const core::BlobDesc desc{core::BlobKind::kU8, Shape{1, 32, 32, 3}};
+  std::vector<std::string> det_paths, cls_paths;
+  for (int v = 0; v < 2; ++v) {
+    auto net = core::convert_to_phonebit(core::FloatModel::random(
+        models::quicknet(10), 42 + static_cast<std::uint64_t>(v)));
+    for (int si = 0; si < fleet.shard_count(); ++si) {
+      const std::string path = std::string("bench_cascade.") +
+                               (v == 0 ? "det." : "cls.") +
+                               fleet.shard_spec(si).profile + ".pba";
+      artifact::compile_for_profile(*net, fleet.engine(si).options(), desc,
+                                    fleet.shard_spec(si).profile, path);
+      (v == 0 ? det_paths : cls_paths).push_back(path);
+    }
+  }
+  fleet.load_model("det", det_paths);
+  fleet.load_model("cls", cls_paths);
+
+  // Gate threshold at the median max-logit over a sample of the workload
+  // inputs: roughly half the trace gates out, half pays for the
+  // classifier, so the makespan tracks both verdict classes.
+  const auto det_art = fleet.engine(0).load_artifact_shared(det_paths[0]);
+  auto probe_session = fleet.engine(0).create_session();
+  std::vector<float> peaks;
+  for (std::uint64_t i = 0; i < 9; ++i) {
+    const core::ForwardResult probe = det_art->plan.run(
+        probe_session, core::Blob{datasets::cifar_like_image(100 + i)});
+    const FloatTensor& pf = probe.float_output();
+    float peak = pf.data()[0];
+    for (std::int64_t k = 1; k < pf.elems(); ++k) {
+      peak = std::max(peak, pf.data()[k]);
+    }
+    peaks.push_back(peak);
+  }
+  std::nth_element(peaks.begin(), peaks.begin() + peaks.size() / 2,
+                   peaks.end());
+  const float threshold = peaks[peaks.size() / 2];
+
+  serve::CascadeSpec spec;
+  spec.name = "bench";
+  serve::StageGate gate;
+  gate.kind = serve::StageGate::Kind::kMaxAtLeast;
+  gate.threshold = threshold;
+  spec.stages.push_back(serve::CascadeStageSpec{"det", gate});
+  spec.stages.push_back(serve::CascadeStageSpec{"cls", {}});
+
+  std::vector<serve::Request> workload;
+  for (int i = 0; i < 120; ++i) {
+    serve::Request r;
+    r.input = core::Blob{datasets::cifar_like_image(
+        static_cast<std::uint64_t>(100 + i))};
+    r.arrival_ms = 0.45 * i;
+    workload.push_back(std::move(r));
+  }
+  const double t0 = now_ms();
+  const serve::CascadeSummary s = fleet.run_cascade(spec, std::move(workload));
+  const double host = now_ms() - t0;
+  double makespan = 0.0;
+  for (std::size_t i = 0; i < s.results.size(); ++i) {
+    makespan = std::max(makespan, 0.45 * static_cast<double>(i) +
+                                      s.results[i].latency_ms);
+  }
+  out.push_back({"cascade_e2e", "quicknet/det-cls/3tiers/120req", host,
+                 makespan});
+  for (const std::string& p : det_paths) std::remove(p.c_str());
+  for (const std::string& p : cls_paths) std::remove(p.c_str());
+}
+
 /// CI regression gate (`--check baseline.json [tolerance_pct]`): re-runs the
 /// tracked records and fails when any fresh *modeled* time regresses beyond
 /// the noise threshold vs the checked-in baseline. Modeled time is a pure
@@ -491,6 +576,7 @@ int main(int argc, char** argv) {
                   records);
   bench_model_e2e(records);
   bench_fleet_e2e(records);
+  bench_cascade_e2e(records);
 
   std::printf("%-14s %-30s %12s %12s\n", "op", "geometry", "host_ms",
               "modeled_ms");

@@ -114,10 +114,30 @@ PackedTensor InputConv2d::execute(ExecContext& ctx, const U8Tensor& image,
   // contract), with the legacy zeros span appended when the per-tap
   // ablation path needs it.
   const std::int64_t plane_words = is.n * is.h * is.w * words;
-  std::uint64_t* planes = ctx.arena.words(scratch_words(is, split));
-  std::uint64_t* zeros = split ? nullptr : planes + plane_words * 8;
-  if (!split) {
-    std::memset(zeros, 0, static_cast<std::size_t>(words) * 8);
+  // Cascade reuse seam: a caller-attached plane cache replaces the arena
+  // span. A filled cache over the same geometry short-circuits the split
+  // kernel entirely (deterministically cheaper modeled time); an empty or
+  // stale one is (re)filled by the split kernel at the normal cost. Only
+  // the split (row-fused) path participates — the per-tap ablation path
+  // needs its zeros span contiguous with the planes in the arena.
+  InputPlaneCache* cache = split ? ctx.planes : nullptr;
+  const bool cache_hit =
+      cache != nullptr && cache->filled && cache->shape == is;
+  std::uint64_t* planes = nullptr;
+  std::uint64_t* zeros = nullptr;
+  if (cache != nullptr) {
+    if (!cache_hit) {
+      cache->words.resize(static_cast<std::size_t>(plane_words) * 8);
+      cache->shape = is;
+      cache->filled = false;
+    }
+    planes = cache->words.data();
+  } else {
+    planes = ctx.arena.words(scratch_words(is, split));
+    zeros = split ? nullptr : planes + plane_words * 8;
+    if (!split) {
+      std::memset(zeros, 0, static_cast<std::size_t>(words) * 8);
+    }
   }
   const std::int64_t row_pitch = is.w * words;  // plane words per image row
   const auto plane_span = [planes, plane_words, row_pitch, words,
@@ -127,8 +147,9 @@ PackedTensor InputConv2d::execute(ExecContext& ctx, const U8Tensor& image,
   };
 
   // Kernel 1: bit-plane split (one work item per pixel owns all its words,
-  // so plane words are written race-free).
-  {
+  // so plane words are written race-free). Skipped outright on a plane-cache
+  // hit — the planes are a pure function of the input bytes.
+  if (!cache_hit) {
     KernelCost split_cost;
     split_cost.scalar_ops = static_cast<double>(is.elems()) * 8.0;
     split_cost.bytes_read = static_cast<double>(is.elems());
@@ -158,6 +179,7 @@ PackedTensor InputConv2d::execute(ExecContext& ctx, const U8Tensor& image,
             }
           }
         });
+    if (cache != nullptr) cache->filled = true;
   }
 
   // Kernel 2: fused plane conv + BN + binarize + pack (Fig. 4 workload:

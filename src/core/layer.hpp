@@ -45,6 +45,23 @@ struct SessionStats {
   std::int64_t planned_runs = 0;
 };
 
+/// Caller-owned cache for InputConv2d's bitplane split of ONE input blob.
+/// Serving cascades attach it through RunOptions::planes: the first stage
+/// that consumes the input fills the cache (the split kernel writes its
+/// planes here instead of session scratch, same modeled cost), and every
+/// later stage over the SAME geometry reads the planes back and skips the
+/// split kernel entirely — the modeled saving is deterministic, so cascade
+/// placement can price it. A cache is only valid for one input value; the
+/// caller resets `filled` (or uses a fresh cache) per request.
+struct InputPlaneCache {
+  Shape shape{};                     ///< input shape the planes were split from
+  std::vector<std::uint64_t> words;  ///< 8 bit-planes, plane_words each
+  bool filled = false;
+
+  /// Forget the cached planes (buffer capacity is kept for reuse).
+  void reset() noexcept { filled = false; }
+};
+
 /// Slot-backed storage for the current step's output: a disjoint region of
 /// the session arena's activation slab, assigned by the compiled plan's
 /// liveness pass. Layers never touch this directly — they allocate their
@@ -70,6 +87,9 @@ struct ExecContext {
   /// The compiled runner's slot binding for the CURRENT step's output
   /// (empty on the uncompiled path and for the owned network output).
   OutputBinding out = {};
+  /// Optional bitplane cache for the network input (cascade reuse seam);
+  /// null outside cascade serving. Only InputConv2d consults it.
+  InputPlaneCache* planes = nullptr;
 
   /// Allocates the step's packed output: a view over the bound slot when
   /// one is present (padding words zeroed when C is not word-aligned, so

@@ -198,6 +198,7 @@ ForwardResult ExecutionPlan::run(ExecContext& ctx, const Blob& input,
   // Execution uses the compiled options snapshot, so the plan behaves
   // identically on every session regardless of the session's own snapshot.
   ExecContext exec{ctx.queue, opts_, ctx.arena, ctx.stats};
+  exec.planes = ro.planes;
 
   ForwardResult result;
   result.report.reserve(steps_.size());

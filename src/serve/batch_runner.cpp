@@ -52,22 +52,39 @@ const U8Tensor* batchable_image(const core::Blob& b) {
   return u8 != nullptr && u8->shape().n == 1 ? u8 : nullptr;
 }
 
+/// Borrowed-input view of an owning batch (the by-value run() overloads
+/// keep the vector alive on their own frame while run_impl borrows it).
+std::vector<const core::Blob*> borrow_all(
+    const std::vector<core::Blob>& inputs) {
+  std::vector<const core::Blob*> ptrs;
+  ptrs.reserve(inputs.size());
+  for (const core::Blob& b : inputs) ptrs.push_back(&b);
+  return ptrs;
+}
+
 /// Partitions the batch into dispatch groups: runs of up to `micro_batch`
 /// consecutive same-shape single-image U8 requests fuse; everything else
-/// stays a group of one.
-std::vector<DispatchGroup> plan_groups(const std::vector<core::Blob>& inputs,
-                                       int micro_batch) {
+/// stays a group of one. Requests carrying an InputPlaneCache never fuse —
+/// a cache holds the planes of exactly ONE single-image input, and a
+/// batched forward would neither fill nor consume it meaningfully.
+std::vector<DispatchGroup> plan_groups(
+    const std::vector<const core::Blob*>& inputs,
+    const std::vector<core::InputPlaneCache*>& planes, int micro_batch) {
+  const auto has_cache = [&planes](std::size_t i) {
+    return i < planes.size() && planes[i] != nullptr;
+  };
   std::vector<DispatchGroup> groups;
   groups.reserve(inputs.size());
   std::size_t i = 0;
   while (i < inputs.size()) {
     DispatchGroup g{i, 1};
-    if (micro_batch > 1) {
-      if (const U8Tensor* first = batchable_image(inputs[i])) {
+    if (micro_batch > 1 && !has_cache(i)) {
+      if (const U8Tensor* first = batchable_image(*inputs[i])) {
         while (i + g.count < inputs.size() &&
                g.count < static_cast<std::size_t>(micro_batch)) {
-          const U8Tensor* next = batchable_image(inputs[i + g.count]);
-          if (next == nullptr || !(next->shape() == first->shape()) ||
+          const U8Tensor* next = batchable_image(*inputs[i + g.count]);
+          if (next == nullptr || has_cache(i + g.count) ||
+              !(next->shape() == first->shape()) ||
               next->layout() != first->layout()) {
             break;
           }
@@ -151,18 +168,33 @@ int BatchRunner::total_arena_growth_events() const {
 }
 
 BatchSummary BatchRunner::run(std::vector<core::Blob> inputs) {
-  return run_impl(std::move(inputs), nullptr);
+  return run_impl(borrow_all(inputs), {}, nullptr);
+}
+
+BatchSummary BatchRunner::run(
+    const std::vector<const core::Blob*>& inputs,
+    const std::vector<core::InputPlaneCache*>& planes) {
+  PB_CHECK(planes.empty() || planes.size() == inputs.size(),
+           "BatchRunner '" << name_ << "': planes must be empty or match "
+                           << "inputs (" << planes.size() << " vs "
+                           << inputs.size() << ")");
+  for (const core::Blob* b : inputs) {
+    PB_CHECK(b != nullptr, "BatchRunner '" << name_ << "': null input blob");
+  }
+  return run_impl(inputs, planes, nullptr);
 }
 
 BatchSummary BatchRunner::run_or_throw(std::vector<core::Blob> inputs) {
   std::exception_ptr first_error;
-  BatchSummary summary = run_impl(std::move(inputs), &first_error);
+  BatchSummary summary = run_impl(borrow_all(inputs), {}, &first_error);
   if (first_error != nullptr) std::rethrow_exception(first_error);
   return summary;
 }
 
-BatchSummary BatchRunner::run_impl(std::vector<core::Blob> inputs,
-                                   std::exception_ptr* first_error) {
+BatchSummary BatchRunner::run_impl(
+    const std::vector<const core::Blob*>& inputs,
+    const std::vector<core::InputPlaneCache*>& planes,
+    std::exception_ptr* first_error) {
   // One run() at a time per runner (documented contract): the persistent
   // worker sessions are exclusively owned per batch, so a concurrent call
   // must fail loudly rather than race two forwards onto one session. The
@@ -211,21 +243,25 @@ BatchSummary BatchRunner::run_impl(std::vector<core::Blob> inputs,
 
   // Dispatch units: with micro-batching on, runs of same-shape single-image
   // requests fuse into one batched forward each; workers own a strided
-  // share of GROUPS so a fused group never spans two sessions.
+  // share of GROUPS so a fused group never spans two sessions. The
+  // micro-batch knob is read exactly once per batch (it is atomic, so a
+  // concurrent set_micro_batch can never tear this batch's grouping).
   const std::vector<DispatchGroup> groups =
-      plan_groups(inputs, micro_batch_);
+      plan_groups(inputs, planes, micro_batch_.load(std::memory_order_relaxed));
 
   const double t0 = now_ms();
   for (std::size_t w = 0; w < workers; ++w) {
-    pool_.submit([this, &inputs, &summary, &groups, &mu, &cv, &pending,
-                  &batch_error, w, workers] {
+    pool_.submit([this, &inputs, &planes, &summary, &groups, &mu, &cv,
+                  &pending, &batch_error, w, workers] {
       std::exception_ptr error;
       core::ExecSession& session = *sessions_[w];
       const auto run_single = [&](std::size_t i) {
         try {
-          const auto plan = plan_for(core::describe_blob(inputs[i]));
+          const auto plan = plan_for(core::describe_blob(*inputs[i]));
           session.reset_profile();
-          summary.results[i] = plan->run(session, inputs[i]);
+          core::RunOptions ro;
+          if (i < planes.size()) ro.planes = planes[i];
+          summary.results[i] = plan->run(session, *inputs[i], ro);
         } catch (...) {
           summary.statuses[i].code = StatusCode::kFailed;
           summary.statuses[i].error =
@@ -241,17 +277,17 @@ BatchSummary BatchRunner::run_impl(std::vector<core::Blob> inputs,
             // One batched forward for the whole group: stack the images
             // (per-image rows are contiguous under both layouts), run the
             // batched plan, split the output rows back per request.
-            core::BlobDesc desc = core::describe_blob(inputs[g.begin]);
+            core::BlobDesc desc = core::describe_blob(*inputs[g.begin]);
             desc.shape.n = static_cast<std::int64_t>(g.count);
             const auto plan = plan_for(desc);
             if (plan->output().kind == core::BlobKind::kFloat) {
-              const auto& first = std::get<U8Tensor>(inputs[g.begin]);
+              const auto& first = std::get<U8Tensor>(*inputs[g.begin]);
               U8Tensor batch(desc.shape, first.layout());
               const std::int64_t per = first.elems();
               for (std::size_t r = 0; r < g.count; ++r) {
                 std::memcpy(
                     batch.data() + static_cast<std::int64_t>(r) * per,
-                    std::get<U8Tensor>(inputs[g.begin + r]).data(),
+                    std::get<U8Tensor>(*inputs[g.begin + r]).data(),
                     static_cast<std::size_t>(per));
               }
               session.reset_profile();

@@ -131,6 +131,18 @@ class BatchRunner {
   /// neighbor's finished result intact.
   BatchSummary run(std::vector<core::Blob> inputs);
 
+  /// Like run(), but borrowing the inputs and attaching a per-request
+  /// InputPlaneCache (cascade packed-input reuse, DESIGN.md §13): the
+  /// caller keeps ownership of the blobs — a cascade feeds the SAME input
+  /// to several stages without copying it — and `planes[i]` (nullable) is
+  /// handed to request i's plan run via RunOptions::planes, so a filled
+  /// cache skips the input bitplane split and an empty one is filled for
+  /// the request's later stages. `planes` may be empty (no caches) or must
+  /// match `inputs` in length. Cache-carrying requests are never fused
+  /// into micro-batches — a cache is keyed to ONE single-image input.
+  BatchSummary run(const std::vector<const core::Blob*>& inputs,
+                   const std::vector<core::InputPlaneCache*>& planes);
+
   /// Legacy contract: like run(), but rethrows the first failed request's
   /// original exception after the whole batch has drained (all neighbors
   /// still ran to completion first).
@@ -148,9 +160,15 @@ class BatchRunner {
   /// evenly; the per-layer report is attributed to the group's first
   /// request. Only plans whose output is a float tensor batch (the
   /// classifier-head serving shape); other requests run singly. Takes
-  /// effect on the next run(); not thread-safe against an in-flight run.
-  void set_micro_batch(int n) noexcept { micro_batch_ = n < 1 ? 1 : n; }
-  int micro_batch() const noexcept { return micro_batch_; }
+  /// effect on the next run(): the setting is atomic (relaxed — there is
+  /// no data it publishes) and run() reads it exactly ONCE at batch start,
+  /// so a concurrent set_micro_batch never tears a batch's grouping.
+  void set_micro_batch(int n) noexcept {
+    micro_batch_.store(n < 1 ? 1 : n, std::memory_order_relaxed);
+  }
+  int micro_batch() const noexcept {
+    return micro_batch_.load(std::memory_order_relaxed);
+  }
 
   /// Fused multi-request forwards performed over this runner's lifetime
   /// (groups of >= 2; singles don't count). Stable hook for tests.
@@ -184,9 +202,13 @@ class BatchRunner {
   std::shared_ptr<const core::ExecutionPlan> plan_for(
       const core::BlobDesc& desc);
 
-  /// Shared body of run / run_or_throw: `first_error` (optional) receives
-  /// the first failed request's original exception for rethrowing.
-  BatchSummary run_impl(std::vector<core::Blob> inputs,
+  /// Shared body of every run flavor: `inputs` are borrowed (the by-value
+  /// overloads keep the owning vector alive on their frame), `planes`
+  /// (empty or input-parallel) carries per-request plane caches, and
+  /// `first_error` (optional) receives the first failed request's original
+  /// exception for rethrowing.
+  BatchSummary run_impl(const std::vector<const core::Blob*>& inputs,
+                        const std::vector<core::InputPlaneCache*>& planes,
                         std::exception_ptr* first_error);
 
   core::Engine& engine_;
@@ -207,7 +229,7 @@ class BatchRunner {
   /// synchronizes-with the winning run (clean under TSan).
   std::vector<std::unique_ptr<core::ExecSession>> sessions_;
   std::atomic<bool> running_{false};
-  int micro_batch_ = 1;
+  std::atomic<int> micro_batch_{1};
   std::atomic<std::int64_t> batched_dispatches_{0};
   mutable std::mutex plan_mu_;
   std::vector<std::pair<core::BlobDesc,

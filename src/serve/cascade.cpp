@@ -1,0 +1,123 @@
+#include "serve/cascade.hpp"
+
+#include <algorithm>
+
+#include "serve/virtual_time.hpp"
+
+namespace phonebit::serve {
+
+GateVerdict evaluate_gate(const StageGate& gate, const core::Blob& output) {
+  GateVerdict v;
+  switch (gate.kind) {
+    case StageGate::Kind::kAlways:
+      v.ok = true;
+      v.pass = true;
+      return v;
+    case StageGate::Kind::kMaxAtLeast: {
+      const auto* f = std::get_if<FloatTensor>(&output);
+      if (f == nullptr) {
+        v.error = "kMaxAtLeast gate needs a float stage output";
+        return v;
+      }
+      float best = f->data()[0];
+      const std::int64_t n = f->elems();
+      for (std::int64_t i = 1; i < n; ++i) {
+        best = std::max(best, f->data()[i]);
+      }
+      v.ok = true;
+      v.pass = best >= gate.threshold;
+      return v;
+    }
+  }
+  v.error = "unknown gate kind";
+  return v;
+}
+
+void validate_cascade(const CascadeSpec& spec, const std::string& who) {
+  PB_CHECK(!spec.stages.empty(),
+           who << ": cascade '" << spec.name << "' has no stages");
+  PB_CHECK(static_cast<int>(spec.stages.size()) <= kMaxCascadeStages,
+           who << ": cascade '" << spec.name << "' has "
+               << spec.stages.size() << " stages — fault keying supports at "
+               << "most " << kMaxCascadeStages);
+  for (std::size_t s = 0; s < spec.stages.size(); ++s) {
+    PB_CHECK(!spec.stages[s].model.empty(),
+             who << ": cascade '" << spec.name << "' stage " << s
+                 << " names no model");
+  }
+}
+
+void finalize_cascade_summary(CascadeSummary& summary,
+                              const CascadeSpec& spec) {
+  const std::size_t nstages = spec.stages.size();
+  summary.cascade = spec.name;
+  summary.stages.assign(nstages, CascadeStageStats{});
+  std::vector<std::vector<double>> ok_latency(nstages);
+  for (std::size_t s = 0; s < nstages; ++s) {
+    summary.stages[s].model = spec.stages[s].model;
+  }
+
+  for (const CascadeRequestResult& rr : summary.results) {
+    switch (rr.status.code) {
+      case StatusCode::kOk:
+        ++summary.ok;
+        if (rr.gated_out) {
+          ++summary.gated_out;
+        } else {
+          ++summary.full_runs;
+        }
+        break;
+      case StatusCode::kShed:
+        ++summary.shed;
+        break;
+      case StatusCode::kDeadlineExceeded:
+        ++summary.deadline_exceeded;
+        break;
+      case StatusCode::kFailed:
+        ++summary.failed;
+        break;
+    }
+    for (std::size_t s = 0; s < rr.stages.size() && s < nstages; ++s) {
+      const StageOutcome& so = rr.stages[s];
+      CascadeStageStats& st = summary.stages[s];
+      ++st.entered;
+      st.retries += so.retries;
+      summary.retries += so.retries;
+      switch (so.status.code) {
+        case StatusCode::kOk:
+          ++st.ok;
+          ok_latency[s].push_back(so.latency_ms);
+          st.max_ms = std::max(st.max_ms, so.latency_ms);
+          if (so.gate_passed) {
+            ++st.gate_passed;
+          } else if (rr.status.ok()) {
+            // Ok stage whose gate did not advance the request: either the
+            // gate stopped it (non-final stage) or it is the final stage of
+            // a full run — only the former counts as a gate stop.
+            if (s + 1 < nstages && rr.gated_out &&
+                s + 1 == rr.stages.size()) {
+              ++st.gate_stopped;
+            }
+          }
+          if (so.reused_planes) ++st.reused_planes;
+          break;
+        case StatusCode::kShed:
+          ++st.shed;
+          break;
+        case StatusCode::kDeadlineExceeded:
+          ++st.deadline_exceeded;
+          break;
+        case StatusCode::kFailed:
+          ++st.failed;
+          break;
+      }
+    }
+  }
+  for (std::size_t s = 0; s < nstages; ++s) {
+    std::sort(ok_latency[s].begin(), ok_latency[s].end());
+    summary.stages[s].p50_ms = percentile(ok_latency[s], 50.0);
+    summary.stages[s].p99_ms = percentile(ok_latency[s], 99.0);
+  }
+}
+
+}  // namespace phonebit::serve

@@ -366,33 +366,29 @@ FleetSummary FleetServer::run(std::vector<Request> workload) {
       continue;
     }
 
-    // Attempt loop in virtual time (ModelServer's, keyed on the submission
-    // index so fleet and single-server draws line up for the same trace).
+    // Attempt loop in virtual time (simulate_attempts, shared with
+    // ModelServer; keyed on the submission index so fleet and
+    // single-server draws line up for the same trace).
     const double modeled = (*costs)[pi];
-    double dur = 0.0;
-    rr.status.code = StatusCode::kOk;
-    for (int a = 0;; ++a) {
-      ++rr.attempts;
-      dur += modeled + faults_.latency_spike_ms(idx, a);
-      if (!faults_.transient_fault(idx, a)) break;  // attempt succeeded
-      if (a == config_.max_retries) {
-        rr.status.code = StatusCode::kFailed;
-        rr.status.error = "transient fault persisted after " +
-                          std::to_string(rr.attempts) + " attempts";
-        break;
-      }
-      dur += config_.retry_backoff_ms;
-      ++rr.retries;
-      if (deadline > 0.0 && start + dur + modeled - t > deadline) {
-        rr.status.code = StatusCode::kDeadlineExceeded;
-        break;
-      }
+    const AttemptOutcome at = simulate_attempts(
+        faults_, idx, modeled, config_.max_retries, config_.retry_backoff_ms,
+        start, t, deadline);
+    rr.attempts = at.attempts;
+    rr.retries = at.retries;
+    if (at.ok) {
+      rr.status.code = StatusCode::kOk;
+    } else if (at.gave_up_deadline) {
+      rr.status.code = StatusCode::kDeadlineExceeded;
+    } else {
+      rr.status.code = StatusCode::kFailed;
+      rr.status.error = "transient fault persisted after " +
+                        std::to_string(at.attempts) + " attempts";
     }
     summary.retries += rr.retries;
-    lanes[pi].advance_min(start + dur);
-    busy_ms[pi] += dur;
-    shard_end[pi] = std::max(shard_end[pi], start + dur);
-    rr.latency_ms = start + dur - t;
+    lanes[pi].advance_min(start + at.dur_ms);
+    busy_ms[pi] += at.dur_ms;
+    shard_end[pi] = std::max(shard_end[pi], start + at.dur_ms);
+    rr.latency_ms = start + at.dur_ms - t;
 
     if (rr.status.ok()) {
       pinned.push_back(snap.artifact);
@@ -487,6 +483,345 @@ FleetSummary FleetServer::run(std::vector<Request> workload) {
                         summary.makespan_ms);
     }
   }
+  summary.wall_ms = now_ms() - wall0;
+  return summary;
+}
+
+CascadeSummary FleetServer::run_cascade(const CascadeSpec& spec,
+                                        std::vector<Request> workload) {
+  validate_cascade(spec, "FleetServer '" + name_ + "'");
+  PB_CHECK(!running_.exchange(true, std::memory_order_acq_rel),
+           "FleetServer '" << name_
+                           << "': run called concurrently — a fleet serves "
+                              "one trace at a time");
+  struct RunningGuard {
+    std::atomic<bool>& flag;
+    ~RunningGuard() { flag.store(false, std::memory_order_release); }
+  } guard{running_};
+
+  const double wall0 = now_ms();
+  const int nshards = shard_count();
+  const int nstages = static_cast<int>(spec.stages.size());
+  CascadeSummary summary;
+  summary.requests = static_cast<int>(workload.size());
+  summary.results.resize(workload.size());
+  summary.stage_assignment.assign(
+      static_cast<std::size_t>(nstages),
+      std::vector<int>(static_cast<std::size_t>(nshards), 0));
+
+  // Per-request cascade walk state. `cache_shard` is the shard whose device
+  // holds this request's filled input plane cache (-1: none yet): later
+  // stages price at the split-skipped reuse cost THERE and at the plain
+  // cost everywhere else, so reuse affinity competes with device speed and
+  // queue wait inside the normal placement score.
+  struct Walk {
+    double arrive = 0.0;
+    bool active = true;
+    int cache_shard = -1;
+    core::InputPlaneCache planes;
+  };
+  std::vector<Walk> walks(workload.size());
+  for (std::size_t i = 0; i < workload.size(); ++i) {
+    walks[i].arrive = std::max(workload[i].arrival_ms, 0.0);
+  }
+
+  // Per-shard lane heaps span ALL stages (one fleet, one virtual clock);
+  // admission queues are fresh per stage round, mirroring ModelServer's
+  // cascade (stage rounds drain in priority order, DESIGN.md §13).
+  std::vector<LaneHeap> lanes;
+  lanes.reserve(static_cast<std::size_t>(nshards));
+  for (int i = 0; i < nshards; ++i) lanes.emplace_back(config_.lanes_per_shard);
+
+  struct ExecReq {
+    std::size_t idx;
+    bool attach_planes;
+  };
+  struct ExecGroup {
+    std::shared_ptr<BatchRunner> runner;
+    std::vector<ExecReq> reqs;
+  };
+  std::vector<std::shared_ptr<const artifact::LoadedArtifact>> pinned;
+
+  std::vector<Snapshot> snaps(static_cast<std::size_t>(nshards));
+  std::vector<int> candidates;
+  std::vector<std::size_t> entrants;
+
+  for (int s = 0; s < nstages; ++s) {
+    const CascadeStageSpec& stage = spec.stages[static_cast<std::size_t>(s)];
+    entrants.clear();
+    for (std::size_t i = 0; i < workload.size(); ++i) {
+      if (walks[i].active) entrants.push_back(i);
+    }
+    if (entrants.empty()) break;
+    std::stable_sort(entrants.begin(), entrants.end(),
+                     [&walks](std::size_t a, std::size_t b) {
+                       return walks[a].arrive < walks[b].arrive;
+                     });
+
+    std::vector<std::deque<double>> waiting(
+        static_cast<std::size_t>(nshards));
+    std::vector<ExecGroup> groups;
+
+    for (const std::size_t idx : entrants) {
+      Request& rq = workload[idx];
+      Walk& wk = walks[idx];
+      CascadeRequestResult& rr = summary.results[idx];
+      const double t = wk.arrive;
+      const double t0 = std::max(rq.arrival_ms, 0.0);
+
+      rr.stages.emplace_back();
+      StageOutcome& so = rr.stages.back();
+
+      for (int si = 0; si < nshards; ++si) {
+        auto& w = waiting[static_cast<std::size_t>(si)];
+        while (!w.empty() && w.front() <= t) w.pop_front();
+      }
+
+      // Candidates: shards serving this stage's model at the request's
+      // exact shape (every stage consumes the ORIGINAL input).
+      const core::BlobDesc desc = core::describe_blob(rq.input);
+      candidates.clear();
+      bool model_anywhere = false;
+      for (int si = 0; si < nshards; ++si) {
+        snaps[static_cast<std::size_t>(si)] = snapshot(si, stage.model);
+        const Snapshot& snap = snaps[static_cast<std::size_t>(si)];
+        if (snap.artifact == nullptr) continue;
+        model_anywhere = true;
+        if (snap.artifact->plan.input() == desc) candidates.push_back(si);
+      }
+      if (candidates.empty()) {
+        so.status.code = StatusCode::kFailed;
+        so.status.error =
+            "cascade '" + spec.name + "' stage " + std::to_string(s) +
+            (model_anywhere
+                 ? " ('" + stage.model + "') serves a different shape"
+                 : ": model '" + stage.model + "' is not loaded on any shard");
+        rr.status = so.status;
+        wk.active = false;
+        continue;
+      }
+
+      // Cascade cost probe: one fill forward (empty plane cache — plain
+      // cost) and, when the plan is cache-active, one reuse forward
+      // (filled cache) on the lowest-index candidate; BOTH event logs
+      // replay against every shard's profile.
+      const int probe_shard = candidates.front();
+      const Snapshot& probe_snap =
+          snaps[static_cast<std::size_t>(probe_shard)];
+      const void* key = &probe_snap.artifact->plan;
+      const CascadeProbeEntry* probe = nullptr;
+      for (const CascadeProbeEntry& p : cascade_probe_cache_) {
+        if (p.plan == key && p.desc == desc) {
+          probe = &p;
+          break;
+        }
+      }
+      if (probe == nullptr) {
+        Shard& ps = shard_at(probe_shard);
+        if (ps.probe == nullptr) {
+          ps.probe = std::make_unique<core::ExecSession>(
+              ps.engine->create_session());
+        }
+        core::InputPlaneCache cache;
+        core::RunOptions ro;
+        ro.planes = &cache;
+        CascadeProbeEntry entry;
+        entry.plan = key;
+        entry.desc = desc;
+        ps.probe->reset_profile();
+        (void)probe_snap.artifact->plan.run(*ps.probe, rq.input, ro);
+        entry.cache_active = cache.filled;
+        entry.plain_ms.reserve(static_cast<std::size_t>(nshards));
+        for (int si = 0; si < nshards; ++si) {
+          entry.plain_ms.push_back(oclsim::replay_modeled_ms(
+              ps.probe->queue().events(), shard_at(si).profile));
+        }
+        if (entry.cache_active) {
+          ps.probe->reset_profile();
+          (void)probe_snap.artifact->plan.run(*ps.probe, rq.input, ro);
+          entry.reuse_ms.reserve(static_cast<std::size_t>(nshards));
+          for (int si = 0; si < nshards; ++si) {
+            entry.reuse_ms.push_back(oclsim::replay_modeled_ms(
+                ps.probe->queue().events(), shard_at(si).profile));
+          }
+        } else {
+          entry.reuse_ms = entry.plain_ms;
+        }
+        cascade_probe_cache_.push_back(std::move(entry));
+        probe = &cascade_probe_cache_.back();
+      }
+
+      // Placement: plain cost everywhere except the shard holding this
+      // request's filled planes, which prices the split-skipped path.
+      struct Scored {
+        double score;
+        int shard;
+      };
+      std::vector<Scored> scored;
+      scored.reserve(candidates.size());
+      auto stage_cost = [&](int si) {
+        const auto u = static_cast<std::size_t>(si);
+        return (probe->cache_active && wk.cache_shard == si)
+                   ? probe->reuse_ms[u]
+                   : probe->plain_ms[u];
+      };
+      for (const int si : candidates) {
+        const double wait =
+            std::max(0.0, lanes[static_cast<std::size_t>(si)].min() - t);
+        scored.push_back(
+            Scored{stage_cost(si) + config_.wait_weight * wait, si});
+      }
+      std::sort(scored.begin(), scored.end(),
+                [](const Scored& a, const Scored& b) {
+                  if (a.score != b.score) return a.score < b.score;
+                  return a.shard < b.shard;
+                });
+      int placed = -1;
+      for (const Scored& sc : scored) {
+        const auto si = static_cast<std::size_t>(sc.shard);
+        if (static_cast<int>(waiting[si].size()) >= config_.queue_limit) {
+          ++so.spillovers;
+          continue;
+        }
+        placed = sc.shard;
+        break;
+      }
+      if (placed < 0) {
+        so.status.code = StatusCode::kShed;
+        rr.status = so.status;
+        rr.latency_ms = t - t0;
+        wk.active = false;
+        continue;
+      }
+
+      const auto pi = static_cast<std::size_t>(placed);
+      const Snapshot& snap = snaps[pi];
+      so.shard = placed;
+      so.plan_version = snap.version;
+      ++summary.stage_assignment[static_cast<std::size_t>(s)][pi];
+
+      const double start = std::max(t, lanes[pi].min());
+      so.queue_ms = start - t;
+      rr.queue_ms += so.queue_ms;
+      waiting[pi].push_back(start);
+
+      const double deadline =
+          rq.deadline_ms > 0.0
+              ? rq.deadline_ms
+              : (rq.deadline_ms < 0.0 ? 0.0 : config_.default_deadline_ms);
+      // CASCADE-level deadline: budget measured from the ORIGINAL arrival.
+      if (deadline > 0.0 && start - t0 > deadline) {
+        so.status.code = StatusCode::kDeadlineExceeded;
+        so.latency_ms = start - t;
+        rr.status = so.status;
+        rr.latency_ms = start - t0;
+        wk.active = false;
+        continue;
+      }
+
+      const bool reuse = probe->cache_active && wk.cache_shard == placed;
+      const AttemptOutcome at = simulate_attempts(
+          faults_, cascade_fault_key(idx, s), stage_cost(placed),
+          config_.max_retries, config_.retry_backoff_ms, start, t0, deadline);
+      so.attempts = at.attempts;
+      so.retries = at.retries;
+      so.reused_planes = reuse;
+      lanes[pi].advance_min(start + at.dur_ms);
+      so.latency_ms = start + at.dur_ms - t;
+      if (!at.ok) {
+        so.status.code = at.gave_up_deadline ? StatusCode::kDeadlineExceeded
+                                             : StatusCode::kFailed;
+        if (!at.gave_up_deadline) {
+          so.status.error = "transient fault persisted after " +
+                            std::to_string(at.attempts) + " attempts";
+        }
+        rr.status = so.status;
+        rr.latency_ms = start + at.dur_ms - t0;
+        wk.active = false;
+        continue;
+      }
+
+      so.status.code = StatusCode::kOk;
+      wk.arrive = start + at.dur_ms;
+      // An Ok run through a cache-active plan fills the request's planes
+      // ON THIS SHARD (decision-time knowledge: the probe already said the
+      // plan fills the cache). The cache is attached for execution only on
+      // its home shard.
+      if (probe->cache_active && wk.cache_shard < 0) wk.cache_shard = placed;
+      const bool attach = probe->cache_active && wk.cache_shard == placed;
+      pinned.push_back(snap.artifact);
+      ExecGroup* g = nullptr;
+      for (ExecGroup& cand : groups) {
+        if (cand.runner == snap.runner) g = &cand;
+      }
+      if (g == nullptr) {
+        groups.push_back(ExecGroup{snap.runner, {}});
+        g = &groups.back();
+      }
+      g->reqs.push_back(ExecReq{idx, attach});
+    }
+
+    // Stage-s phase 2: real forwards, borrowed inputs, planes attached on
+    // their home shard only.
+    for (ExecGroup& g : groups) {
+      std::vector<const core::Blob*> inputs;
+      std::vector<core::InputPlaneCache*> planes;
+      inputs.reserve(g.reqs.size());
+      planes.reserve(g.reqs.size());
+      for (const ExecReq& er : g.reqs) {
+        inputs.push_back(&workload[er.idx].input);
+        planes.push_back(er.attach_planes ? &walks[er.idx].planes : nullptr);
+      }
+      BatchSummary batch = g.runner->run(inputs, planes);
+      for (std::size_t k = 0; k < g.reqs.size(); ++k) {
+        const std::size_t idx = g.reqs[k].idx;
+        CascadeRequestResult& rr = summary.results[idx];
+        StageOutcome& so = rr.stages.back();
+        if (!batch.statuses[k].ok()) {
+          so.status = batch.statuses[k];
+          rr.status = std::move(batch.statuses[k]);
+          walks[idx].active = false;
+          continue;
+        }
+        rr.result = std::move(batch.results[k]);
+      }
+    }
+
+    // Gates, after the stage barrier (last stage's gate is ignored).
+    for (ExecGroup& g : groups) {
+      for (const ExecReq& er : g.reqs) {
+        Walk& wk = walks[er.idx];
+        if (!wk.active) continue;
+        CascadeRequestResult& rr = summary.results[er.idx];
+        StageOutcome& so = rr.stages.back();
+        const double t0 = std::max(workload[er.idx].arrival_ms, 0.0);
+        if (s + 1 == nstages) {
+          rr.latency_ms = wk.arrive - t0;
+          wk.active = false;
+          continue;
+        }
+        const GateVerdict v = evaluate_gate(stage.gate, rr.result.output);
+        if (!v.ok) {
+          so.status.code = StatusCode::kFailed;
+          so.status.error = "cascade '" + spec.name + "' stage " +
+                            std::to_string(s) + " gate: " + v.error;
+          rr.status = so.status;
+          rr.latency_ms = wk.arrive - t0;
+          wk.active = false;
+          continue;
+        }
+        if (v.pass) {
+          so.gate_passed = true;
+        } else {
+          rr.gated_out = true;
+          rr.latency_ms = wk.arrive - t0;
+          wk.active = false;
+        }
+      }
+    }
+  }
+
+  finalize_cascade_summary(summary, spec);
   summary.wall_ms = now_ms() - wall0;
   return summary;
 }

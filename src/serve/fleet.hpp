@@ -190,6 +190,20 @@ class FleetServer {
   /// swap_model_on from OTHER threads stays legal.
   FleetSummary run(std::vector<Request> workload);
 
+  /// Serves a workload trace through a model CASCADE across the fleet
+  /// (cascade.hpp, DESIGN.md §13): every stage of a request is placed
+  /// INDEPENDENTLY — stage N+1 may land on a different shard than stage N —
+  /// by the same cost-plus-wait score as run(), with one cascade twist:
+  /// once a stage has filled the request's input plane cache on a shard,
+  /// that shard prices later stages at the split-skipped (reuse) cost, so
+  /// reuse affinity emerges from scoring instead of being hard-wired. The
+  /// deadline budget spans all stages from the original arrival, and the
+  /// per-(stage, shard) placement histogram (CascadeSummary::
+  /// stage_assignment) is bit-identical across exec_workers. Requests'
+  /// `model` fields are ignored (the spec routes).
+  CascadeSummary run_cascade(const CascadeSpec& spec,
+                             std::vector<Request> workload);
+
   /// Zero-compile serving surface: distinct descriptors compiled by any
   /// shard runner so far — stays 0 while every request matches its
   /// artifact's descriptor (the acceptance contract).
@@ -254,6 +268,20 @@ class FleetServer {
     std::vector<double> per_shard_ms;
   };
   std::vector<ProbeEntry> probe_cache_;
+
+  /// Cascade pricing across profiles: the probe shard runs a FILL forward
+  /// (empty plane cache — same cost as plain) and, when the plan is
+  /// cache-active, a REUSE forward (filled cache, split skipped); both
+  /// event logs replay per profile, giving every shard's plain and reuse
+  /// cost from one probe pair.
+  struct CascadeProbeEntry {
+    const void* plan = nullptr;
+    core::BlobDesc desc{};
+    std::vector<double> plain_ms;  ///< per shard
+    std::vector<double> reuse_ms;  ///< per shard
+    bool cache_active = false;
+  };
+  std::vector<CascadeProbeEntry> cascade_probe_cache_;
 
   std::atomic<bool> running_{false};
 };

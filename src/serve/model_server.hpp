@@ -46,6 +46,7 @@
 
 #include "core/engine.hpp"
 #include "serve/batch_runner.hpp"
+#include "serve/cascade.hpp"
 #include "serve/fault.hpp"
 
 namespace phonebit::serve {
@@ -173,6 +174,20 @@ class ModelServer {
   ServerSummary run(std::vector<Request> workload,
                     std::vector<SwapEvent> swaps = {});
 
+  /// Serves a workload trace through a model CASCADE (cascade.hpp,
+  /// DESIGN.md §13): each request walks `spec`'s stages in order, every
+  /// stage consuming the request's ORIGINAL input; a stage's gate decides
+  /// whether the next stage runs. Stage decisions use the same virtual-time
+  /// machinery as run() — per-stage shed/deadline/retry counts are
+  /// bit-identical across exec_workers — and a request's deadline budget
+  /// spans ALL its stages, measured from its original arrival. `swaps`
+  /// schedules per-stage hot-swaps at virtual timestamps: a stage resolves
+  /// its artifact at dispatch, so one stage swapping never drains the
+  /// cascade. Requests' `model` fields are ignored (the spec routes).
+  CascadeSummary run_cascade(const CascadeSpec& spec,
+                             std::vector<Request> workload,
+                             std::vector<SwapEvent> swaps = {});
+
   const ServerConfig& config() const noexcept { return config_; }
   const FaultPlan& faults() const noexcept { return faults_; }
   const std::string& name() const noexcept { return name_; }
@@ -227,6 +242,23 @@ class ModelServer {
     double modeled_ms = 0.0;
   };
   std::vector<ProbeEntry> probe_cache_;
+
+  /// Cascade pricing (DESIGN.md §13): a stage costs `plain_ms` on a cold
+  /// request and `reuse_ms` when the request already carries filled input
+  /// planes (the split kernel is skipped). `cache_active` records whether
+  /// this plan participates in plane caching at all (interior-split input
+  /// conv) — measured once per (plan, desc) by probing twice: a fill run
+  /// against an empty cache, then a reuse run against the filled one.
+  struct CascadeProbeEntry {
+    const void* plan = nullptr;
+    core::BlobDesc desc{};
+    double plain_ms = 0.0;
+    double reuse_ms = 0.0;
+    bool cache_active = false;
+  };
+  std::vector<CascadeProbeEntry> cascade_probe_cache_;
+  const CascadeProbeEntry& cascade_probe(const Snapshot& snap,
+                                         const core::Blob& input);
 
   std::atomic<bool> running_{false};
 };

@@ -321,15 +321,23 @@ TEST_F(ModelServerTest, RetryGivesUpWhenDeadlineBudgetCannotFitAnAttempt) {
   server.load_model("q", path_v1_);
 
   // Deadline fits one attempt but not two: after the injected transient
-  // the server sees the retry cannot finish in budget and gives up as
-  // DeadlineExceeded — without burning a lane on the doomed attempt.
+  // the server prices the NEXT attempt (backoff + modeled + its spike),
+  // sees it cannot finish in budget, and gives up as DeadlineExceeded —
+  // without burning a lane on the doomed attempt. The give-up happens
+  // BEFORE the backoff is taken, so neither the latency nor the retry
+  // counter charges for an attempt that never ran (this regression test
+  // fails on the pre-fix loop, which added the backoff and counted the
+  // retry first and reported latency 1*unit + 0.5).
   auto workload = steady("q", 1, 500, 1.0);
   workload[0].deadline_ms = 1.5 * unit;
   const auto summary = server.run(std::move(workload));
   expect_nothing_lost(summary);
   EXPECT_EQ(summary.deadline_exceeded, 1);
   EXPECT_EQ(summary.results[0].attempts, 1);
-  EXPECT_EQ(summary.results[0].retries, 1);
+  EXPECT_EQ(summary.results[0].retries, 0);
+  EXPECT_EQ(summary.retries, 0);
+  // Latency covers exactly the one attempt that ran — no phantom backoff.
+  EXPECT_NEAR(summary.results[0].latency_ms, unit, 1e-9);
 }
 
 TEST_F(ModelServerTest, ExhaustedRetriesFailTheRequestOnly) {

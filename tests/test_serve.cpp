@@ -3,6 +3,7 @@
 // pool reuse across batches, and error propagation.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <string>
 #include <thread>
@@ -12,6 +13,7 @@
 #include "datasets/synthetic.hpp"
 #include "models/zoo.hpp"
 #include "serve/batch_runner.hpp"
+#include "serve/virtual_time.hpp"
 #include "test_util.hpp"
 
 namespace phonebit {
@@ -285,6 +287,70 @@ TEST(BatchRunner, MicroBatchingFusesRequestsAndStaysBitExact) {
   // Degenerate settings clamp instead of misbehaving.
   fused_runner.set_micro_batch(0);
   EXPECT_EQ(fused_runner.micro_batch(), 1);
+}
+
+// Regression (PR 10): micro_batch_ was a plain int, so set_micro_batch
+// from another thread during run() was a data race — undefined behavior
+// that TSan flags on the old code. Now it is atomic and read ONCE per
+// run(), so a concurrent flip can pick either grouping but can never tear
+// one batch's grouping mid-run or corrupt a result.
+TEST(BatchRunner, ConcurrentSetMicroBatchDuringRunIsSafeAndBitExact) {
+  auto net = quick_net(82);
+  core::Engine engine(testing::test_device());
+
+  constexpr int kRequests = 8;
+  serve::BatchRunner serial_runner(engine, *net, /*workers=*/2);
+  const auto serial = serial_runner.run(make_inputs(kRequests, 2500));
+  ASSERT_EQ(serial.ok, kRequests);
+
+  serve::BatchRunner runner(engine, *net, /*workers=*/2);
+  for (int round = 0; round < 4; ++round) {
+    std::atomic<bool> stop{false};
+    std::thread flipper([&runner, &stop] {
+      int n = 1;
+      while (!stop.load(std::memory_order_relaxed)) {
+        runner.set_micro_batch(1 + (n++ % 4));
+      }
+    });
+    const auto fused = runner.run(make_inputs(kRequests, 2500));
+    stop.store(true, std::memory_order_relaxed);
+    flipper.join();
+
+    ASSERT_EQ(fused.ok, kRequests) << "round " << round;
+    for (int i = 0; i < kRequests; ++i) {
+      const std::size_t s = static_cast<std::size_t>(i);
+      EXPECT_TRUE(testing::expect_bitexact(fused.results[s].float_output(),
+                                           serial.results[s].float_output()))
+          << "round " << round << " request " << i;
+    }
+  }
+}
+
+// Regression (PR 10): percentile() indexed rank ceil(q/100*n)-1 without
+// clamping, so q<=0 underflowed the rank on the old code and q>=100 could
+// read past the end; both now answer the defined extremes.
+TEST(Percentile, DefinedOverTheFullRankRange) {
+  const std::vector<double> one{42.0};
+  for (const double q : {-10.0, 0.0, 50.0, 99.0, 100.0, 250.0}) {
+    EXPECT_EQ(serve::percentile(one, q), 42.0) << "q=" << q;
+  }
+
+  const std::vector<double> even{1.0, 2.0, 3.0, 4.0};
+  EXPECT_EQ(serve::percentile(even, -5.0), 1.0);
+  EXPECT_EQ(serve::percentile(even, 0.0), 1.0);
+  EXPECT_EQ(serve::percentile(even, 25.0), 1.0);   // rank ceil(1)-1
+  EXPECT_EQ(serve::percentile(even, 50.0), 2.0);   // lower middle, no interp
+  EXPECT_EQ(serve::percentile(even, 75.0), 3.0);
+  EXPECT_EQ(serve::percentile(even, 99.0), 4.0);
+  EXPECT_EQ(serve::percentile(even, 100.0), 4.0);
+  EXPECT_EQ(serve::percentile(even, 400.0), 4.0);
+
+  const std::vector<double> odd{10.0, 20.0, 30.0};
+  EXPECT_EQ(serve::percentile(odd, 50.0), 20.0);
+  EXPECT_EQ(serve::percentile(odd, 34.0), 20.0);  // rank ceil(1.02)-1
+  EXPECT_EQ(serve::percentile(odd, 33.0), 10.0);  // rank ceil(0.99)-1
+
+  EXPECT_EQ(serve::percentile({}, 50.0), 0.0);  // empty sample is defined
 }
 
 }  // namespace

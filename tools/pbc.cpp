@@ -22,6 +22,12 @@
 //       fault injection) through serve::ModelServer at two different real
 //       worker counts, and verify the accounting is bit-identical and the
 //       Ok outputs bit-exact; exit 0 on success (the ctest smoke target).
+//   pbc cascade-check [--model <zoo name>] [--seed S]
+//       Model-cascade smoke (DESIGN.md §13): compile a detector +
+//       classifier pair, serve a deterministic trace through a 2-stage
+//       ModelServer cascade at two real worker counts, and verify the
+//       per-stage walks are bit-identical, both gate classes fire, and
+//       later stages reuse the request's packed input planes.
 //   pbc compile-fleet --model <zoo name> [--profiles sd855,sd660,...]
 //       [-o base] [...]
 //       The fleet batch mode: compile the model once, validate + package it
@@ -43,6 +49,7 @@
 // compile/selfcheck accept --compress off|lossless|auto (default off):
 // lossless compresses v4 artifact weight storage, auto additionally lets
 // the roofline select the partial-popcount reuse kernels.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -91,6 +98,7 @@ int usage() {
       "  pbc selfcheck [--model <name>] [--shrink N] [--seed S]\n"
       "                [--compress off|lossless|auto] [--redundant]\n"
       "  pbc serve-check [--model <name>] [--shrink N] [--seed S]\n"
+      "  pbc cascade-check [--model <name>] [--shrink N] [--seed S]\n"
       "  pbc compile-fleet --model <name> [--profiles sd855,sd660,...]\n"
       "                    [-o base] [--shrink N] [--seed S]\n"
       "  pbc fleet-check [--model <name>] [--shrink N] [--seed S]\n"
@@ -390,6 +398,157 @@ int serve_check_mode(const Args& a) {
   return 0;
 }
 
+/// cascade-check: the model-cascade smoke (DESIGN.md §13). Compiles a
+/// detector + classifier pair of seeded checkpoints, runs a deterministic
+/// trace through a 2-stage ModelServer cascade at two real worker counts,
+/// and verifies (a) the accounting and per-stage walks are bit-identical,
+/// (b) both terminal Ok classes appear (gate-stopped AND full runs), and
+/// (c) later stages actually reuse the request's packed input planes.
+int cascade_check_mode(const Args& a) {
+  auto device = std::make_shared<oclsim::Device>(
+      oclsim::DeviceProfile::snapdragon855());
+  core::Engine engine(device);
+
+  models::ZooOptions zoo;
+  zoo.shrink_log2 = a.shrink;
+  const auto spec = models::spec_by_name(a.model, zoo, a.classes);
+  const std::string det_path = a.out + ".cascade_check_det";
+  const std::string cls_path = a.out + ".cascade_check_cls";
+  for (int v = 1; v <= 2; ++v) {
+    auto net = core::convert_to_phonebit(core::FloatModel::random(
+        spec, a.seed + static_cast<std::uint64_t>(v)));
+    const core::ExecutionPlan plan = net->compile(
+        engine, core::BlobDesc{core::BlobKind::kU8, spec.input});
+    artifact::save(*net, plan, v == 1 ? det_path : cls_path);
+  }
+  auto cleanup = [&det_path, &cls_path] {
+    std::remove(det_path.c_str());
+    std::remove(cls_path.c_str());
+  };
+
+  // Gate threshold at the MEDIAN max-logit over a sample of the actual
+  // workload inputs: about half the trace gates out at the detector, half
+  // advances — both verdict classes fire whatever the seed.
+  const auto det_art = engine.load_artifact_shared(det_path);
+  auto probe_session = engine.create_session();
+  std::vector<float> peaks;
+  for (std::uint64_t i = 0; i < 9; ++i) {
+    const core::ForwardResult probe = det_art->plan.run(
+        probe_session,
+        core::Blob{datasets::random_image(spec.input, a.seed + 100 + i)});
+    const FloatTensor& pf = probe.float_output();
+    float peak = pf.data()[0];
+    for (std::int64_t k = 1; k < pf.elems(); ++k) {
+      peak = std::max(peak, pf.data()[k]);
+    }
+    peaks.push_back(peak);
+  }
+  std::nth_element(peaks.begin(), peaks.begin() + peaks.size() / 2,
+                   peaks.end());
+  const float threshold = peaks[peaks.size() / 2];
+
+  serve::CascadeSpec cascade;
+  cascade.name = "cascade-check";
+  serve::StageGate gate;
+  gate.kind = serve::StageGate::Kind::kMaxAtLeast;
+  gate.threshold = threshold;
+  cascade.stages.push_back(serve::CascadeStageSpec{"det", gate});
+  cascade.stages.push_back(serve::CascadeStageSpec{"cls", {}});
+
+  auto make_workload = [&a, &spec] {
+    std::vector<serve::Request> w;
+    auto push = [&w, &a, &spec](std::uint64_t seed, double at) {
+      serve::Request r;
+      r.input = core::Blob{datasets::random_image(spec.input, a.seed + seed)};
+      r.arrival_ms = at;
+      w.push_back(std::move(r));
+    };
+    for (int i = 0; i < 48; ++i) push(100 + i, 1.2 * i);
+    for (int i = 0; i < 16; ++i) push(500 + i, 18.0);  // the burst
+    return w;
+  };
+  serve::FaultPlan faults;
+  faults.seed = a.seed * 2654435761u + 9;
+  faults.transient_rate = 0.08;
+  faults.spike_rate = 0.05;
+  faults.spike_ms = 1.5;
+
+  auto serve_once = [&](int exec_workers) {
+    serve::ServerConfig cfg;
+    cfg.exec_workers = exec_workers;
+    cfg.lanes = 4;
+    cfg.queue_limit = 6;
+    cfg.max_retries = 2;
+    cfg.retry_backoff_ms = 0.5;
+    serve::ModelServer server(engine, cfg, faults, "cascade-check");
+    server.load_model("det", det_path);
+    server.load_model("cls", cls_path);
+    return server.run_cascade(cascade, make_workload());
+  };
+
+  const serve::CascadeSummary s2 = serve_once(2);
+  const serve::CascadeSummary s4 = serve_once(4);
+  if (s2.ok + s2.shed + s2.deadline_exceeded + s2.failed != s2.requests ||
+      s2.ok != s2.gated_out + s2.full_runs) {
+    std::fprintf(stderr, "cascade-check: lost requests in the accounting\n");
+    cleanup();
+    return 1;
+  }
+  if (s2.ok != s4.ok || s2.shed != s4.shed ||
+      s2.deadline_exceeded != s4.deadline_exceeded ||
+      s2.failed != s4.failed || s2.retries != s4.retries ||
+      s2.gated_out != s4.gated_out || s2.full_runs != s4.full_runs) {
+    std::fprintf(stderr,
+                 "cascade-check: accounting drifted across worker counts\n");
+    cleanup();
+    return 1;
+  }
+  for (std::size_t i = 0; i < s2.results.size(); ++i) {
+    const auto& r2 = s2.results[i];
+    const auto& r4 = s4.results[i];
+    if (r2.status.code != r4.status.code || r2.gated_out != r4.gated_out ||
+        r2.latency_ms != r4.latency_ms ||
+        r2.stages.size() != r4.stages.size()) {
+      std::fprintf(stderr, "cascade-check: request %zu verdict drifted\n", i);
+      cleanup();
+      return 1;
+    }
+    for (std::size_t k = 0; k < r2.stages.size(); ++k) {
+      if (r2.stages[k].attempts != r4.stages[k].attempts ||
+          r2.stages[k].retries != r4.stages[k].retries ||
+          r2.stages[k].reused_planes != r4.stages[k].reused_planes ||
+          r2.stages[k].latency_ms != r4.stages[k].latency_ms) {
+        std::fprintf(stderr, "cascade-check: request %zu stage %zu drifted\n",
+                     i, k);
+        cleanup();
+        return 1;
+      }
+    }
+    if (r2.status.ok() && !outputs_bitexact(r2.result, r4.result)) {
+      std::fprintf(stderr, "cascade-check: request %zu output drifted\n", i);
+      cleanup();
+      return 1;
+    }
+  }
+  const int reused = s2.stages.size() == 2 ? s2.stages[1].reused_planes : 0;
+  if (s2.gated_out == 0 || s2.full_runs == 0 || reused == 0) {
+    std::fprintf(stderr,
+                 "cascade-check: trace failed to exercise the cascade "
+                 "(gated %d, full %d, plane reuse %d)\n",
+                 s2.gated_out, s2.full_runs, reused);
+    cleanup();
+    return 1;
+  }
+  cleanup();
+  std::printf(
+      "cascade-check: ok — %d requests through det->cls: %d gated out / %d "
+      "full runs / %d shed / %d deadline / %d failed, %d retries, %d "
+      "plane-reuse stage runs; bit-identical at 2 and 4 workers\n",
+      s2.requests, s2.gated_out, s2.full_runs, s2.shed, s2.deadline_exceeded,
+      s2.failed, s2.retries, reused);
+  return 0;
+}
+
 /// compile-fleet: one validated .pba per device profile from one model.
 int compile_fleet_mode(const Args& a) {
   Shape input;
@@ -631,6 +790,7 @@ int main(int argc, char** argv) {
     if (a.mode == "compile") return compile_mode(a, /*selfcheck=*/false);
     if (a.mode == "selfcheck") return compile_mode(a, /*selfcheck=*/true);
     if (a.mode == "serve-check") return serve_check_mode(a);
+    if (a.mode == "cascade-check") return cascade_check_mode(a);
     if (a.mode == "compile-fleet") return compile_fleet_mode(a);
     if (a.mode == "fleet-check") return fleet_check_mode(a);
     if (a.mode == "compress-stats") return compress_stats_mode(a);
